@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 30 {
+		t.Fatalf("parsed %v", got)
+	}
+	if got, err := parseInts(""); err != nil || got != nil {
+		t.Fatalf("empty list: %v %v", got, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("bad entry must fail")
+	}
+}

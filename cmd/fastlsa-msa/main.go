@@ -1,0 +1,79 @@
+// Command fastlsa-msa builds a progressive multiple sequence alignment of
+// the records in a FASTA file: FastLSA pairwise distances, UPGMA guide tree,
+// sum-of-pairs profile merging.
+//
+// Usage:
+//
+//	fastlsa-msa [flags] family.fasta
+//
+// Example:
+//
+//	fastlsa-seqgen -n 500 -pair -seed 1 > f.fa
+//	fastlsa-seqgen -n 500 -pair -seed 2 >> f.fa
+//	fastlsa-msa -matrix dna -gap -6 f.fa
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastlsa"
+)
+
+func main() {
+	var (
+		matrixName = flag.String("matrix", "blosum62", "scoring matrix: table1, mdm78, blosum62, dna, dna-strict, dna-iupac")
+		alphaName  = flag.String("alphabet", "", "residue alphabet (default: the matrix's alphabet)")
+		gapPen     = flag.Int("gap", -8, "linear gap penalty per gapped position (negative)")
+		workers    = flag.Int("workers", 0, "parallel workers for the pairwise stage (0 = all CPUs)")
+		width      = flag.Int("width", 60, "alignment columns per output block")
+		showTree   = flag.Bool("tree", false, "print the UPGMA guide tree")
+	)
+	flag.Parse()
+	if err := run(*matrixName, *alphaName, *gapPen, *workers, *width, *showTree, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "fastlsa-msa:", err)
+		os.Exit(1)
+	}
+}
+
+func run(matrixName, alphaName string, gapPen, workers, width int, showTree bool, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("want exactly one FASTA file with two or more records")
+	}
+	matrix, err := fastlsa.MatrixByName(matrixName)
+	if err != nil {
+		return err
+	}
+	alphabet := matrix.Alphabet
+	if alphaName != "" {
+		if alphabet, err = fastlsa.ParseAlphabet(alphaName); err != nil {
+			return err
+		}
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	seqs, err := fastlsa.ReadFASTA(f, alphabet)
+	if err != nil {
+		return err
+	}
+	if len(seqs) < 2 {
+		return fmt.Errorf("%s holds %d record(s); need at least two", args[0], len(seqs))
+	}
+
+	res, err := fastlsa.AlignMSA(seqs, fastlsa.Options{
+		Matrix:  matrix,
+		Gap:     fastlsa.Linear(gapPen),
+		Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	if showTree {
+		fmt.Printf("guide tree: %s\n\n", res.Tree)
+	}
+	return res.Fprint(os.Stdout, width)
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunMSA(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "family.fa")
+	content := ">a\nACGTACGTACGTACGTACGT\n>b\nACGTTCGTACGTACGAACGT\n>c\nACGTACGAACGTACGTACGT\n"
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("dna", "", -6, 1, 60, true, []string{p}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMSAErrors(t *testing.T) {
+	if err := run("dna", "", -6, 1, 60, false, nil); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	if err := run("nope", "", -6, 1, 60, false, []string{"x"}); err == nil {
+		t.Fatal("unknown matrix must fail")
+	}
+	dir := t.TempDir()
+	p := filepath.Join(dir, "one.fa")
+	if err := os.WriteFile(p, []byte(">a\nACGT\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("dna", "", -6, 1, 60, false, []string{p}); err == nil {
+		t.Fatal("single record must fail")
+	}
+	if err := run("dna", "klingon", -6, 1, 60, false, []string{p}); err == nil {
+		t.Fatal("unknown alphabet must fail")
+	}
+}

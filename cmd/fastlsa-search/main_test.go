@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fastlsa"
+)
+
+func writeSearchFixtures(t *testing.T) (queryPath, dbPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	query := fastlsa.RandomSequence("query", 200, fastlsa.DNA, 11)
+	hom, err := fastlsa.DefaultHomology.Mutate("homolog", query, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var db strings.Builder
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&db, ">bg%d\n%s\n", i, fastlsa.RandomSequence("", 250, fastlsa.DNA, 100+int64(i)))
+	}
+	fmt.Fprintf(&db, ">homolog\n%s\n", hom)
+
+	queryPath = filepath.Join(dir, "q.fa")
+	dbPath = filepath.Join(dir, "db.fa")
+	if err := os.WriteFile(queryPath, []byte(">query\n"+query.String()+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dbPath, []byte(db.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return queryPath, dbPath
+}
+
+func TestRunSearch(t *testing.T) {
+	q, db := writeSearchFixtures(t)
+	if err := run("dna", "", -12, 5, 1, 0, 0, false, 1, 1, 60, []string{q, db}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSearchWithEValues(t *testing.T) {
+	q, db := writeSearchFixtures(t)
+	if err := run("dna", "", -12, 5, 1, 0, 1e-3, false, 1, 1, 60, []string{q, db}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSearchErrors(t *testing.T) {
+	q, db := writeSearchFixtures(t)
+	if err := run("dna", "", -12, 5, 1, 0, 0, false, 1, 1, 60, []string{q}); err == nil {
+		t.Fatal("missing db arg must fail")
+	}
+	if err := run("warp", "", -12, 5, 1, 0, 0, false, 1, 1, 60, []string{q, db}); err == nil {
+		t.Fatal("unknown matrix must fail")
+	}
+	if err := run("dna", "", -12, 5, 1, 0, 0, false, 1, 1, 60, []string{"/nope.fa", db}); err == nil {
+		t.Fatal("missing query file must fail")
+	}
+	// Linear-phase gap makes the statistics fit fail cleanly.
+	if err := run("dna", "", -1, 5, 1, 0, 0, true, 1, 1, 60, []string{q, db}); err == nil {
+		t.Fatal("linear-phase statistics must fail")
+	}
+}

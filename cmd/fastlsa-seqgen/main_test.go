@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+
+	"fastlsa"
+)
+
+func TestGenerateSingle(t *testing.T) {
+	seqs, err := generate(genConfig{n: 100, alphaName: "dna", seed: 3, id: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 || seqs[0].Len() != 100 || seqs[0].ID != "x" {
+		t.Fatalf("got %v", seqs)
+	}
+	// Deterministic per seed.
+	again, err := generate(genConfig{n: 100, alphaName: "dna", seed: 3, id: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqs[0].String() != again[0].String() {
+		t.Fatal("generation must be deterministic")
+	}
+}
+
+func TestGeneratePair(t *testing.T) {
+	seqs, err := generate(genConfig{
+		n: 200, alphaName: "protein", seed: 5, pair: true,
+		sub: 0.2, ins: 0.02, del: 0.02, indelRun: 4, indelExt: 0.3, id: "p",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0].ID != "p_ref" || seqs[1].ID != "p_hom" {
+		t.Fatalf("got %d records: %v", len(seqs), seqs)
+	}
+	if seqs[0].Alphabet != fastlsa.Protein {
+		t.Fatal("wrong alphabet")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := generate(genConfig{n: 0, alphaName: "dna"}); err == nil {
+		t.Fatal("zero length must fail")
+	}
+	if _, err := generate(genConfig{n: 10, alphaName: "klingon"}); err == nil {
+		t.Fatal("unknown alphabet must fail")
+	}
+	if _, err := generate(genConfig{n: 10, alphaName: "dna", pair: true, sub: 1.5}); err == nil {
+		t.Fatal("invalid rate must fail")
+	}
+}

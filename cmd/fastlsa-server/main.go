@@ -1,0 +1,55 @@
+// Command fastlsa-server exposes the fastlsa library as a small JSON HTTP
+// service, the deployment surface an adopting team typically wants.
+//
+// Endpoints:
+//
+//	GET  /healthz       liveness probe
+//	GET  /v1/matrices   available scoring matrices
+//	POST /v1/align      pairwise alignment (global, ends-free, or local)
+//	POST /v1/msa        progressive multiple sequence alignment
+//	POST /v1/search     homology search with optional E-value statistics
+//
+// Example:
+//
+//	fastlsa-server -addr :8080 &
+//	curl -s localhost:8080/v1/align -d '{
+//	    "a": "TDVLKAD", "b": "TLDKLLKD",
+//	    "matrix": "table1", "gap": {"extend": -10},
+//	    "includeRows": true
+//	}'
+//	# -> {"score":82, "cigar":"1M1D1M1D3M1I1M", ...}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		maxLen     = flag.Int("max-len", 1_000_000, "maximum residues per sequence")
+		maxBody    = flag.Int64("max-body", 64<<20, "maximum request body bytes")
+		maxFamily  = flag.Int("max-family", 64, "maximum sequences per MSA request")
+		workers    = flag.Int("workers", 0, "default parallel workers per request (0 = all CPUs)")
+		timeoutSec = flag.Int("timeout", 300, "per-request timeout in seconds")
+	)
+	flag.Parse()
+
+	handler := newServer(serverConfig{
+		MaxSequenceLen:  *maxLen,
+		MaxBodyBytes:    *maxBody,
+		MaxMSASequences: *maxFamily,
+		DefaultWorkers:  *workers,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           http.TimeoutHandler(handler, time.Duration(*timeoutSec)*time.Second, `{"error":"request timed out"}`),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("fastlsa-server listening on %s\n", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

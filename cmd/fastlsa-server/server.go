@@ -1,0 +1,501 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"fastlsa"
+)
+
+// serverConfig bounds the service.
+type serverConfig struct {
+	// MaxSequenceLen caps each input sequence (0 selects 1_000_000).
+	MaxSequenceLen int
+	// MaxBodyBytes caps the request body (0 selects 64 MiB).
+	MaxBodyBytes int64
+	// MaxMSASequences caps the MSA family size (0 selects 64).
+	MaxMSASequences int
+	// DefaultWorkers is used when a request does not set workers.
+	DefaultWorkers int
+}
+
+func (c serverConfig) withDefaults() serverConfig {
+	if c.MaxSequenceLen == 0 {
+		c.MaxSequenceLen = 1_000_000
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxMSASequences == 0 {
+		c.MaxMSASequences = 64
+	}
+	return c
+}
+
+// newServer builds the HTTP handler tree.
+func newServer(cfg serverConfig) http.Handler {
+	cfg = cfg.withDefaults()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/matrices", handleMatrices)
+	mux.HandleFunc("POST /v1/align", withLimits(cfg, handleAlign(cfg)))
+	mux.HandleFunc("POST /v1/msa", withLimits(cfg, handleMSA(cfg)))
+	mux.HandleFunc("POST /v1/search", withLimits(cfg, handleSearch(cfg)))
+	return mux
+}
+
+func withLimits(cfg serverConfig, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, cfg.MaxBodyBytes)
+		h(w, r)
+	}
+}
+
+// apiError is the uniform error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// gapSpec is the JSON gap model: {"extend": -4} or {"open": -11, "extend": -1}.
+type gapSpec struct {
+	Open   int `json:"open"`
+	Extend int `json:"extend"`
+}
+
+func (g gapSpec) toGap() fastlsa.Gap {
+	if g.Open == 0 && g.Extend == 0 {
+		return fastlsa.PaperGap
+	}
+	return fastlsa.Affine(g.Open, g.Extend)
+}
+
+// alignRequest is the POST /v1/align body.
+type alignRequest struct {
+	A            string  `json:"a"`
+	B            string  `json:"b"`
+	AID          string  `json:"aId"`
+	BID          string  `json:"bId"`
+	Alphabet     string  `json:"alphabet"` // default: the matrix's alphabet
+	Matrix       string  `json:"matrix"`   // default blosum62
+	Gap          gapSpec `json:"gap"`
+	Mode         string  `json:"mode"`      // global (default), overlap, fit-b-in-a, fit-a-in-b
+	Algorithm    string  `json:"algorithm"` // auto (default), fastlsa, fm, hirschberg, compact
+	Local        bool    `json:"local"`
+	Workers      int     `json:"workers"`
+	MemoryBudget int64   `json:"memoryBudget"`
+	IncludeRows  bool    `json:"includeRows"`
+}
+
+// alignResponse is the POST /v1/align reply.
+type alignResponse struct {
+	Score      int64      `json:"score"`
+	CIGAR      string     `json:"cigar,omitempty"`
+	Columns    int        `json:"columns"`
+	Identity   float64    `json:"identity"`
+	RowA       string     `json:"rowA,omitempty"`
+	RowB       string     `json:"rowB,omitempty"`
+	Local      *localSpan `json:"local,omitempty"`
+	CellsSpent int64      `json:"cellsComputed"`
+}
+
+type localSpan struct {
+	StartA int `json:"startA"`
+	EndA   int `json:"endA"`
+	StartB int `json:"startB"`
+	EndB   int `json:"endB"`
+}
+
+func handleAlign(cfg serverConfig) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req alignRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+			return
+		}
+		opt, a, b, err := buildOptions(cfg, req)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		var counters fastlsa.Counters
+		opt.Counters = &counters
+
+		if req.Local {
+			loc, err := fastlsa.AlignLocal(a, b, opt)
+			if err != nil {
+				writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+				return
+			}
+			resp := alignResponse{
+				Score:      loc.Score,
+				CellsSpent: counters.Cells.Load(),
+			}
+			if loc.Score > 0 {
+				resp.CIGAR = loc.Path.CIGAR()
+				resp.Columns = loc.Path.Len()
+				resp.Local = &localSpan{StartA: loc.StartA, EndA: loc.EndA, StartB: loc.StartB, EndB: loc.EndB}
+				sub := &fastlsa.Alignment{A: a.Slice(loc.StartA, loc.EndA), B: b.Slice(loc.StartB, loc.EndB), Path: loc.Path, Score: loc.Score}
+				st := sub.Stats()
+				resp.Identity = st.Identity
+				if req.IncludeRows {
+					resp.RowA, resp.RowB = sub.Rows()
+				}
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+
+		al, err := fastlsa.Align(a, b, opt)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		st := al.Stats()
+		resp := alignResponse{
+			Score:      al.Score,
+			CIGAR:      al.Path.CIGAR(),
+			Columns:    st.Columns,
+			Identity:   st.Identity,
+			CellsSpent: counters.Cells.Load(),
+		}
+		if req.IncludeRows {
+			resp.RowA, resp.RowB = al.Rows()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func buildOptions(cfg serverConfig, req alignRequest) (fastlsa.Options, *fastlsa.Sequence, *fastlsa.Sequence, error) {
+	matrixName := req.Matrix
+	if matrixName == "" {
+		matrixName = "blosum62"
+	}
+	matrix, err := fastlsa.MatrixByName(matrixName)
+	if err != nil {
+		return fastlsa.Options{}, nil, nil, err
+	}
+	alphabet := matrix.Alphabet
+	if req.Alphabet != "" {
+		if alphabet, err = fastlsa.ParseAlphabet(req.Alphabet); err != nil {
+			return fastlsa.Options{}, nil, nil, err
+		}
+	}
+	mode, err := fastlsa.ParseMode(req.Mode)
+	if err != nil {
+		return fastlsa.Options{}, nil, nil, err
+	}
+	algo, err := fastlsa.ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		return fastlsa.Options{}, nil, nil, err
+	}
+	if len(req.A) > cfg.MaxSequenceLen || len(req.B) > cfg.MaxSequenceLen {
+		return fastlsa.Options{}, nil, nil, fmt.Errorf("sequence exceeds the %d-residue limit", cfg.MaxSequenceLen)
+	}
+	a, err := fastlsa.NewSequence(orDefault(req.AID, "a"), req.A, alphabet)
+	if err != nil {
+		return fastlsa.Options{}, nil, nil, err
+	}
+	b, err := fastlsa.NewSequence(orDefault(req.BID, "b"), req.B, alphabet)
+	if err != nil {
+		return fastlsa.Options{}, nil, nil, err
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = cfg.DefaultWorkers
+	}
+	opt := fastlsa.Options{
+		Matrix:       matrix,
+		Gap:          req.Gap.toGap(),
+		Mode:         mode,
+		Algorithm:    algo,
+		MemoryBudget: req.MemoryBudget,
+		Workers:      workers,
+	}
+	return opt, a, b, nil
+}
+
+func orDefault(s, def string) string {
+	if strings.TrimSpace(s) == "" {
+		return def
+	}
+	return s
+}
+
+// msaRequest is the POST /v1/msa body.
+type msaRequest struct {
+	Sequences []struct {
+		ID      string `json:"id"`
+		Letters string `json:"letters"`
+	} `json:"sequences"`
+	Alphabet string  `json:"alphabet"`
+	Matrix   string  `json:"matrix"`
+	Gap      gapSpec `json:"gap"`
+	Workers  int     `json:"workers"`
+}
+
+// msaResponse is the POST /v1/msa reply.
+type msaResponse struct {
+	Rows       []string `json:"rows"`
+	IDs        []string `json:"ids"`
+	Columns    int      `json:"columns"`
+	SumOfPairs int64    `json:"sumOfPairs"`
+	Tree       string   `json:"tree"`
+}
+
+func handleMSA(cfg serverConfig) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req msaRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+			return
+		}
+		if len(req.Sequences) < 2 {
+			writeErr(w, http.StatusBadRequest, "need at least two sequences (got %d)", len(req.Sequences))
+			return
+		}
+		if len(req.Sequences) > cfg.MaxMSASequences {
+			writeErr(w, http.StatusBadRequest, "family exceeds the %d-sequence limit", cfg.MaxMSASequences)
+			return
+		}
+		matrixName := req.Matrix
+		if matrixName == "" {
+			matrixName = "blosum62"
+		}
+		matrix, err := fastlsa.MatrixByName(matrixName)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		alphabet := matrix.Alphabet
+		if req.Alphabet != "" {
+			if alphabet, err = fastlsa.ParseAlphabet(req.Alphabet); err != nil {
+				writeErr(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+		}
+		seqs := make([]*fastlsa.Sequence, 0, len(req.Sequences))
+		ids := make([]string, 0, len(req.Sequences))
+		for i, rs := range req.Sequences {
+			if len(rs.Letters) > cfg.MaxSequenceLen {
+				writeErr(w, http.StatusBadRequest, "sequence %d exceeds the %d-residue limit", i, cfg.MaxSequenceLen)
+				return
+			}
+			s, err := fastlsa.NewSequence(orDefault(rs.ID, fmt.Sprintf("seq%d", i+1)), rs.Letters, alphabet)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			seqs = append(seqs, s)
+			ids = append(ids, s.ID)
+		}
+		workers := req.Workers
+		if workers == 0 {
+			workers = cfg.DefaultWorkers
+		}
+		res, err := fastlsa.AlignMSA(seqs, fastlsa.Options{
+			Matrix:  matrix,
+			Gap:     req.Gap.toGap(),
+			Workers: workers,
+		})
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, msaResponse{
+			Rows:       res.Rows,
+			IDs:        ids,
+			Columns:    res.Columns,
+			SumOfPairs: res.SumOfPairs,
+			Tree:       res.Tree,
+		})
+	}
+}
+
+// matrixInfo describes one scoring matrix for GET /v1/matrices.
+type matrixInfo struct {
+	Name     string `json:"name"`
+	Alphabet string `json:"alphabet"`
+	Min      int    `json:"min"`
+	Max      int    `json:"max"`
+}
+
+func handleMatrices(w http.ResponseWriter, r *http.Request) {
+	names := []string{"table1", "mdm78", "blosum62", "dna", "dna-strict", "dna-iupac"}
+	out := make([]matrixInfo, 0, len(names))
+	for _, n := range names {
+		m, err := fastlsa.MatrixByName(n)
+		if err != nil {
+			continue
+		}
+		out = append(out, matrixInfo{Name: n, Alphabet: m.Alphabet.Name, Min: m.Min(), Max: m.Max()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// searchRequest is the POST /v1/search body: a query ranked against an
+// inline database.
+type searchRequest struct {
+	Query    string `json:"query"`
+	QueryID  string `json:"queryId"`
+	Database []struct {
+		ID      string `json:"id"`
+		Letters string `json:"letters"`
+	} `json:"database"`
+	Alphabet string  `json:"alphabet"`
+	Matrix   string  `json:"matrix"`
+	Gap      gapSpec `json:"gap"` // linear only; zero selects -12
+	TopK     int     `json:"topK"`
+	MinScore int64   `json:"minScore"`
+	// FitStats fits Gumbel statistics for the scoring system (adds ~10-100ms)
+	// so hits carry E-values; StatsSeed makes the fit reproducible.
+	FitStats  bool    `json:"fitStats"`
+	StatsSeed int64   `json:"statsSeed"`
+	MaxEValue float64 `json:"maxEValue"`
+	Workers   int     `json:"workers"`
+}
+
+// searchResponse is the POST /v1/search reply.
+type searchResponse struct {
+	Hits []searchHit `json:"hits"`
+	// Stats echoes the fitted parameters when FitStats was set.
+	Stats *statsInfo `json:"stats,omitempty"`
+}
+
+type searchHit struct {
+	Index    int     `json:"index"`
+	ID       string  `json:"id"`
+	Score    int64   `json:"score"`
+	EValue   float64 `json:"eValue,omitempty"`
+	BitScore float64 `json:"bitScore,omitempty"`
+	CIGAR    string  `json:"cigar,omitempty"`
+	StartA   int     `json:"startA"`
+	EndA     int     `json:"endA"`
+	StartB   int     `json:"startB"`
+	EndB     int     `json:"endB"`
+}
+
+type statsInfo struct {
+	Lambda float64 `json:"lambda"`
+	K      float64 `json:"k"`
+}
+
+func handleSearch(cfg serverConfig) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req searchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+			return
+		}
+		if len(req.Database) == 0 {
+			writeErr(w, http.StatusBadRequest, "empty database")
+			return
+		}
+		matrixName := req.Matrix
+		if matrixName == "" {
+			matrixName = "blosum62"
+		}
+		matrix, err := fastlsa.MatrixByName(matrixName)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		alphabet := matrix.Alphabet
+		if req.Alphabet != "" {
+			if alphabet, err = fastlsa.ParseAlphabet(req.Alphabet); err != nil {
+				writeErr(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+		}
+		if len(req.Query) > cfg.MaxSequenceLen {
+			writeErr(w, http.StatusBadRequest, "query exceeds the %d-residue limit", cfg.MaxSequenceLen)
+			return
+		}
+		query, err := fastlsa.NewSequence(orDefault(req.QueryID, "query"), req.Query, alphabet)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if query.Len() == 0 {
+			writeErr(w, http.StatusBadRequest, "empty query")
+			return
+		}
+		db := make([]*fastlsa.Sequence, 0, len(req.Database))
+		for i, rs := range req.Database {
+			if len(rs.Letters) > cfg.MaxSequenceLen {
+				writeErr(w, http.StatusBadRequest, "database entry %d exceeds the %d-residue limit", i, cfg.MaxSequenceLen)
+				return
+			}
+			s, err := fastlsa.NewSequence(orDefault(rs.ID, fmt.Sprintf("db%d", i)), rs.Letters, alphabet)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "database entry %d: %v", i, err)
+				return
+			}
+			db = append(db, s)
+		}
+
+		gap := fastlsa.Linear(-12)
+		if req.Gap != (gapSpec{}) {
+			if req.Gap.Open != 0 {
+				writeErr(w, http.StatusBadRequest, "search supports linear gaps only")
+				return
+			}
+			gap = fastlsa.Linear(req.Gap.Extend)
+		}
+		workers := req.Workers
+		if workers == 0 {
+			workers = cfg.DefaultWorkers
+		}
+		opt := fastlsa.SearchOptions{
+			Matrix:    matrix,
+			Gap:       gap,
+			TopK:      req.TopK,
+			MinScore:  req.MinScore,
+			MaxEValue: req.MaxEValue,
+			Workers:   workers,
+		}
+		var resp searchResponse
+		if req.FitStats || req.MaxEValue > 0 {
+			params, err := fastlsa.EstimateStatistics(matrix, gap, 0, 0, req.StatsSeed)
+			if err != nil {
+				writeErr(w, http.StatusUnprocessableEntity, "statistics fit: %v", err)
+				return
+			}
+			opt.Stats = &params
+			resp.Stats = &statsInfo{Lambda: params.Lambda, K: params.K}
+		}
+
+		hits, err := fastlsa.Search(query, db, opt)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		resp.Hits = make([]searchHit, 0, len(hits))
+		for _, h := range hits {
+			sh := searchHit{
+				Index: h.Index, ID: h.ID, Score: h.Score,
+				EValue: h.EValue, BitScore: h.BitScore,
+			}
+			if h.Alignment != nil {
+				sh.CIGAR = h.Alignment.Path.CIGAR()
+				sh.StartA, sh.EndA = h.Alignment.StartA, h.Alignment.EndA
+				sh.StartB, sh.EndB = h.Alignment.StartB, h.Alignment.EndB
+			}
+			resp.Hits = append(resp.Hits, sh)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}

@@ -1,0 +1,40 @@
+// Package fastlsa is a production-quality Go implementation of FastLSA —
+// the Fast Linear-Space Alignment algorithm of Driga, Lu, Schaeffer,
+// Szafron, Charter and Parsons ("FastLSA: A Fast, Linear-Space, Parallel and
+// Sequential Algorithm for Sequence Alignment", ICPP 2003) — together with
+// the full-matrix (Needleman-Wunsch / Smith-Waterman) and Hirschberg
+// baselines the paper compares against.
+//
+// # Overview
+//
+// Pairwise optimal alignment of sequences of lengths m and n is a dynamic
+// program over an (m+1) x (n+1) matrix. The three families implemented here
+// trade space for recomputation:
+//
+//   - Full matrix (FM): O(mn) space, every cell computed once.
+//   - Hirschberg: O(min(m,n)) space, ~2x cell recomputation.
+//   - FastLSA(k, BM): adapts between the two — a k x k grid of cached
+//     boundary lines plus a BM-entry base-case buffer bound recomputation by
+//     (k/(k-1))^2 while keeping space linear; with BM >= (m+1)(n+1) it
+//     degenerates to FM with no recomputation.
+//
+// All three produce the same optimal alignment for a given scoring function;
+// FastLSA and FM produce byte-identical paths.
+//
+// Parallel FastLSA executes every grid fill and large base case with a
+// diagonal-wavefront pool of P goroutine workers over an R x C tiling.
+//
+// # Quick start
+//
+//	a, _ := fastlsa.NewSequence("query", "TDVLKAD", fastlsa.Table1Alphabet)
+//	b, _ := fastlsa.NewSequence("target", "TLDKLLKD", fastlsa.Table1Alphabet)
+//	al, err := fastlsa.Align(a, b, fastlsa.Options{
+//	    Matrix: fastlsa.Table1,
+//	    Gap:    fastlsa.Linear(-10),
+//	})
+//	if err != nil { ... }
+//	fmt.Println(al.Score) // 82, the paper's Figure 1 example
+//
+// See the examples/ directory for runnable programs and DESIGN.md /
+// EXPERIMENTS.md for the paper-reproduction map.
+package fastlsa

@@ -1,0 +1,116 @@
+package fastlsa_test
+
+import (
+	"fmt"
+
+	"fastlsa"
+)
+
+// The paper's Figure 1 worked example through every engine.
+func ExampleAlign_engines() {
+	a, _ := fastlsa.NewSequence("a", "TDVLKAD", fastlsa.Table1Alphabet)
+	b, _ := fastlsa.NewSequence("b", "TLDKLLKD", fastlsa.Table1Alphabet)
+	for _, algo := range []fastlsa.Algorithm{
+		fastlsa.AlgoFastLSA, fastlsa.AlgoFullMatrix, fastlsa.AlgoHirschberg, fastlsa.AlgoCompact,
+	} {
+		al, err := fastlsa.Align(a, b, fastlsa.Options{
+			Matrix: fastlsa.Table1, Gap: fastlsa.Linear(-10), Algorithm: algo, Workers: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d\n", algo, al.Score)
+	}
+	// Output:
+	// fastlsa: 82
+	// fm: 82
+	// hirschberg: 82
+	// compact: 82
+}
+
+func ExampleScore() {
+	a, _ := fastlsa.NewSequence("a", "ACGTACGT", fastlsa.DNA)
+	b, _ := fastlsa.NewSequence("b", "ACGAACGT", fastlsa.DNA)
+	score, err := fastlsa.Score(a, b, fastlsa.Options{
+		Matrix: fastlsa.DNASimple, Gap: fastlsa.Linear(-4),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(score) // 7 matches * 5 - 4
+	// Output: 31
+}
+
+func ExampleAlignLocal() {
+	a, _ := fastlsa.NewSequence("a", "TTTTACGTACGTTTTT", fastlsa.DNA)
+	b, _ := fastlsa.NewSequence("b", "GGGGGACGTACGTGGG", fastlsa.DNA)
+	loc, err := fastlsa.AlignLocal(a, b, fastlsa.Options{
+		Matrix: fastlsa.DNASimple, Gap: fastlsa.Linear(-4), Workers: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("score %d at a[%d:%d]\n", loc.Score, loc.StartA, loc.EndA)
+	// Output: score 40 at a[4:12]
+}
+
+func ExampleAlignMSA() {
+	s1, _ := fastlsa.NewSequence("s1", "ACGTACGTAC", fastlsa.DNA)
+	s2, _ := fastlsa.NewSequence("s2", "ACGTTCGTAC", fastlsa.DNA)
+	s3, _ := fastlsa.NewSequence("s3", "ACGACGTAC", fastlsa.DNA)
+	res, err := fastlsa.AlignMSA([]*fastlsa.Sequence{s1, s2, s3}, fastlsa.Options{
+		Matrix: fastlsa.DNASimple, Gap: fastlsa.Linear(-6), Workers: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row)
+	}
+	// Output:
+	// ACGTACGTAC
+	// ACGTTCGTAC
+	// ACG-ACGTAC
+}
+
+func ExampleAlign_overlap() {
+	// The suffix of a overlaps the prefix of b.
+	a, _ := fastlsa.NewSequence("a", "TTTTTTACGTACGT", fastlsa.DNA)
+	b, _ := fastlsa.NewSequence("b", "ACGTACGTGGGGGG", fastlsa.DNA)
+	al, err := fastlsa.Align(a, b, fastlsa.Options{
+		Matrix: fastlsa.DNASimple, Gap: fastlsa.Linear(-12),
+		Mode: fastlsa.ModeOverlap, Workers: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(al.Score) // 8 overlapping matches * 5
+	// Output: 40
+}
+
+func ExampleAlignment_EditScript() {
+	a, _ := fastlsa.NewSequence("a", "ACGTACGT", fastlsa.DNA)
+	b, _ := fastlsa.NewSequence("b", "ACGACGTT", fastlsa.DNA)
+	al, err := fastlsa.Align(a, b, fastlsa.Options{
+		Matrix: fastlsa.DNASimple, Gap: fastlsa.Linear(-4), Workers: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rebuilt, err := fastlsa.ApplyEditScript(a, al.EditScript(), fastlsa.DNA)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rebuilt.String() == b.String())
+	// Output: true
+}
+
+func ExampleTranslate() {
+	gene, _ := fastlsa.NewSequence("gene", "ATGGATAAATTAGTTTAA", fastlsa.DNA)
+	prot, err := fastlsa.Translate(gene, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(prot.String())
+	// Output: MDKLV
+}

@@ -1,0 +1,131 @@
+// Family: multiple sequence alignment of a protein family — the downstream
+// workflow pairwise alignment exists to serve. The program simulates a
+// family (one ancestor, several diverged descendants), builds a progressive
+// MSA (FastLSA pairwise distances, UPGMA guide tree, sum-of-pairs profile
+// merging), and prints the guide tree, the alignment head, and a consensus
+// line.
+//
+// Run: go run ./examples/family [-members 6] [-n 400]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"fastlsa"
+)
+
+func main() {
+	members := flag.Int("members", 6, "family size")
+	n := flag.Int("n", 400, "ancestor length (residues)")
+	flag.Parse()
+
+	// Simulate the family: descendants diverge from one ancestor.
+	ancestor := fastlsa.RandomSequence("ancestor", *n, fastlsa.Protein, 41)
+	model := fastlsa.MutationModel{
+		SubstitutionRate: 0.18,
+		InsertionRate:    0.02,
+		DeletionRate:     0.02,
+		MaxIndelRun:      4,
+		IndelExtend:      0.4,
+	}
+	seqs := []*fastlsa.Sequence{ancestor}
+	for i := 1; i < *members; i++ {
+		m, err := model.Mutate(fmt.Sprintf("member%d", i), ancestor, 41+int64(i)*7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seqs = append(seqs, m)
+	}
+	fmt.Printf("family of %d proteins, %d..%d residues\n\n", len(seqs), minLen(seqs), maxLen(seqs))
+
+	res, err := fastlsa.AlignMSA(seqs, fastlsa.Options{
+		Matrix: fastlsa.BLOSUM62,
+		Gap:    fastlsa.Linear(-8),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("guide tree: %s\n", res.Tree)
+	fmt.Printf("alignment: %d columns, sum-of-pairs score %d\n\n", res.Columns, res.SumOfPairs)
+
+	// Print the first blocks plus a consensus row.
+	var buf bytes.Buffer
+	if err := res.Fprint(&buf, 60); err != nil {
+		log.Fatal(err)
+	}
+	lines := strings.SplitAfter(buf.String(), "\n")
+	blockLines := len(seqs) + 1
+	if len(lines) > 2*blockLines {
+		lines = lines[:2*blockLines]
+	}
+	fmt.Print(strings.Join(lines, ""))
+	fmt.Println("...")
+
+	cons, conserved := consensus(res.Rows)
+	fmt.Printf("\nconsensus (first 60): %s\n", cons[:min(60, len(cons))])
+	fmt.Printf("fully conserved columns: %d of %d (%.0f%%)\n",
+		conserved, res.Columns, 100*float64(conserved)/float64(res.Columns))
+}
+
+// consensus returns the majority letter per column ('.' where no residue
+// reaches half) and the count of fully conserved columns.
+func consensus(rows []string) (string, int) {
+	if len(rows) == 0 {
+		return "", 0
+	}
+	cols := len(rows[0])
+	out := make([]byte, cols)
+	conserved := 0
+	for c := 0; c < cols; c++ {
+		counts := map[byte]int{}
+		for _, r := range rows {
+			counts[r[c]]++
+		}
+		bestCh, bestN := byte('.'), 0
+		for ch, n := range counts {
+			if ch != '-' && (n > bestN || (n == bestN && ch < bestCh)) {
+				bestCh, bestN = ch, n
+			}
+		}
+		if bestN == len(rows) {
+			conserved++
+		}
+		if bestN*2 >= len(rows) {
+			out[c] = bestCh
+		} else {
+			out[c] = '.'
+		}
+	}
+	return string(out), conserved
+}
+
+func minLen(seqs []*fastlsa.Sequence) int {
+	m := seqs[0].Len()
+	for _, s := range seqs {
+		if s.Len() < m {
+			m = s.Len()
+		}
+	}
+	return m
+}
+
+func maxLen(seqs []*fastlsa.Sequence) int {
+	m := 0
+	for _, s := range seqs {
+		if s.Len() > m {
+			m = s.Len()
+		}
+	}
+	return m
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

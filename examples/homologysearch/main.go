@@ -1,0 +1,89 @@
+// Homologysearch: the paper's motivating application end to end — scan a
+// query against a sequence database, rank hits by optimal local alignment
+// score, attach E-values from fitted Gumbel statistics, and print the best
+// alignment. Two true homologs (one close, one remote) are planted among
+// unrelated background sequences.
+//
+// Run: go run ./examples/homologysearch [-db 200] [-n 400]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"fastlsa"
+)
+
+func main() {
+	dbSize := flag.Int("db", 200, "database size (sequences)")
+	n := flag.Int("n", 400, "query length (bases)")
+	flag.Parse()
+
+	query := fastlsa.RandomSequence("query", *n, fastlsa.DNA, 2001)
+
+	// Database: background noise plus two planted homologs.
+	db := make([]*fastlsa.Sequence, 0, *dbSize)
+	for i := 0; i < *dbSize-2; i++ {
+		db = append(db, fastlsa.RandomSequence(fmt.Sprintf("bg%04d", i), 300+i%400, fastlsa.DNA, 3000+int64(i)))
+	}
+	close_, err := fastlsa.MutationModel{SubstitutionRate: 0.05, InsertionRate: 0.01, DeletionRate: 0.01, MaxIndelRun: 3, IndelExtend: 0.3}.Mutate("close-homolog", query, 2002)
+	if err != nil {
+		log.Fatal(err)
+	}
+	remote, err := fastlsa.MutationModel{SubstitutionRate: 0.30, InsertionRate: 0.04, DeletionRate: 0.04, MaxIndelRun: 5, IndelExtend: 0.4}.Mutate("remote-homolog", query, 2003)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db = append(db, close_, remote)
+	fmt.Printf("query: %d bases; database: %d sequences\n", query.Len(), len(db))
+
+	gap := fastlsa.Linear(-12)
+	fmt.Print("fitting Gumbel statistics for the scoring system... ")
+	start := time.Now()
+	params, err := fastlsa.EstimateStatistics(fastlsa.DNASimple, gap, 200, 80, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done in %v\n  %s\n\n", time.Since(start).Round(time.Millisecond), params)
+
+	start = time.Now()
+	hits, err := fastlsa.Search(query, db, fastlsa.SearchOptions{
+		Matrix:     fastlsa.DNASimple,
+		Gap:        gap,
+		TopK:       8,
+		Alignments: 1,
+		Stats:      &params,
+		Workers:    0, // all CPUs
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scanned %d sequences in %v\n\n", len(db), time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("%-4s %-16s %8s %12s %8s\n", "#", "id", "score", "e-value", "bits")
+	for i, h := range hits {
+		marker := ""
+		if h.EValue < 1e-3 {
+			marker = "  <- significant"
+		}
+		fmt.Printf("%-4d %-16s %8d %12.3g %8.1f%s\n", i+1, h.ID, h.Score, h.EValue, h.BitScore, marker)
+	}
+
+	if len(hits) > 0 && hits[0].Alignment != nil {
+		loc := hits[0].Alignment
+		fmt.Printf("\nbest alignment (%s, query[%d:%d] x target[%d:%d]):\n",
+			hits[0].ID, loc.StartA, loc.EndA, loc.StartB, loc.EndB)
+		sub := &fastlsa.Alignment{
+			A:     query.Slice(loc.StartA, loc.EndA),
+			B:     db[hits[0].Index].Slice(loc.StartB, loc.EndB),
+			Path:  loc.Path,
+			Score: loc.Score,
+		}
+		if err := sub.Fprint(os.Stdout, fastlsa.FormatOptions{Width: 60, Matrix: fastlsa.DNASimple, ShowRuler: true}); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: the paper's running example (§1.1, Table 1, Figure 1) through
+// the public API. Aligns TDVLKAD against TLDKLLKD with the modified Dayhoff
+// excerpt and a -10 gap penalty, printing the optimal alignment and its
+// score (82).
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fastlsa"
+)
+
+func main() {
+	a, err := fastlsa.NewSequence("query", "TDVLKAD", fastlsa.Table1Alphabet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := fastlsa.NewSequence("target", "TLDKLLKD", fastlsa.Table1Alphabet)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	al, err := fastlsa.Align(a, b, fastlsa.Options{
+		Matrix: fastlsa.Table1,      // the paper's Table 1 similarity scores
+		Gap:    fastlsa.Linear(-10), // the paper's gap penalty
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("optimal score: %d (paper: 82)\n\n", al.Score)
+	if err := al.Fprint(os.Stdout, fastlsa.FormatOptions{}); err != nil {
+		log.Fatal(err)
+	}
+
+	rowA, rowB := al.Rows()
+	fmt.Printf("rows: %s / %s\n", rowA, rowB)
+	fmt.Printf("cigar: %s  extended: %s\n", al.Path.CIGAR(), al.ExtendedCIGAR())
+	st := al.Stats()
+	fmt.Printf("identity: %.0f%% (%d of %d columns)\n", 100*st.Identity, st.Matches, st.Columns)
+}

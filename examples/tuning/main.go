@@ -1,0 +1,82 @@
+// Tuning: the paper's central case study (§1, §3-§5) in miniature — how the
+// parameters k (grid divisions), BM (base-case buffer) and P (workers) trade
+// memory for recomputation and parallel efficiency on one problem.
+//
+// The program sweeps each parameter while holding the others fixed and
+// prints the measured wall-clock, cells computed (recomputation factor) and
+// peak budgeted memory, mirroring experiments E5-E7.
+//
+// Run: go run ./examples/tuning [-n 4000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"fastlsa"
+)
+
+func main() {
+	n := flag.Int("n", 4000, "sequence length")
+	flag.Parse()
+
+	a, b, err := fastlsa.HomologousPair(*n, fastlsa.DNA, fastlsa.DefaultHomology, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	area := float64(a.Len()) * float64(b.Len())
+	fmt.Printf("problem: %d x %d DNA (full matrix = %.0f cells)\n\n", a.Len(), b.Len(), area)
+
+	measure := func(opt fastlsa.Options) (time.Duration, float64, int64) {
+		var c fastlsa.Counters
+		opt.Matrix = fastlsa.DNASimple
+		opt.Gap = fastlsa.Linear(-4)
+		opt.Algorithm = fastlsa.AlgoFastLSA
+		opt.Counters = &c
+		start := time.Now()
+		if _, err := fastlsa.Align(a, b, opt); err != nil {
+			log.Fatal(err)
+		}
+		d := time.Since(start)
+		return d, float64(c.Cells.Load()) / area, c.PeakGridEntries.Load()
+	}
+
+	fmt.Println("— effect of k (BM=16Ki, sequential) —")
+	fmt.Println("   k    time        recompute   bound (k/(k-1))^2")
+	for _, k := range []int{2, 3, 4, 6, 8, 16, 32} {
+		budget := int64(8*k*(a.Len()+b.Len())) + 64*1024
+		d, f, _ := measure(fastlsa.Options{K: k, BaseCells: 16 * 1024, Workers: 1, MemoryBudget: budget})
+		bound := float64(k*k) / float64((k-1)*(k-1))
+		fmt.Printf("  %2d    %-10v  %.3f       %.3f\n", k, d.Round(time.Millisecond), f, bound)
+	}
+
+	fmt.Println("\n— effect of BM (k=8, sequential) —")
+	fmt.Println("   BM        time        recompute   base-cases")
+	for _, bm := range []int{1 << 8, 1 << 12, 1 << 16, 1 << 20} {
+		var c fastlsa.Counters
+		start := time.Now()
+		if _, err := fastlsa.Align(a, b, fastlsa.Options{
+			Matrix: fastlsa.DNASimple, Gap: fastlsa.Linear(-4),
+			Algorithm: fastlsa.AlgoFastLSA, K: 8, BaseCells: bm, Workers: 1, Counters: &c,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		d := time.Since(start)
+		fmt.Printf("  %-8d  %-10v  %.3f       %d\n",
+			bm, d.Round(time.Millisecond), float64(c.Cells.Load())/area, c.BaseCases.Load())
+	}
+
+	fmt.Printf("\n— effect of P (k=8, BM=64Ki; host has %d CPUs) —\n", runtime.GOMAXPROCS(0))
+	fmt.Println("   P    time        speedup")
+	var base time.Duration
+	for _, p := range []int{1, 2, 4, 8} {
+		d, _, _ := measure(fastlsa.Options{K: 8, BaseCells: 64 * 1024, Workers: p})
+		if p == 1 {
+			base = d
+		}
+		fmt.Printf("  %2d    %-10v  %.2fx\n", p, d.Round(time.Millisecond), float64(base)/float64(d))
+	}
+}

@@ -1,0 +1,540 @@
+package fastlsa
+
+import (
+	"fmt"
+	"io"
+
+	"fastlsa/internal/align"
+	"fastlsa/internal/core"
+	"fastlsa/internal/fm"
+	"fastlsa/internal/hirschberg"
+	"fastlsa/internal/lastrow"
+	"fastlsa/internal/memory"
+	"fastlsa/internal/msa"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/search"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/significance"
+	"fastlsa/internal/stats"
+)
+
+// Re-exported substrate types. These aliases make the internal packages'
+// types part of the public API surface without duplicating them.
+type (
+	// Sequence is a validated residue sequence over an Alphabet.
+	Sequence = seq.Sequence
+	// Alphabet is a residue universe (DNA, Protein, or custom).
+	Alphabet = seq.Alphabet
+	// MutationModel derives homologous sequence pairs for benchmarking.
+	MutationModel = seq.MutationModel
+	// Matrix is a symmetric residue-similarity table.
+	Matrix = scoring.Matrix
+	// Gap is a linear or affine gap-penalty model.
+	Gap = scoring.Gap
+	// Path is a DPM traceback path.
+	Path = align.Path
+	// Alignment is a scored pairwise alignment.
+	Alignment = align.Alignment
+	// Stats is an alignment-column summary (matches, gaps, identity).
+	Stats = align.Stats
+	// Counters collects instrumentation (cells computed, base cases, ...).
+	Counters = stats.Counters
+	// FormatOptions controls Alignment pretty-printing.
+	FormatOptions = align.FormatOptions
+	// Mode selects which terminal gaps are free (ends-free alignment).
+	Mode = align.Mode
+	// LocalAlignment is a Smith-Waterman local alignment result.
+	LocalAlignment = fm.LocalResult
+	// MSA is a progressive multiple sequence alignment result.
+	MSA = msa.Result
+	// SearchHit is one ranked database match from Search.
+	SearchHit = search.Hit
+	// GumbelParams are fitted extreme-value statistics for local scores.
+	GumbelParams = significance.Params
+	// EditOp is one operation of an edit script (Alignment.EditScript).
+	EditOp = align.EditOp
+)
+
+// Alphabets and scoring tables.
+var (
+	// DNA is the 4-letter nucleotide alphabet.
+	DNA = seq.DNA
+	// Protein is the 20-letter amino-acid alphabet.
+	Protein = seq.Protein
+	// Table1Alphabet covers the six residues of the paper's Table 1.
+	Table1Alphabet = scoring.Table1Alphabet
+
+	// Table1 is the paper's modified-Dayhoff excerpt (Figure 1 example).
+	Table1 = scoring.Table1
+	// MDM78 is the full non-negative Dayhoff-derived protein matrix.
+	MDM78 = scoring.MDM78
+	// PAM250 is the classic Dayhoff log-odds matrix.
+	PAM250 = scoring.PAM250
+	// BLOSUM62 is the standard BLOSUM62 protein matrix.
+	BLOSUM62 = scoring.BLOSUM62
+	// DNASimple scores nucleotides +5/-4.
+	DNASimple = scoring.DNASimple
+	// DNAStrict scores nucleotides +1/-1.
+	DNAStrict = scoring.DNAStrict
+	// DNAIUPAC scores the 15-letter IUPAC nucleotide alphabet (NUC.4.4-style
+	// expectation scores over ambiguity sets).
+	DNAIUPAC = scoring.DNAIUPAC
+	// DNAIUPACAlphabet is the IUPAC nucleotide alphabet (ACGT + ambiguity).
+	DNAIUPACAlphabet = seq.DNAIUPAC
+)
+
+// Linear returns the paper's linear gap model (each gapped position costs g).
+func Linear(g int) Gap { return scoring.Linear(g) }
+
+// Affine returns a Gotoh affine gap model (open + length*extend).
+func Affine(open, extend int) Gap { return scoring.Affine(open, extend) }
+
+// PaperGap is the -10 linear model of the paper's worked examples.
+var PaperGap = scoring.PaperGap
+
+// Ends-free alignment modes.
+var (
+	// ModeGlobal charges every terminal gap (the default).
+	ModeGlobal = align.Global
+	// ModeOverlap makes all four terminal gaps free (semiglobal).
+	ModeOverlap = align.Overlap
+	// ModeFitBInA aligns all of B against a substring of A.
+	ModeFitBInA = align.FitBInA
+	// ModeFitAInB aligns all of A against a substring of B.
+	ModeFitAInB = align.FitAInB
+)
+
+// ParseMode resolves "global", "overlap"/"semiglobal", "fit-b-in-a"/"fit",
+// "fit-a-in-b".
+func ParseMode(name string) (Mode, error) { return align.ParseMode(name) }
+
+// NewSequence validates letters against the alphabet (nil selects DNA).
+func NewSequence(id, letters string, a *Alphabet) (*Sequence, error) {
+	return seq.New(id, letters, a)
+}
+
+// NewAlphabet builds a custom residue alphabet.
+func NewAlphabet(name, letters string) (*Alphabet, error) { return seq.NewAlphabet(name, letters) }
+
+// ParseAlphabet resolves "dna" or "protein".
+func ParseAlphabet(name string) (*Alphabet, error) { return seq.ParseAlphabet(name) }
+
+// MatrixByName resolves a built-in scoring matrix: "table1", "mdm78"
+// ("dayhoff"), "blosum62", "dna", "dna-strict".
+func MatrixByName(name string) (*Matrix, error) { return scoring.ByName(name) }
+
+// NewMatrix builds a custom symmetric matrix from pair scores.
+func NewMatrix(name string, a *Alphabet, defaultScore int, pairs map[string]int) (*Matrix, error) {
+	return scoring.NewMatrix(name, a, defaultScore, pairs)
+}
+
+// ReadFASTA parses FASTA records (nil alphabet selects DNA).
+func ReadFASTA(r io.Reader, a *Alphabet) ([]*Sequence, error) { return seq.ReadFASTA(r, a) }
+
+// WriteFASTA renders sequences as FASTA (width <= 0 selects 70 columns).
+func WriteFASTA(w io.Writer, width int, seqs ...*Sequence) error {
+	return seq.WriteFASTA(w, width, seqs...)
+}
+
+// RandomSequence generates n i.i.d. residues (deterministic per seed).
+func RandomSequence(id string, n int, a *Alphabet, seed int64) *Sequence {
+	return seq.Random(id, n, a, seed)
+}
+
+// HomologousPair generates a reference of length n and a mutated relative
+// using the model (seq.DefaultHomology-style models give 70-80% identity).
+func HomologousPair(n int, a *Alphabet, model MutationModel, seed int64) (*Sequence, *Sequence, error) {
+	return seq.HomologousPair(n, a, model, seed)
+}
+
+// DefaultHomology is a mutation model producing ~75%-identity pairs.
+var DefaultHomology = seq.DefaultHomology
+
+// Translate converts DNA to protein in the given reading frame (0..2) under
+// the standard genetic code, stopping at the first stop codon. The paper's
+// Table 1 lists exactly these codon assignments for its example residues.
+func Translate(s *Sequence, frame int) (*Sequence, error) { return seq.Translate(s, frame) }
+
+// ReverseComplement reverse-complements a DNA or IUPAC sequence.
+func ReverseComplement(s *Sequence) (*Sequence, error) { return seq.ReverseComplement(s) }
+
+// SixFrames translates all six reading frames (DNA-vs-protein search prep).
+func SixFrames(s *Sequence) ([]*Sequence, error) { return seq.SixFrames(s) }
+
+// ApplyEditScript transforms a by an edit script from Alignment.EditScript,
+// reconstructing the aligned partner.
+func ApplyEditScript(a *Sequence, ops []EditOp, alphabet *Alphabet) (*Sequence, error) {
+	return align.ApplyEditScript(a, ops, alphabet)
+}
+
+// InvertEditScript returns the script transforming B back into A.
+func InvertEditScript(a *Sequence, ops []EditOp) ([]EditOp, error) {
+	return align.InvertEditScript(a, ops)
+}
+
+// Algorithm selects the alignment engine.
+type Algorithm int
+
+const (
+	// AlgoAuto picks FastLSA with parameters adapted to MemoryBudget (the
+	// paper's headline mode: as fast or faster than both baselines, space
+	// bounded by the budget).
+	AlgoAuto Algorithm = iota
+	// AlgoFastLSA forces FastLSA with the explicit K/BaseCells parameters.
+	AlgoFastLSA
+	// AlgoFullMatrix forces the Needleman-Wunsch full-matrix algorithm.
+	AlgoFullMatrix
+	// AlgoHirschberg forces Hirschberg's linear-space algorithm
+	// (Myers-Miller under affine gaps).
+	AlgoHirschberg
+	// AlgoCompact forces the traceback-bit full-matrix variant (paper §2.1:
+	// direction bits instead of stored scores — one eighth the footprint).
+	// Linear gap models only.
+	AlgoCompact
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoAuto:
+		return "auto"
+	case AlgoFastLSA:
+		return "fastlsa"
+	case AlgoFullMatrix:
+		return "fm"
+	case AlgoHirschberg:
+		return "hirschberg"
+	case AlgoCompact:
+		return "compact"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm resolves an algorithm name ("auto", "fastlsa", "fm",
+// "full-matrix", "hirschberg").
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch name {
+	case "auto", "":
+		return AlgoAuto, nil
+	case "fastlsa", "lsa":
+		return AlgoFastLSA, nil
+	case "fm", "full-matrix", "nw", "needleman-wunsch":
+		return AlgoFullMatrix, nil
+	case "hirschberg", "mm", "myers-miller":
+		return AlgoHirschberg, nil
+	case "compact", "fm-bits", "traceback-bits":
+		return AlgoCompact, nil
+	default:
+		return 0, fmt.Errorf("fastlsa: unknown algorithm %q", name)
+	}
+}
+
+// Options configures Align / AlignLocal / Score. The zero value (plus a
+// Matrix) aligns with FastLSA defaults: k=8, 64Ki-entry base buffer,
+// unlimited memory, all CPUs.
+type Options struct {
+	// Matrix is the similarity table (required).
+	Matrix *Matrix
+	// Gap is the gap model (zero value selects the paper's -10 linear gap).
+	Gap Gap
+	// Mode selects ends-free alignment (zero value = global). Non-global
+	// modes require a linear gap model and the auto, fastlsa or fm engines.
+	Mode Mode
+	// Algorithm selects the engine (default AlgoAuto).
+	Algorithm Algorithm
+	// MemoryBudget caps memory in DPM entries (8 bytes each); 0 = unlimited.
+	// Full-matrix runs exceeding the budget fail with memory.ErrExceeded;
+	// FastLSA adapts its parameters to fit.
+	MemoryBudget int64
+	// Workers is the parallelism degree P (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
+	// K and BaseCells override FastLSA's parameters (0 = defaults; see
+	// package internal/core).
+	K, BaseCells int
+	// Counters, when non-nil, collects instrumentation.
+	Counters *Counters
+}
+
+func (o Options) normalise() (Options, error) {
+	if o.Matrix == nil {
+		return o, fmt.Errorf("fastlsa: Options.Matrix is required")
+	}
+	if o.Gap == (Gap{}) {
+		o.Gap = PaperGap
+	}
+	if err := o.Gap.Validate(); err != nil {
+		return o, err
+	}
+	if o.MemoryBudget < 0 {
+		return o, fmt.Errorf("fastlsa: negative MemoryBudget %d", o.MemoryBudget)
+	}
+	return o, nil
+}
+
+func (o Options) budget() (*memory.Budget, error) {
+	if o.MemoryBudget == 0 {
+		return nil, nil
+	}
+	return memory.NewBudget(o.MemoryBudget)
+}
+
+func (o Options) coreOptions(m, n int) (core.Options, error) {
+	if o.Algorithm == AlgoAuto {
+		copt, err := core.SuggestOptions(m, n, o.MemoryBudget, o.Workers)
+		if err != nil {
+			return core.Options{}, err
+		}
+		if o.K != 0 {
+			copt.K = o.K
+		}
+		if o.BaseCells != 0 {
+			copt.BaseCells = o.BaseCells
+		}
+		copt.Counters = o.Counters
+		return copt, nil
+	}
+	b, err := o.budget()
+	if err != nil {
+		return core.Options{}, err
+	}
+	return core.Options{
+		K:         o.K,
+		BaseCells: o.BaseCells,
+		Budget:    b,
+		Workers:   o.Workers,
+		Counters:  o.Counters,
+	}, nil
+}
+
+// Align computes the optimal global alignment of a and b.
+func Align(a, b *Sequence, opt Options) (*Alignment, error) {
+	opt, err := opt.normalise()
+	if err != nil {
+		return nil, err
+	}
+	var res core.Result
+	switch opt.Algorithm {
+	case AlgoAuto, AlgoFastLSA:
+		copt, cerr := opt.coreOptions(a.Len(), b.Len())
+		if cerr != nil {
+			return nil, cerr
+		}
+		if opt.Mode.IsGlobal() {
+			res, err = core.Align(a, b, opt.Matrix, opt.Gap, copt)
+		} else {
+			res, err = core.AlignMode(a, b, opt.Matrix, opt.Gap, opt.Mode, copt)
+		}
+	case AlgoFullMatrix:
+		budget, berr := opt.budget()
+		if berr != nil {
+			return nil, berr
+		}
+		switch {
+		case !opt.Mode.IsGlobal():
+			res, err = fm.AlignMode(a, b, opt.Matrix, opt.Gap, opt.Mode, budget, opt.Counters)
+		case opt.Workers > 1 && opt.Gap.IsLinear():
+			res, err = fm.AlignParallel(a, b, opt.Matrix, opt.Gap, opt.Workers, budget, opt.Counters)
+		default:
+			res, err = fm.Align(a, b, opt.Matrix, opt.Gap, budget, opt.Counters)
+		}
+	case AlgoHirschberg:
+		if !opt.Mode.IsGlobal() {
+			return nil, fmt.Errorf("fastlsa: ends-free modes support the auto, fastlsa and fm engines (got %v)", opt.Algorithm)
+		}
+		res, err = hirschberg.Align(a, b, opt.Matrix, opt.Gap, hirschberg.Options{BaseCells: opt.BaseCells}, opt.Counters)
+	case AlgoCompact:
+		if !opt.Mode.IsGlobal() {
+			return nil, fmt.Errorf("fastlsa: ends-free modes support the auto, fastlsa and fm engines (got %v)", opt.Algorithm)
+		}
+		budget, berr := opt.budget()
+		if berr != nil {
+			return nil, berr
+		}
+		res, err = fm.AlignCompact(a, b, opt.Matrix, opt.Gap, budget, opt.Counters)
+	default:
+		return nil, fmt.Errorf("fastlsa: unknown algorithm %v", opt.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return align.New(a, b, res.Path, res.Score)
+}
+
+// Score computes only the optimal alignment score, in linear space
+// regardless of the selected algorithm. Ends-free modes are supported for
+// linear gap models.
+func Score(a, b *Sequence, opt Options) (int64, error) {
+	opt, err := opt.normalise()
+	if err != nil {
+		return 0, err
+	}
+	if !opt.Mode.IsGlobal() {
+		return modeScore(a, b, opt)
+	}
+	return hirschberg.Score(a, b, opt.Matrix, opt.Gap, opt.Counters)
+}
+
+// modeScore computes the ends-free score with one LastRow sweep (linear or
+// affine).
+func modeScore(a, b *Sequence, opt Options) (int64, error) {
+	lastRow := make([]int64, b.Len()+1)
+	lastCol := make([]int64, a.Len()+1)
+	if opt.Gap.IsLinear() {
+		g := int64(opt.Gap.Extend)
+		top := fm.ModeTopBoundary(nil, b.Len(), g, opt.Mode)
+		left := fm.ModeLeftBoundary(nil, a.Len(), g, opt.Mode)
+		if err := lastrow.Forward(a.Residues, b.Residues, opt.Matrix, g, top, left, lastRow, lastCol, opt.Counters); err != nil {
+			return 0, err
+		}
+	} else {
+		open, ext := int64(opt.Gap.Open), int64(opt.Gap.Extend)
+		topH, topE, leftH, leftF := fm.AffineModeBoundaries(a.Len(), b.Len(), open, ext, opt.Mode)
+		if err := lastrow.ForwardAffine(a.Residues, b.Residues, opt.Matrix, open, ext,
+			topH, topE, leftH, leftF, lastRow, nil, lastCol, nil, opt.Counters); err != nil {
+			return 0, err
+		}
+	}
+	_, _, score := fm.ModeEndFromEdges(lastRow, lastCol, opt.Mode)
+	return score, nil
+}
+
+// AlignLocal computes the optimal Smith-Waterman local alignment. AlgoAuto
+// and AlgoFastLSA run in FastLSA-bounded space; AlgoFullMatrix stores the
+// complete matrix. Linear gap models only.
+func AlignLocal(a, b *Sequence, opt Options) (*LocalAlignment, error) {
+	opt, err := opt.normalise()
+	if err != nil {
+		return nil, err
+	}
+	switch opt.Algorithm {
+	case AlgoAuto, AlgoFastLSA:
+		copt, cerr := opt.coreOptions(a.Len(), b.Len())
+		if cerr != nil {
+			return nil, cerr
+		}
+		res, lerr := core.AlignLocal(a, b, opt.Matrix, opt.Gap, copt)
+		if lerr != nil {
+			return nil, lerr
+		}
+		return &res, nil
+	case AlgoFullMatrix:
+		budget, berr := opt.budget()
+		if berr != nil {
+			return nil, berr
+		}
+		res, lerr := fm.AlignLocal(a, b, opt.Matrix, opt.Gap, budget, opt.Counters)
+		if lerr != nil {
+			return nil, lerr
+		}
+		return &res, nil
+	default:
+		return nil, fmt.Errorf("fastlsa: local alignment supports auto, fastlsa and fm engines (got %v)", opt.Algorithm)
+	}
+}
+
+// AlignMSA builds a progressive multiple sequence alignment of the inputs:
+// pairwise FastLSA distances, a UPGMA guide tree, and sum-of-pairs profile
+// merging. Linear gap models only; Options.Workers parallelises the
+// pairwise stage.
+func AlignMSA(seqs []*Sequence, opt Options) (*MSA, error) {
+	opt, err := opt.normalise()
+	if err != nil {
+		return nil, err
+	}
+	if !opt.Gap.IsLinear() {
+		return nil, fmt.Errorf("fastlsa: AlignMSA requires a linear gap model")
+	}
+	copt, err := opt.coreOptions(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return msa.Align(seqs, msa.Options{
+		Matrix:   opt.Matrix,
+		Gap:      opt.Gap,
+		Pairwise: copt,
+	})
+}
+
+// AlignBanded computes a banded global alignment: only cells within the
+// given diagonal band are evaluated (O((m+n)*band) time and space). The
+// result is the global optimum whenever the optimal path fits in the band
+// (guaranteed for band >= max(m, n)); otherwise it is the best alignment
+// confined to the band. band <= 0 selects the adaptive variant, which
+// doubles the band until the score converges and is therefore always exact.
+// Linear gap models only.
+func AlignBanded(a, b *Sequence, opt Options, band int) (*Alignment, error) {
+	opt, err := opt.normalise()
+	if err != nil {
+		return nil, err
+	}
+	budget, err := opt.budget()
+	if err != nil {
+		return nil, err
+	}
+	var res fm.Result
+	if band <= 0 {
+		res, _, err = fm.AlignBandedAdaptive(a, b, opt.Matrix, opt.Gap, 0, budget, opt.Counters)
+	} else {
+		res, err = fm.AlignBanded(a, b, opt.Matrix, opt.Gap, band, budget, opt.Counters)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return align.New(a, b, res.Path, res.Score)
+}
+
+// EstimateStatistics fits Karlin-Altschul-style Gumbel parameters (lambda,
+// K) for the scoring system by Monte-Carlo simulation, enabling E-values and
+// bit scores for local alignment hits. Deterministic per seed; linear gap
+// models only. sampleLen/samples <= 0 select 200/100.
+func EstimateStatistics(matrix *Matrix, gap Gap, sampleLen, samples int, seed int64) (GumbelParams, error) {
+	opt := significance.Options{Seed: seed}
+	if sampleLen > 0 {
+		opt.SampleLen = sampleLen
+	}
+	if samples > 0 {
+		opt.Samples = samples
+	}
+	return significance.Estimate(matrix, gap, opt)
+}
+
+// SearchOptions configures Search.
+type SearchOptions struct {
+	// Matrix and Gap define the scoring system (linear gaps; zero Gap
+	// selects Linear(-12), a tail-friendly default for +5/-4-style tables).
+	Matrix *Matrix
+	Gap    Gap
+	// TopK bounds the returned hits (0 selects 10); Alignments bounds how
+	// many of them get full alignments reconstructed (0 = all of TopK).
+	TopK, Alignments int
+	// MinScore drops weaker candidates; MaxEValue (requires Stats) drops
+	// insignificant ones.
+	MinScore  int64
+	MaxEValue float64
+	// Stats annotates hits with E-values and bit scores.
+	Stats *GumbelParams
+	// Workers parallelises the database scan.
+	Workers int
+	// Counters, when non-nil, accumulates the scan's DP work.
+	Counters *Counters
+}
+
+// Search ranks database sequences by optimal local alignment score against
+// the query (homology search — the application the paper's introduction
+// motivates). The scan uses the O(min) score-only kernel; the top hits'
+// alignments are reconstructed in FastLSA-bounded space.
+func Search(query *Sequence, db []*Sequence, opt SearchOptions) ([]SearchHit, error) {
+	return search.Query(query, db, search.Options{
+		Matrix:     opt.Matrix,
+		Gap:        opt.Gap,
+		TopK:       opt.TopK,
+		Alignments: opt.Alignments,
+		MinScore:   opt.MinScore,
+		MaxEValue:  opt.MaxEValue,
+		Stats:      opt.Stats,
+		Workers:    opt.Workers,
+		Pairwise:   core.Options{Workers: 1},
+		Counters:   opt.Counters,
+	})
+}

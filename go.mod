@@ -1,0 +1,3 @@
+module fastlsa
+
+go 1.22

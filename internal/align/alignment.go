@@ -1,0 +1,150 @@
+package align
+
+import (
+	"fmt"
+	"strings"
+
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+)
+
+// GapByte is the gap character used in rendered alignments (paper §1.1).
+const GapByte = '-'
+
+// Alignment is a pairwise global alignment of sequences A (rows) and B
+// (columns): the path through the DPM plus the score the producing algorithm
+// reported for it.
+type Alignment struct {
+	// A and B are the aligned input sequences.
+	A, B *seq.Sequence
+	// Path is the DPM path from (0,0) to (len(A), len(B)).
+	Path Path
+	// Score is the alignment score reported by the algorithm.
+	Score int64
+}
+
+// New builds an Alignment after validating that the path spans the two
+// sequences exactly.
+func New(a, b *seq.Sequence, p Path, score int64) (*Alignment, error) {
+	if err := p.Validate(a.Len(), b.Len()); err != nil {
+		return nil, err
+	}
+	return &Alignment{A: a, B: b, Path: p, Score: score}, nil
+}
+
+// Rows renders the two gapped rows of the alignment (equal lengths).
+func (al *Alignment) Rows() (rowA, rowB string) {
+	var ba, bb strings.Builder
+	ba.Grow(al.Path.Len())
+	bb.Grow(al.Path.Len())
+	i, j := 0, 0
+	for _, mv := range al.Path.Moves() {
+		switch mv {
+		case Diag:
+			ba.WriteByte(al.A.At(i))
+			bb.WriteByte(al.B.At(j))
+			i++
+			j++
+		case Up:
+			ba.WriteByte(al.A.At(i))
+			bb.WriteByte(GapByte)
+			i++
+		case Left:
+			ba.WriteByte(GapByte)
+			bb.WriteByte(al.B.At(j))
+			j++
+		}
+	}
+	return ba.String(), bb.String()
+}
+
+// Stats summarises an alignment column-by-column.
+type Stats struct {
+	Columns    int     // total alignment columns
+	Matches    int     // identical residue pairs
+	Mismatches int     // differing residue pairs
+	GapsA      int     // gap characters in row A
+	GapsB      int     // gap characters in row B
+	Identity   float64 // Matches / Columns (0 for empty alignments)
+}
+
+// Stats computes the column statistics of the alignment.
+func (al *Alignment) Stats() Stats {
+	var s Stats
+	i, j := 0, 0
+	for _, mv := range al.Path.Moves() {
+		s.Columns++
+		switch mv {
+		case Diag:
+			if al.A.At(i) == al.B.At(j) {
+				s.Matches++
+			} else {
+				s.Mismatches++
+			}
+			i++
+			j++
+		case Up:
+			s.GapsB++
+			i++
+		case Left:
+			s.GapsA++
+			j++
+		}
+	}
+	if s.Columns > 0 {
+		s.Identity = float64(s.Matches) / float64(s.Columns)
+	}
+	return s
+}
+
+// Rescore recomputes the alignment score under the given scoring model,
+// independently of whatever DP produced the path. This is the primary test
+// oracle: for every algorithm, Rescore(path) must equal the reported score.
+func (al *Alignment) Rescore(m *scoring.Matrix, gap scoring.Gap) int64 {
+	return ScorePath(al.A, al.B, al.Path, m, gap)
+}
+
+// ScorePath scores an arbitrary path over (a, b) under matrix m and gap
+// model g. For affine models, consecutive Up moves (and, separately,
+// consecutive Left moves) form a single gap charged one Open.
+func ScorePath(a, b *seq.Sequence, p Path, m *scoring.Matrix, g scoring.Gap) int64 {
+	score := int64(0)
+	i, j := 0, 0
+	prev := Move(255) // sentinel: no previous move
+	for _, mv := range p.Moves() {
+		switch mv {
+		case Diag:
+			score += int64(m.Score(a.At(i), b.At(j)))
+			i++
+			j++
+		case Up:
+			if prev != Up {
+				score += int64(g.Open)
+			}
+			score += int64(g.Extend)
+			i++
+		case Left:
+			if prev != Left {
+				score += int64(g.Open)
+			}
+			score += int64(g.Extend)
+			j++
+		}
+		prev = mv
+	}
+	return score
+}
+
+// String renders a compact one-line summary.
+func (al *Alignment) String() string {
+	st := al.Stats()
+	return fmt.Sprintf("align(%s x %s: score=%d cols=%d id=%.1f%%)",
+		name(al.A), name(al.B), al.Score, st.Columns, 100*st.Identity)
+}
+
+func name(s *seq.Sequence) string {
+	if s.ID != "" {
+		return s.ID
+	}
+	return fmt.Sprintf("len%d", s.Len())
+}

@@ -1,0 +1,123 @@
+package align
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CIGAR encodes the path in SAM-style run-length form with respect to the
+// row sequence A as the "read": M = aligned pair (Diag), I = residue of A
+// against a gap (Up), D = gap in A against a residue of B (Left).
+func (p Path) CIGAR() string {
+	var b strings.Builder
+	run := 0
+	var cur byte
+	flush := func() {
+		if run > 0 {
+			b.WriteString(strconv.Itoa(run))
+			b.WriteByte(cur)
+		}
+	}
+	for _, mv := range p.moves {
+		var op byte
+		switch mv {
+		case Diag:
+			op = 'M'
+		case Up:
+			op = 'I'
+		case Left:
+			op = 'D'
+		}
+		if op != cur {
+			flush()
+			cur, run = op, 0
+		}
+		run++
+	}
+	flush()
+	return b.String()
+}
+
+// ExtendedCIGAR is like CIGAR but distinguishes matches '=' from mismatches
+// 'X', which requires the aligned residues.
+func (al *Alignment) ExtendedCIGAR() string {
+	var b strings.Builder
+	run := 0
+	var cur byte
+	flush := func() {
+		if run > 0 {
+			b.WriteString(strconv.Itoa(run))
+			b.WriteByte(cur)
+		}
+	}
+	i, j := 0, 0
+	for _, mv := range al.Path.Moves() {
+		var op byte
+		switch mv {
+		case Diag:
+			if al.A.At(i) == al.B.At(j) {
+				op = '='
+			} else {
+				op = 'X'
+			}
+			i++
+			j++
+		case Up:
+			op = 'I'
+			i++
+		case Left:
+			op = 'D'
+			j++
+		}
+		if op != cur {
+			flush()
+			cur, run = op, 0
+		}
+		run++
+	}
+	flush()
+	return b.String()
+}
+
+// ParseCIGAR reconstructs a Path from a CIGAR string produced by
+// Path.CIGAR (ops M, I, D; '=' and 'X' are accepted as M).
+func ParseCIGAR(s string) (Path, error) {
+	var moves []Move
+	n := 0
+	sawDigit := false
+	for idx := 0; idx < len(s); idx++ {
+		c := s[idx]
+		switch {
+		case '0' <= c && c <= '9':
+			n = n*10 + int(c-'0')
+			sawDigit = true
+			if n > 1<<40 {
+				return Path{}, fmt.Errorf("align: ParseCIGAR: run length overflow at byte %d", idx)
+			}
+		case c == 'M' || c == '=' || c == 'X' || c == 'I' || c == 'D':
+			if !sawDigit || n == 0 {
+				return Path{}, fmt.Errorf("align: ParseCIGAR: op %q at byte %d lacks a positive run length", c, idx)
+			}
+			var mv Move
+			switch c {
+			case 'M', '=', 'X':
+				mv = Diag
+			case 'I':
+				mv = Up
+			case 'D':
+				mv = Left
+			}
+			for k := 0; k < n; k++ {
+				moves = append(moves, mv)
+			}
+			n, sawDigit = 0, false
+		default:
+			return Path{}, fmt.Errorf("align: ParseCIGAR: unexpected byte %q at %d", c, idx)
+		}
+	}
+	if sawDigit {
+		return Path{}, fmt.Errorf("align: ParseCIGAR: trailing run length without op")
+	}
+	return NewPath(moves), nil
+}

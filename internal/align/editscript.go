@@ -1,0 +1,133 @@
+package align
+
+import (
+	"fmt"
+	"strings"
+
+	"fastlsa/internal/seq"
+)
+
+// EditOp is one operation of an edit script: how to transform sequence A
+// into sequence B along an alignment path.
+type EditOp struct {
+	// Kind is 'M' (copy, possibly with substitution), 'I' (insert B
+	// residues absent from A), or 'D' (delete A residues absent from B).
+	Kind byte
+	// PosA is the 0-based position in A where the operation applies.
+	PosA int
+	// Text is the residue run: for 'M' the B-side residues (which may
+	// differ from A's — substitutions), for 'I' the inserted residues, for
+	// 'D' the deleted residues.
+	Text string
+}
+
+// EditScript derives the operation list transforming A into B along the
+// alignment's path. Applying the script to A (see ApplyEditScript)
+// reconstructs B exactly.
+func (al *Alignment) EditScript() []EditOp {
+	var ops []EditOp
+	moves := al.Path.Moves()
+	i, j := 0, 0
+	for k := 0; k < len(moves); {
+		switch moves[k] {
+		case Diag:
+			start := i
+			var b strings.Builder
+			for k < len(moves) && moves[k] == Diag {
+				b.WriteByte(al.B.At(j))
+				i++
+				j++
+				k++
+			}
+			ops = append(ops, EditOp{Kind: 'M', PosA: start, Text: b.String()})
+		case Up:
+			start := i
+			var b strings.Builder
+			for k < len(moves) && moves[k] == Up {
+				b.WriteByte(al.A.At(i))
+				i++
+				k++
+			}
+			ops = append(ops, EditOp{Kind: 'D', PosA: start, Text: b.String()})
+		case Left:
+			start := i
+			var b strings.Builder
+			for k < len(moves) && moves[k] == Left {
+				b.WriteByte(al.B.At(j))
+				j++
+				k++
+			}
+			ops = append(ops, EditOp{Kind: 'I', PosA: start, Text: b.String()})
+		}
+	}
+	return ops
+}
+
+// ApplyEditScript transforms a by the script, returning the reconstructed
+// target sequence (validated against the alphabet). The script must have
+// been produced against a sequence with a's content.
+func ApplyEditScript(a *seq.Sequence, ops []EditOp, alphabet *seq.Alphabet) (*seq.Sequence, error) {
+	var out strings.Builder
+	pos := 0
+	for n, op := range ops {
+		if op.PosA < pos || op.PosA > a.Len() {
+			return nil, fmt.Errorf("align: edit op %d at A-position %d is out of order (cursor %d)", n, op.PosA, pos)
+		}
+		// Copy the untouched span before the op (scripts from EditScript
+		// never have one, but tolerate sparse scripts).
+		out.WriteString(a.String()[pos:op.PosA])
+		pos = op.PosA
+		switch op.Kind {
+		case 'M':
+			if pos+len(op.Text) > a.Len() {
+				return nil, fmt.Errorf("align: edit op %d overruns A (pos %d + %d > %d)", n, pos, len(op.Text), a.Len())
+			}
+			out.WriteString(op.Text)
+			pos += len(op.Text)
+		case 'D':
+			if pos+len(op.Text) > a.Len() {
+				return nil, fmt.Errorf("align: edit op %d deletes past the end of A", n)
+			}
+			if got := a.String()[pos : pos+len(op.Text)]; got != op.Text {
+				return nil, fmt.Errorf("align: edit op %d deletes %q but A has %q", n, op.Text, got)
+			}
+			pos += len(op.Text)
+		case 'I':
+			out.WriteString(op.Text)
+		default:
+			return nil, fmt.Errorf("align: edit op %d has unknown kind %q", n, op.Kind)
+		}
+	}
+	out.WriteString(a.String()[pos:])
+	return seq.New(a.ID+"_edited", out.String(), alphabet)
+}
+
+// InvertEditScript returns the script transforming B back into A. Requires
+// the original A to recover substituted and deleted residues.
+func InvertEditScript(a *seq.Sequence, ops []EditOp) ([]EditOp, error) {
+	inv := make([]EditOp, 0, len(ops))
+	posA, posB := 0, 0
+	for n, op := range ops {
+		if op.PosA != posA {
+			return nil, fmt.Errorf("align: edit op %d at %d, cursor %d (sparse scripts cannot be inverted)", n, op.PosA, posA)
+		}
+		switch op.Kind {
+		case 'M':
+			if posA+len(op.Text) > a.Len() {
+				return nil, fmt.Errorf("align: edit op %d overruns A", n)
+			}
+			inv = append(inv, EditOp{Kind: 'M', PosA: posB, Text: a.String()[posA : posA+len(op.Text)]})
+			posA += len(op.Text)
+			posB += len(op.Text)
+		case 'D':
+			inv = append(inv, EditOp{Kind: 'I', PosA: posB, Text: op.Text})
+			posA += len(op.Text)
+		case 'I':
+			inv = append(inv, EditOp{Kind: 'D', PosA: posB, Text: op.Text})
+			posB += len(op.Text)
+		default:
+			return nil, fmt.Errorf("align: edit op %d has unknown kind %q", n, op.Kind)
+		}
+	}
+	return inv, nil
+}

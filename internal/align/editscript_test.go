@@ -1,0 +1,142 @@
+package align_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fastlsa/internal/align"
+	"fastlsa/internal/fm"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/testutil"
+)
+
+func alignmentFor(t *testing.T, a, b *seq.Sequence) *align.Alignment {
+	t.Helper()
+	res, err := fm.Align(a, b, scoring.DNASimple, scoring.Linear(-4), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := align.New(a, b, res.Path, res.Score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return al
+}
+
+// TestEditScriptRoundTrip: applying the script to A reconstructs B, and the
+// inverted script applied to B reconstructs A — over random homologous
+// pairs.
+func TestEditScriptRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		a, b := testutil.HomologousPair(int(seed*31%300)+20, seq.DNA, seed+60)
+		al := alignmentFor(t, a, b)
+		script := al.EditScript()
+
+		got, err := align.ApplyEditScript(a, script, seq.DNA)
+		if err != nil {
+			t.Fatalf("seed %d: apply: %v", seed, err)
+		}
+		if got.String() != b.String() {
+			t.Fatalf("seed %d: apply(A) != B", seed)
+		}
+
+		inv, err := align.InvertEditScript(a, script)
+		if err != nil {
+			t.Fatalf("seed %d: invert: %v", seed, err)
+		}
+		back, err := align.ApplyEditScript(b, inv, seq.DNA)
+		if err != nil {
+			t.Fatalf("seed %d: apply inverse: %v", seed, err)
+		}
+		if back.String() != a.String() {
+			t.Fatalf("seed %d: apply(invert)(B) != A", seed)
+		}
+	}
+}
+
+func TestEditScriptStructure(t *testing.T) {
+	a := seq.MustNew("a", "ACGTACGT", seq.DNA)
+	b := seq.MustNew("b", "ACGACGTT", seq.DNA)
+	al := alignmentFor(t, a, b)
+	script := al.EditScript()
+	if len(script) == 0 {
+		t.Fatal("empty script")
+	}
+	// Ops must be run-length maximal: no two adjacent ops share a kind.
+	for i := 1; i < len(script); i++ {
+		if script[i].Kind == script[i-1].Kind {
+			t.Fatalf("adjacent ops %d and %d share kind %c", i-1, i, script[i].Kind)
+		}
+	}
+	// Identity alignment yields a single M op.
+	self := alignmentFor(t, a, a)
+	script = self.EditScript()
+	if len(script) != 1 || script[0].Kind != 'M' || script[0].Text != a.String() {
+		t.Fatalf("identity script %v", script)
+	}
+}
+
+func TestApplyEditScriptValidation(t *testing.T) {
+	a := seq.MustNew("a", "ACGT", seq.DNA)
+	if _, err := align.ApplyEditScript(a, []align.EditOp{{Kind: 'D', PosA: 0, Text: "TT"}}, seq.DNA); err == nil {
+		t.Fatal("mismatched deletion must fail")
+	}
+	if _, err := align.ApplyEditScript(a, []align.EditOp{{Kind: 'M', PosA: 3, Text: "GG"}}, seq.DNA); err == nil {
+		t.Fatal("overrun must fail")
+	}
+	if _, err := align.ApplyEditScript(a, []align.EditOp{{Kind: 'Q', PosA: 0, Text: "A"}}, seq.DNA); err == nil {
+		t.Fatal("unknown op must fail")
+	}
+	if _, err := align.ApplyEditScript(a, []align.EditOp{{Kind: 'M', PosA: 2, Text: "GG"}, {Kind: 'M', PosA: 0, Text: "AC"}}, seq.DNA); err == nil {
+		t.Fatal("out-of-order ops must fail")
+	}
+	// Sparse scripts are tolerated by Apply (untouched spans copied).
+	got, err := align.ApplyEditScript(a, []align.EditOp{{Kind: 'I', PosA: 2, Text: "TT"}}, seq.DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "ACTTGT" {
+		t.Fatalf("sparse apply = %q", got.String())
+	}
+	// ...but cannot be inverted.
+	if _, err := align.InvertEditScript(a, []align.EditOp{{Kind: 'I', PosA: 2, Text: "TT"}}); err == nil {
+		t.Fatal("sparse invert must fail")
+	}
+}
+
+// TestEditScriptQuick: round-trip property over arbitrary random pairs.
+func TestEditScriptQuick(t *testing.T) {
+	letters := []byte("ACGT")
+	f := func(xa, xb []uint8) bool {
+		if len(xa) > 60 {
+			xa = xa[:60]
+		}
+		if len(xb) > 60 {
+			xb = xb[:60]
+		}
+		ra := make([]byte, len(xa))
+		for i, v := range xa {
+			ra[i] = letters[int(v)%4]
+		}
+		rb := make([]byte, len(xb))
+		for i, v := range xb {
+			rb[i] = letters[int(v)%4]
+		}
+		a := seq.MustNew("a", string(ra), seq.DNA)
+		b := seq.MustNew("b", string(rb), seq.DNA)
+		res, err := fm.Align(a, b, scoring.DNASimple, scoring.Linear(-4), nil, nil)
+		if err != nil {
+			return false
+		}
+		al, err := align.New(a, b, res.Path, res.Score)
+		if err != nil {
+			return false
+		}
+		got, err := align.ApplyEditScript(a, al.EditScript(), seq.DNA)
+		return err == nil && got.String() == b.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package align
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"fastlsa/internal/scoring"
+)
+
+// FormatOptions controls Fprint rendering.
+type FormatOptions struct {
+	// Width is the number of alignment columns per block (<=0 selects 60).
+	Width int
+	// Matrix, when non-nil, upgrades the midline: '|' for identity, ':' for
+	// positive-similarity pairs, ' ' otherwise. With a nil matrix the midline
+	// marks identities with '*' in the style of the paper's §1.1 example.
+	Matrix *scoring.Matrix
+	// ShowRuler adds residue-offset ruler columns on each block edge.
+	ShowRuler bool
+}
+
+// Fprint renders the alignment in blocks with a midline, BLAST-style.
+func (al *Alignment) Fprint(w io.Writer, opt FormatOptions) error {
+	width := opt.Width
+	if width <= 0 {
+		width = 60
+	}
+	rowA, rowB := al.Rows()
+	mid := midline(rowA, rowB, opt.Matrix)
+
+	labelA, labelB := name(al.A), name(al.B)
+	lw := len(labelA)
+	if len(labelB) > lw {
+		lw = len(labelB)
+	}
+
+	posA, posB := 0, 0
+	for off := 0; off < len(rowA); off += width {
+		end := off + width
+		if end > len(rowA) {
+			end = len(rowA)
+		}
+		segA, segB, segM := rowA[off:end], rowB[off:end], mid[off:end]
+		startA, startB := posA+1, posB+1
+		posA += len(segA) - strings.Count(segA, string(GapByte))
+		posB += len(segB) - strings.Count(segB, string(GapByte))
+		if opt.ShowRuler {
+			if _, err := fmt.Fprintf(w, "%-*s %6d %s %d\n%-*s        %s\n%-*s %6d %s %d\n\n",
+				lw, labelA, startA, segA, posA,
+				lw, "", segM,
+				lw, labelB, startB, segB, posB); err != nil {
+				return err
+			}
+		} else {
+			if _, err := fmt.Fprintf(w, "%-*s %s\n%-*s %s\n%-*s %s\n\n",
+				lw, labelA, segA, lw, "", segM, lw, labelB, segB); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "score=%d %+v\n", al.Score, al.Stats())
+	return err
+}
+
+func midline(rowA, rowB string, m *scoring.Matrix) string {
+	var b strings.Builder
+	b.Grow(len(rowA))
+	for i := 0; i < len(rowA); i++ {
+		ca, cb := rowA[i], rowB[i]
+		switch {
+		case ca == GapByte || cb == GapByte:
+			b.WriteByte(' ')
+		case ca == cb:
+			if m == nil {
+				b.WriteByte('*')
+			} else {
+				b.WriteByte('|')
+			}
+		case m != nil && m.Score(ca, cb) > 0:
+			b.WriteByte(':')
+		default:
+			b.WriteByte(' ')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package align_test
+
+import (
+	"testing"
+
+	"fastlsa/internal/align"
+)
+
+// FuzzParseCIGAR: parsing never panics, and anything that parses must
+// round-trip through CIGAR() -> ParseCIGAR to an equal path.
+func FuzzParseCIGAR(f *testing.F) {
+	for _, s := range []string{"", "3M", "1I2D3M", "10M1I1D", "0M", "M", "3Q", "3M2", "=X", "1=1X"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := align.ParseCIGAR(s)
+		if err != nil {
+			return
+		}
+		back, err := align.ParseCIGAR(p.CIGAR())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", p.CIGAR(), err)
+		}
+		if !back.Equal(p) {
+			t.Fatalf("round trip of %q diverged", s)
+		}
+		m, n := p.Dims()
+		if err := p.Validate(m, n); err != nil {
+			t.Fatalf("parsed path invalid: %v", err)
+		}
+	})
+}
+
+// FuzzPathBuilder: the backward builder always inverts to the pushed moves.
+func FuzzPathBuilder(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 1000 {
+			raw = raw[:1000]
+		}
+		b := align.NewBuilder(len(raw))
+		want := make([]align.Move, len(raw))
+		for i, v := range raw {
+			m := align.Move(v % 3)
+			want[len(raw)-1-i] = m
+			b.Push(m)
+		}
+		got := b.Path()
+		if got.Len() != len(raw) {
+			t.Fatal("length mismatch")
+		}
+		for i, m := range got.Moves() {
+			if m != want[i] {
+				t.Fatalf("move %d: %v != %v", i, m, want[i])
+			}
+		}
+	})
+}

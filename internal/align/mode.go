@@ -1,0 +1,144 @@
+package align
+
+import (
+	"fmt"
+
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+)
+
+// Mode selects which terminal gaps of a global alignment are free — the
+// standard "ends-free" family. Each flag names the sequence whose residues
+// may dangle unaligned at no cost:
+//
+//   - FreeStartA: a prefix of A may be unaligned (the path's leading Up run
+//     is free; DPM column 0 is zero-initialised).
+//   - FreeEndA: a suffix of A may be unaligned (a trailing Up run is free;
+//     the path may effectively end anywhere on the last column).
+//   - FreeStartB / FreeEndB: the same for B (row 0 / last row).
+//
+// The zero value is ordinary global alignment. All four flags give overlap
+// (semiglobal) alignment; FreeStartA+FreeEndA fits B inside A.
+type Mode struct {
+	FreeStartA, FreeEndA bool
+	FreeStartB, FreeEndB bool
+}
+
+// Predefined modes.
+var (
+	// Global charges every terminal gap (Needleman-Wunsch).
+	Global = Mode{}
+	// Overlap makes all four terminal gaps free (semiglobal): the classic
+	// mode for detecting overlapping fragments.
+	Overlap = Mode{FreeStartA: true, FreeEndA: true, FreeStartB: true, FreeEndB: true}
+	// FitBInA aligns all of B against a substring of A (A's flanks free).
+	FitBInA = Mode{FreeStartA: true, FreeEndA: true}
+	// FitAInB aligns all of A against a substring of B.
+	FitAInB = Mode{FreeStartB: true, FreeEndB: true}
+)
+
+// IsGlobal reports whether no terminal gap is free.
+func (md Mode) IsGlobal() bool { return md == Mode{} }
+
+// String implements fmt.Stringer.
+func (md Mode) String() string {
+	switch md {
+	case Global:
+		return "global"
+	case Overlap:
+		return "overlap"
+	case FitBInA:
+		return "fit-b-in-a"
+	case FitAInB:
+		return "fit-a-in-b"
+	}
+	return fmt.Sprintf("mode{A:%v,%v B:%v,%v}", md.FreeStartA, md.FreeEndA, md.FreeStartB, md.FreeEndB)
+}
+
+// ParseMode resolves a mode name: "global", "overlap" ("semiglobal"),
+// "fit-b-in-a" ("fit"), "fit-a-in-b".
+func ParseMode(name string) (Mode, error) {
+	switch name {
+	case "", "global":
+		return Global, nil
+	case "overlap", "semiglobal", "ends-free":
+		return Overlap, nil
+	case "fit", "fit-b-in-a":
+		return FitBInA, nil
+	case "fit-a-in-b":
+		return FitAInB, nil
+	default:
+		return Mode{}, fmt.Errorf("align: unknown mode %q", name)
+	}
+}
+
+// ScorePathMode scores a path under the ends-free mode: the leading and
+// trailing terminal gap runs that the mode declares free contribute nothing.
+// Exactly one run can be free at each end (the path's first and last run) —
+// the standard ends-free convention, under which the path effectively starts
+// and ends on a DPM edge. Linear and affine models are supported (a
+// partially-free run is impossible: a terminal run is either free in full or
+// charged in full).
+func ScorePathMode(a, b *seq.Sequence, p Path, m *scoring.Matrix, g scoring.Gap, md Mode) int64 {
+	moves := p.Moves()
+	lo, hi := 0, len(moves)
+
+	// Trim the free leading run. A leading Up run is A residues dangling
+	// before B starts — free when FreeStartA; a leading Left run dangles B —
+	// free when FreeStartB.
+	// Only the path's first run and last run can be terminal gaps (standard
+	// ends-free semantics: the path effectively starts and ends on a DPM
+	// edge; a doubly-dangling start in both sequences is not a free start).
+	i, j := 0, 0 // residue cursors for the charged scorer below
+	if lo < hi {
+		switch {
+		case moves[lo] == Up && md.FreeStartA:
+			for lo < hi && moves[lo] == Up {
+				lo++
+				i++
+			}
+		case moves[lo] == Left && md.FreeStartB:
+			for lo < hi && moves[lo] == Left {
+				lo++
+				j++
+			}
+		}
+	}
+	if hi > lo {
+		switch {
+		case moves[hi-1] == Up && md.FreeEndA:
+			for hi > lo && moves[hi-1] == Up {
+				hi--
+			}
+		case moves[hi-1] == Left && md.FreeEndB:
+			for hi > lo && moves[hi-1] == Left {
+				hi--
+			}
+		}
+	}
+
+	score := int64(0)
+	prev := Move(255)
+	for _, mv := range moves[lo:hi] {
+		switch mv {
+		case Diag:
+			score += int64(m.Score(a.At(i), b.At(j)))
+			i++
+			j++
+		case Up:
+			if prev != Up {
+				score += int64(g.Open)
+			}
+			score += int64(g.Extend)
+			i++
+		case Left:
+			if prev != Left {
+				score += int64(g.Open)
+			}
+			score += int64(g.Extend)
+			j++
+		}
+		prev = mv
+	}
+	return score
+}

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+
+	"fastlsa/internal/align"
+	"fastlsa/internal/fm"
+	"fastlsa/internal/lastrow"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/stats"
+	"fastlsa/internal/wavefront"
+)
+
+// AlignAffine is FastLSA under an affine (Gotoh) gap model — an extension
+// beyond the paper's linear-gap setting. The structure is identical to the
+// linear algorithm; what changes is the cached state: grid row lines carry
+// (H, E) pairs and column lines carry (H, F) pairs, because a gap can cross
+// a grid line and the traceback must be able to resume inside it. The
+// traceback state (closed / vertical gap / horizontal gap) is threaded
+// across subproblem boundaries.
+func AlignAffine(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, opt Options) (Result, error) {
+	if err := gap.Validate(); err != nil {
+		return Result{}, err
+	}
+	if gap.IsLinear() {
+		return Align(a, b, m, gap, opt)
+	}
+	r, err := opt.resolve()
+	if err != nil {
+		return Result{}, err
+	}
+	s, err := newAffineSolver(a, b, m, int64(gap.Open), int64(gap.Extend), r)
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.close()
+	return s.run(gap)
+}
+
+type affineSolver struct {
+	a, b      []byte
+	m         *scoring.Matrix
+	open, ext int64
+	opt       resolved
+	c         *stats.Counters
+	bld       *align.Builder
+
+	// Three base-case buffers (H, E, F), each of BM entries.
+	baseH, baseE, baseF []int64
+}
+
+func newAffineSolver(a, b *seq.Sequence, m *scoring.Matrix, open, ext int64, opt resolved) (*affineSolver, error) {
+	if err := opt.budget.Reserve(3 * int64(opt.baseCells)); err != nil {
+		return nil, fmt.Errorf("core: affine base case buffers of 3 x %d entries: %w", opt.baseCells, err)
+	}
+	return &affineSolver{
+		a:     a.Residues,
+		b:     b.Residues,
+		m:     m,
+		open:  open,
+		ext:   ext,
+		opt:   opt,
+		c:     opt.c,
+		bld:   align.NewBuilder(a.Len() + b.Len()),
+		baseH: make([]int64, opt.baseCells),
+		baseE: make([]int64, opt.baseCells),
+		baseF: make([]int64, opt.baseCells),
+	}, nil
+}
+
+func (s *affineSolver) close() {
+	s.opt.budget.Release(3 * int64(s.opt.baseCells))
+}
+
+func (s *affineSolver) run(gap scoring.Gap) (Result, error) {
+	mlen, nlen := len(s.a), len(s.b)
+	topH, _ := lastrow.AffineBoundary(nil, nil, nlen, 0, s.open, s.ext)
+	leftH, _ := lastrow.AffineBoundary(nil, nil, mlen, 0, s.open, s.ext)
+	topE := negInfVec(nlen + 1)
+	leftF := negInfVec(mlen + 1)
+
+	er, ec, _, err := s.solve(rect{0, 0, mlen, nlen}, topH, topE, leftH, leftF, fm.StateH)
+	if err != nil {
+		return Result{}, err
+	}
+	for ; er > 0; er-- {
+		s.bld.Push(align.Up)
+	}
+	for ; ec > 0; ec-- {
+		s.bld.Push(align.Left)
+	}
+	path := s.bld.Path()
+	if err := path.Validate(mlen, nlen); err != nil {
+		return Result{}, fmt.Errorf("core: affine path is inconsistent: %w", err)
+	}
+	score := align.ScorePath(&seq.Sequence{Residues: s.a}, &seq.Sequence{Residues: s.b}, path, s.m, gap)
+	return Result{Score: score, Path: path}, nil
+}
+
+// solve is the affine general/base dispatch, the counterpart of
+// solver.solve with (node, state) heads.
+func (s *affineSolver) solve(t rect, topH, topE, leftH, leftF []int64, state int) (exitR, exitC, exitState int, err error) {
+	rows, cols := t.rows(), t.cols()
+	if rows == 0 || cols == 0 {
+		return t.r1, t.c1, state, nil
+	}
+	if (rows+1)*(cols+1) <= s.opt.baseCells || rows == 1 || cols == 1 {
+		return s.baseCase(t, topH, topE, leftH, leftF, state)
+	}
+
+	s.c.AddGeneralCase()
+	k := s.opt.k
+	if k > rows {
+		k = rows
+	}
+	if k > cols {
+		k = cols
+	}
+
+	grid, err := newAffineGrid(t, k, topH, topE, leftH, leftF, s.opt.budget)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer grid.free()
+	s.c.ObserveGridEntries(s.opt.budget.Used())
+
+	if err := s.fillGridCache(grid); err != nil {
+		return 0, 0, 0, err
+	}
+
+	hr, hc, hs := t.r1, t.c1, state
+	for hr > t.r0 && hc > t.c0 {
+		u, v := grid.blockOf(hr, hc)
+		sub := rect{r0: grid.rs[u], c0: grid.cs[v], r1: hr, c1: hc}
+		hr, hc, hs, err = s.solve(sub,
+			grid.rowH(u, v, hc), grid.rowE(u, v, hc),
+			grid.colH(u, v, hr), grid.colF(u, v, hr), hs)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	return hr, hc, hs, nil
+}
+
+func (s *affineSolver) fillGridCache(g *affineGrid) error {
+	if s.opt.workers > 1 && g.t.rows()*g.t.cols() >= s.opt.parMinArea {
+		return s.fillGridCacheParallel(g)
+	}
+	for u := 0; u < g.k; u++ {
+		for v := 0; v < g.k; v++ {
+			if u == g.k-1 && v == g.k-1 {
+				continue
+			}
+			if err := s.fillBlock(g, u, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *affineSolver) fillBlock(g *affineGrid, u, v int) error {
+	br := g.blockRect(u, v)
+	segRows, segCols := br.rows(), br.cols()
+
+	outRowH := make([]int64, segCols+1)
+	outRowE := make([]int64, segCols+1)
+	outColH := make([]int64, segRows+1)
+	outColF := make([]int64, segRows+1)
+
+	if err := lastrow.ForwardAffine(s.a[br.r0:br.r1], s.b[br.c0:br.c1], s.m, s.open, s.ext,
+		g.rowH(u, v, br.c1), g.rowE(u, v, br.c1), g.colH(u, v, br.r1), g.colF(u, v, br.r1),
+		outRowH, outRowE, outColH, outColF, s.c); err != nil {
+		return err
+	}
+	if u+1 < g.k {
+		off := br.c0 - g.t.c0
+		copy(g.rowsH[u+1][off+1:off+segCols+1], outRowH[1:])
+		copy(g.rowsE[u+1][off+1:off+segCols+1], outRowE[1:])
+	}
+	if v+1 < g.k {
+		off := br.r0 - g.t.r0
+		copy(g.colsH[v+1][off+1:off+segRows+1], outColH[1:])
+		copy(g.colsF[v+1][off+1:off+segRows+1], outColF[1:])
+	}
+	return nil
+}
+
+// baseCase fills full H/E/F matrices for the subproblem and resumes the
+// traceback from its bottom-right node in the given state.
+func (s *affineSolver) baseCase(t rect, topH, topE, leftH, leftF []int64, state int) (exitR, exitC, exitState int, err error) {
+	s.c.AddBaseCase()
+	rows, cols := t.rows(), t.cols()
+	entries := (rows + 1) * (cols + 1)
+
+	H, E, F := s.baseH, s.baseE, s.baseF
+	if entries > len(H) {
+		if err := s.opt.budget.Reserve(3 * int64(entries)); err != nil {
+			return 0, 0, 0, fmt.Errorf("core: affine thin-strip base case %s: %w", t, err)
+		}
+		defer s.opt.budget.Release(3 * int64(entries))
+		H = make([]int64, entries)
+		E = make([]int64, entries)
+		F = make([]int64, entries)
+	} else {
+		H, E, F = H[:entries], E[:entries], F[:entries]
+	}
+
+	ra, rb := s.a[t.r0:t.r1], s.b[t.c0:t.c1]
+	fillRectAffine(ra, rb, s.m, s.open, s.ext, topH, topE, leftH, leftF, H, E, F, s.c)
+	lr, lc, st := fm.TracebackAffine(ra, rb, s.m, s.open, s.ext, H, E, F, s.bld, rows, cols, state, s.c)
+	return t.r0 + lr, t.c0 + lc, st, nil
+}
+
+// fillRectAffine fills the three stored matrices of a rectangle from its
+// boundary lanes. Lanes not carried by a boundary (E on columns, F on rows)
+// are seeded NegInf; they are never read by the recurrences or by a
+// traceback that terminates at the boundary.
+func fillRectAffine(a, b []byte, m *scoring.Matrix, open, ext int64,
+	topH, topE, leftH, leftF []int64, H, E, F []int64, c *stats.Counters) {
+
+	n := len(b)
+	cols := n + 1
+	copy(H[:cols], topH)
+	copy(E[:cols], topE)
+	for j := 0; j < cols; j++ {
+		F[j] = lastrow.NegInf
+	}
+	for r := 1; r <= len(a); r++ {
+		base := r * cols
+		H[base] = leftH[r]
+		F[base] = leftF[r]
+		E[base] = lastrow.NegInf
+	}
+	for r := 1; r <= len(a); r++ {
+		base := r * cols
+		prev := base - cols
+		srow := m.Row(a[r-1])
+		for j := 1; j <= n; j++ {
+			e := E[prev+j] + ext
+			if v := H[prev+j] + open + ext; v > e {
+				e = v
+			}
+			E[base+j] = e
+			f := F[base+j-1] + ext
+			if v := H[base+j-1] + open + ext; v > f {
+				f = v
+			}
+			F[base+j] = f
+			h := H[prev+j-1] + int64(srow[b[j-1]])
+			if e > h {
+				h = e
+			}
+			if f > h {
+				h = f
+			}
+			H[base+j] = h
+		}
+	}
+	c.AddCells(int64(len(a)) * int64(n))
+}
+
+// fillGridCacheParallel is the affine counterpart of the wavefront Fill
+// Cache: the mesh carries (H, E) row lanes and (H, F) column lanes.
+func (s *affineSolver) fillGridCacheParallel(g *affineGrid) error {
+	t, k := g.t, g.k
+	rows, cols := t.rows(), t.cols()
+
+	u := clampSub(s.opt.tileRows, minSegment(g.rs))
+	v := clampSub(s.opt.tileCols, minSegment(g.cs))
+	R, C := k*u, k*v
+
+	trs := refineBoundaries(g.rs, u)
+	tcs := refineBoundaries(g.cs, v)
+
+	meshEntries := 2 * (int64(R-1)*int64(cols+1) + int64(C-1)*int64(rows+1))
+	if err := s.opt.budget.Reserve(meshEntries); err != nil {
+		return fmt.Errorf("core: affine parallel fill mesh (%dx%d tiles, %d entries): %w", R, C, meshEntries, err)
+	}
+	defer s.opt.budget.Release(meshEntries)
+	s.c.ObserveGridEntries(s.opt.budget.Used())
+
+	mRowH := make([][]int64, R)
+	mRowE := make([][]int64, R)
+	mColH := make([][]int64, C)
+	mColF := make([][]int64, C)
+	mRowH[0], mRowE[0] = g.rowsH[0], g.rowsE[0]
+	mColH[0], mColF[0] = g.colsH[0], g.colsF[0]
+	rb := make([]int64, 2*(R-1)*(cols+1))
+	cb := make([]int64, 2*(C-1)*(rows+1))
+	for i := 1; i < R; i++ {
+		mRowH[i], rb = rb[:cols+1:cols+1], rb[cols+1:]
+		mRowE[i], rb = rb[:cols+1:cols+1], rb[cols+1:]
+		mRowH[i][0] = g.colsH[0][trs[i]-t.r0]
+		mRowE[i][0] = lastrow.NegInf
+	}
+	for j := 1; j < C; j++ {
+		mColH[j], cb = cb[:rows+1:rows+1], cb[rows+1:]
+		mColF[j], cb = cb[:rows+1:rows+1], cb[rows+1:]
+		mColH[j][0] = g.rowsH[0][tcs[j]-t.c0]
+		mColF[j][0] = lastrow.NegInf
+	}
+
+	skip := func(ti, tj int) bool { return ti >= (k-1)*u && tj >= (k-1)*v }
+	ph := wavefront.ClassifyPhases(R, C, s.opt.workers, skip)
+	s.c.AddPhaseTiles(1, ph.Tiles1)
+	s.c.AddPhaseTiles(2, ph.Tiles2)
+	s.c.AddPhaseTiles(3, ph.Tiles3)
+
+	wf := &wavefront.Grid{
+		Rows:    R,
+		Cols:    C,
+		Workers: s.opt.workers,
+		Skip:    skip,
+		Exec: func(ti, tj int) error {
+			r0, r1 := trs[ti], trs[ti+1]
+			c0, c1 := tcs[tj], tcs[tj+1]
+			segRows, segCols := r1-r0, c1-c0
+			outRowH := make([]int64, segCols+1)
+			outRowE := make([]int64, segCols+1)
+			outColH := make([]int64, segRows+1)
+			outColF := make([]int64, segRows+1)
+			if err := lastrow.ForwardAffine(s.a[r0:r1], s.b[c0:c1], s.m, s.open, s.ext,
+				mRowH[ti][c0-t.c0:c1-t.c0+1], mRowE[ti][c0-t.c0:c1-t.c0+1],
+				mColH[tj][r0-t.r0:r1-t.r0+1], mColF[tj][r0-t.r0:r1-t.r0+1],
+				outRowH, outRowE, outColH, outColF, s.c); err != nil {
+				return err
+			}
+			if ti+1 < R {
+				off := c0 - t.c0
+				copy(mRowH[ti+1][off+1:off+segCols+1], outRowH[1:])
+				copy(mRowE[ti+1][off+1:off+segCols+1], outRowE[1:])
+			}
+			if tj+1 < C {
+				off := r0 - t.r0
+				copy(mColH[tj+1][off+1:off+segRows+1], outColH[1:])
+				copy(mColF[tj+1][off+1:off+segRows+1], outColF[1:])
+			}
+			s.c.AddFillTile()
+			return nil
+		},
+	}
+	if err := wf.Run(); err != nil {
+		return err
+	}
+
+	for i := 1; i < k; i++ {
+		copy(g.rowsH[i], mRowH[i*u])
+		copy(g.rowsE[i], mRowE[i*u])
+	}
+	for j := 1; j < k; j++ {
+		copy(g.colsH[j], mColH[j*v])
+		copy(g.colsF[j], mColF[j*v])
+	}
+	return nil
+}
+
+func negInfVec(n int) []int64 {
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = lastrow.NegInf
+	}
+	return v
+}

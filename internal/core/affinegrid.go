@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"fastlsa/internal/lastrow"
+	"fastlsa/internal/memory"
+)
+
+// affineGrid is the affine-model grid cache: each of the k row lines stores
+// (H, E) lanes and each of the k column lines stores (H, F) lanes, twice the
+// footprint of the linear grid. E must travel with rows (a vertical gap can
+// cross a grid row) and F with columns.
+type affineGrid struct {
+	t      rect
+	k      int
+	rs, cs []int
+	rowsH  [][]int64
+	rowsE  [][]int64
+	colsH  [][]int64
+	colsF  [][]int64
+
+	entries int64
+	budget  *memory.Budget
+}
+
+func newAffineGrid(t rect, k int, topH, topE, leftH, leftF []int64, budget *memory.Budget) (*affineGrid, error) {
+	rows, cols := t.rows(), t.cols()
+	g := &affineGrid{
+		t:      t,
+		k:      k,
+		rs:     splitBoundaries(t.r0, t.r1, k),
+		cs:     splitBoundaries(t.c0, t.c1, k),
+		budget: budget,
+	}
+	g.entries = 2 * (int64(k)*int64(cols+1) + int64(k)*int64(rows+1))
+	if err := budget.Reserve(g.entries); err != nil {
+		return nil, fmt.Errorf("core: affine grid cache for %s (k=%d, %d entries): %w", t, k, g.entries, err)
+	}
+	rowBack := make([]int64, 2*k*(cols+1))
+	colBack := make([]int64, 2*k*(rows+1))
+	g.rowsH = make([][]int64, k)
+	g.rowsE = make([][]int64, k)
+	g.colsH = make([][]int64, k)
+	g.colsF = make([][]int64, k)
+	for i := 0; i < k; i++ {
+		g.rowsH[i], rowBack = rowBack[:cols+1:cols+1], rowBack[cols+1:]
+		g.rowsE[i], rowBack = rowBack[:cols+1:cols+1], rowBack[cols+1:]
+		g.colsH[i], colBack = colBack[:rows+1:rows+1], colBack[rows+1:]
+		g.colsF[i], colBack = colBack[:rows+1:rows+1], colBack[rows+1:]
+	}
+	copy(g.rowsH[0], topH)
+	copy(g.rowsE[0], topE)
+	copy(g.colsH[0], leftH)
+	copy(g.colsF[0], leftF)
+	for i := 1; i < k; i++ {
+		g.rowsH[i][0] = leftH[g.rs[i]-t.r0]
+		g.rowsE[i][0] = lastrow.NegInf
+	}
+	for j := 1; j < k; j++ {
+		g.colsH[j][0] = topH[g.cs[j]-t.c0]
+		g.colsF[j][0] = lastrow.NegInf
+	}
+	return g, nil
+}
+
+func (g *affineGrid) free() {
+	g.budget.Release(g.entries)
+	g.entries = 0
+	g.rowsH, g.rowsE, g.colsH, g.colsF = nil, nil, nil, nil
+}
+
+func (g *affineGrid) blockOf(r, c int) (u, v int) {
+	return findSegment(g.rs, r), findSegment(g.cs, c)
+}
+
+func (g *affineGrid) blockRect(u, v int) rect {
+	return rect{r0: g.rs[u], c0: g.cs[v], r1: g.rs[u+1], c1: g.cs[v+1]}
+}
+
+// Boundary slice accessors for the subproblem with top-left block (u, v) and
+// bottom-right node (r, c); see gridCache.inputRow/inputCol.
+func (g *affineGrid) rowH(u, v, c int) []int64 {
+	return g.rowsH[u][g.cs[v]-g.t.c0 : c-g.t.c0+1]
+}
+func (g *affineGrid) rowE(u, v, c int) []int64 {
+	return g.rowsE[u][g.cs[v]-g.t.c0 : c-g.t.c0+1]
+}
+func (g *affineGrid) colH(u, v, r int) []int64 {
+	return g.colsH[v][g.rs[u]-g.t.r0 : r-g.t.r0+1]
+}
+func (g *affineGrid) colF(u, v, r int) []int64 {
+	return g.colsF[v][g.rs[u]-g.t.r0 : r-g.t.r0+1]
+}

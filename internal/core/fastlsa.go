@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+
+	"fastlsa/internal/align"
+	"fastlsa/internal/fm"
+	"fastlsa/internal/lastrow"
+	"fastlsa/internal/memory"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/stats"
+)
+
+// Result is a scored optimal global alignment path, identical in meaning to
+// fm.Result (FastLSA computes exactly the same optimal alignment as the
+// full-matrix algorithm for a given scoring function; only space and time
+// differ — paper §2.1).
+type Result = fm.Result
+
+// Align computes the optimal global alignment of a and b with FastLSA.
+// Workers > 1 selects Parallel FastLSA (§5); otherwise the sequential
+// algorithm (§3) runs. The path is byte-identical to fm.Align's for the same
+// inputs (shared diagonal > up > left tie-breaking).
+func Align(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, opt Options) (Result, error) {
+	if err := gap.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !gap.IsLinear() {
+		return AlignAffine(a, b, m, gap, opt)
+	}
+	r, err := opt.resolve()
+	if err != nil {
+		return Result{}, err
+	}
+	s, err := newSolver(a, b, m, int64(gap.Extend), r)
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.close()
+	return s.run()
+}
+
+// solver carries the shared state of one FastLSA run.
+type solver struct {
+	a, b []byte
+	m    *scoring.Matrix
+	g    int64
+	opt  resolved
+	c    *stats.Counters
+	bld  *align.Builder
+
+	// baseBuf is the pre-reserved Base Case buffer of BM entries (paper §3:
+	// "Prior to running FastLSA, BM units of memory are reserved").
+	baseBuf []int64
+	pool    *memory.RowPool
+}
+
+func newSolver(a, b *seq.Sequence, m *scoring.Matrix, g int64, opt resolved) (*solver, error) {
+	if err := opt.budget.Reserve(int64(opt.baseCells)); err != nil {
+		return nil, fmt.Errorf("core: base case buffer of %d entries: %w", opt.baseCells, err)
+	}
+	return &solver{
+		a:       a.Residues,
+		b:       b.Residues,
+		m:       m,
+		g:       g,
+		opt:     opt,
+		c:       opt.c,
+		bld:     align.NewBuilder(a.Len() + b.Len()),
+		baseBuf: make([]int64, opt.baseCells),
+		pool:    memory.NewRowPool(),
+	}, nil
+}
+
+func (s *solver) close() {
+	s.opt.budget.Release(int64(s.opt.baseCells))
+	s.baseBuf = nil
+}
+
+// run solves the whole problem: build the initial boundaries, recurse, then
+// extend the partial path along the global boundary to (0,0) ("This partial
+// optimal path can then be extended to the top-left entry").
+func (s *solver) run() (Result, error) {
+	mlen, nlen := len(s.a), len(s.b)
+	top := lastrow.Boundary(nil, nlen, 0, s.g)
+	left := lastrow.Boundary(nil, mlen, 0, s.g)
+
+	er, ec, err := s.solve(rect{0, 0, mlen, nlen}, top, left)
+	if err != nil {
+		return Result{}, err
+	}
+	for ; er > 0; er-- {
+		s.bld.Push(align.Up)
+	}
+	for ; ec > 0; ec-- {
+		s.bld.Push(align.Left)
+	}
+	path := s.bld.Path()
+	if err := path.Validate(mlen, nlen); err != nil {
+		return Result{}, fmt.Errorf("core: produced path is inconsistent: %w", err)
+	}
+	score := align.ScorePath(
+		&seq.Sequence{Residues: s.a},
+		&seq.Sequence{Residues: s.b},
+		path, s.m, scoring.Linear(int(s.g)))
+	return Result{Score: score, Path: path}, nil
+}
+
+// solve extends the optimal path from the bottom-right node of t backwards
+// until the path head reaches node row t.r0 or node column t.c0, returning
+// the exit node. top and left hold the boundary values of node row t.r0
+// (len cols+1) and node column t.c0 (len rows+1). Moves are pushed on s.bld
+// in trace (backward) order — the Builder equivalent of the paper's
+// "prepend to flsaPath".
+func (s *solver) solve(t rect, top, left []int64) (exitR, exitC int, err error) {
+	rows, cols := t.rows(), t.cols()
+
+	// Degenerate strips: the path is forced along the boundary.
+	if rows == 0 || cols == 0 {
+		return t.r1, t.c1, nil
+	}
+
+	// BASE CASE (Figure 2 lines 1-2): the subproblem's DPM fits in the Base
+	// Case buffer. Thin strips (a single cell row or column) are also solved
+	// directly: their matrix is 2 x (len+1), i.e. no larger than one grid
+	// line, so treating them as base cases costs linear memory but avoids a
+	// degenerate k-way split.
+	if (rows+1)*(cols+1) <= s.opt.baseCells || rows == 1 || cols == 1 {
+		return s.baseCase(t, top, left)
+	}
+
+	// GENERAL CASE (Figure 2 lines 3-15).
+	s.c.AddGeneralCase()
+	k := s.opt.k
+	if k > rows {
+		k = rows
+	}
+	if k > cols {
+		k = cols
+	}
+
+	grid, err := newGrid(t, k, top, left, s.opt.budget)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer grid.free()
+	s.c.ObserveGridEntries(s.opt.budget.Used())
+
+	if err := s.fillGridCache(grid); err != nil {
+		return 0, 0, err
+	}
+
+	// Walk the path through the blocks, bottom-right to top-left. The first
+	// iteration is exactly the recursion on the bottom-right block (Figure 2
+	// line 8); subsequent iterations are the UpLeft loop (lines 9-13).
+	hr, hc := t.r1, t.c1
+	for hr > t.r0 && hc > t.c0 {
+		u, v := grid.blockOf(hr, hc)
+		sub := rect{r0: grid.rs[u], c0: grid.cs[v], r1: hr, c1: hc}
+		hr, hc, err = s.solve(sub, grid.inputRow(u, v, hc), grid.inputCol(u, v, hr))
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return hr, hc, nil
+}
+
+// fillGridCache computes every block of the grid except the bottom-right
+// one, storing each block's output row and column segments into the grid
+// lines (Figure 3(c)->(d)). Sequential runs iterate blocks in row-major
+// order; parallel runs delegate to the wavefront fill of parallel.go when
+// the subproblem is large enough to pay for scheduling.
+func (s *solver) fillGridCache(grid *gridCache) error {
+	t, k := grid.t, grid.k
+	if s.opt.workers > 1 && t.rows()*t.cols() >= s.opt.parMinArea {
+		return s.fillGridCacheParallel(grid)
+	}
+	for u := 0; u < k; u++ {
+		for v := 0; v < k; v++ {
+			if u == k-1 && v == k-1 {
+				continue // bottom-right block is solved recursively instead
+			}
+			if err := s.fillBlock(grid, u, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fillBlock computes block (u, v) with the LastRow kernel and stores its
+// bottom row into grid.rows[u+1] and right column into grid.cols[v+1]
+// (segments owned by this block: left/top endpoints excluded, they belong to
+// the neighbouring blocks).
+func (s *solver) fillBlock(grid *gridCache, u, v int) error {
+	t, k := grid.t, grid.k
+	br := grid.blockRect(u, v)
+	top := grid.inputRow(u, v, br.c1)
+	left := grid.inputCol(u, v, br.r1)
+
+	segCols, segRows := br.cols(), br.rows()
+	outRow := s.pool.GetFull(segCols + 1)
+	outCol := s.pool.GetFull(segRows + 1)
+	defer s.pool.Put(outRow)
+	defer s.pool.Put(outCol)
+
+	if err := lastrow.Forward(s.a[br.r0:br.r1], s.b[br.c0:br.c1], s.m, s.g,
+		top, left, outRow, outCol, s.c); err != nil {
+		return err
+	}
+	if u+1 < k {
+		dst := grid.rows[u+1][br.c0-t.c0:]
+		copy(dst[1:segCols+1], outRow[1:])
+	}
+	if v+1 < k {
+		dst := grid.cols[v+1][br.r0-t.r0:]
+		copy(dst[1:segRows+1], outCol[1:])
+	}
+	return nil
+}
+
+// baseCase solves subproblem t with the full-matrix algorithm using the
+// pre-reserved buffer (Figure 3(a)/(b)) and traces the path from the
+// bottom-right corner to the top or left boundary. Oversized thin strips
+// fall back to a dedicated budget reservation.
+func (s *solver) baseCase(t rect, top, left []int64) (exitR, exitC int, err error) {
+	s.c.AddBaseCase()
+	rows, cols := t.rows(), t.cols()
+	entries := (rows + 1) * (cols + 1)
+
+	buf := s.baseBuf
+	if entries > len(buf) {
+		if err := s.opt.budget.Reserve(int64(entries)); err != nil {
+			return 0, 0, fmt.Errorf("core: thin-strip base case %s: %w", t, err)
+		}
+		defer s.opt.budget.Release(int64(entries))
+		buf = make([]int64, entries)
+	} else {
+		buf = buf[:entries]
+	}
+
+	ra, rb := s.a[t.r0:t.r1], s.b[t.c0:t.c1]
+	if s.opt.workers > 1 && rows*cols >= s.opt.parMinArea {
+		if err := s.fillRectParallel(ra, rb, top, left, buf); err != nil {
+			return 0, 0, err
+		}
+	} else {
+		fm.FillRect(ra, rb, s.m, s.g, top, left, buf, s.c)
+	}
+	lr, lc := fm.TracebackRect(ra, rb, s.m, s.g, buf, s.bld, rows, cols, s.c)
+	return t.r0 + lr, t.c0 + lc, nil
+}

@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"testing"
+
+	"fastlsa/internal/core"
+	"fastlsa/internal/fm"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+)
+
+// FuzzAlignEquivalence: for arbitrary short DNA strings and FastLSA
+// parameters, FastLSA matches the full-matrix algorithm path-exactly.
+// This is the repository's deepest differential fuzz target.
+func FuzzAlignEquivalence(f *testing.F) {
+	f.Add("ACGTACGT", "ACTTACG", uint8(2), uint8(4))
+	f.Add("A", "TTTTTTTT", uint8(3), uint8(0))
+	f.Add("", "ACGT", uint8(8), uint8(16))
+	f.Fuzz(func(t *testing.T, sa, sb string, k8, bm8 uint8) {
+		a, err := seq.New("a", filterDNA(sa), seq.DNA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := seq.New("b", filterDNA(sb), seq.DNA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Len() > 200 || b.Len() > 200 {
+			return
+		}
+		k := int(k8%15) + 2
+		bm := core.MinBaseCells + int(bm8)*8
+		gap := scoring.Linear(-3)
+		m := scoring.DNASimple
+
+		want, err := fm.Align(a, b, m, gap, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := core.Align(a, b, m, gap, core.Options{K: k, BaseCells: bm, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != want.Score {
+			t.Fatalf("k=%d bm=%d: score %d != %d", k, bm, got.Score, want.Score)
+		}
+		if !got.Path.Equal(want.Path) {
+			t.Fatalf("k=%d bm=%d: paths differ", k, bm)
+		}
+	})
+}
+
+// filterDNA maps arbitrary fuzz bytes into the DNA alphabet.
+func filterDNA(s string) string {
+	letters := []byte("ACGT")
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		out[i] = letters[int(s[i])%4]
+	}
+	return string(out)
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"fastlsa/internal/memory"
+)
+
+// rect is a subproblem of the logical DPM: the node rectangle
+// [r0..r1] x [c0..c1] in absolute node coordinates. Its interior cells are
+// (r0+1..r1) x (c0+1..c1); the top row r0 and left column c0 carry the input
+// boundary values (cacheRow / cacheColumn in the paper's pseudo-code).
+type rect struct {
+	r0, c0 int
+	r1, c1 int
+}
+
+// rows and cols give the cell counts of the rectangle.
+func (t rect) rows() int { return t.r1 - t.r0 }
+func (t rect) cols() int { return t.c1 - t.c0 }
+
+func (t rect) String() string {
+	return fmt.Sprintf("[%d..%d]x[%d..%d]", t.r0, t.r1, t.c0, t.c1)
+}
+
+// gridCache holds the cached DPM lines of one general-case invocation
+// (Figure 3(c)/(d)): the k block-boundary row lines rs[0..k-1] and column
+// lines cs[0..k-1] of the subproblem. Line 0 of each direction is a copy of
+// the input cache; lines rs[k] == r1 and cs[k] == c1 are never stored (the
+// paper's grid stores k lines per dimension, not k+1).
+type gridCache struct {
+	t      rect
+	k      int
+	rs, cs []int     // k+1 absolute node boundaries per dimension
+	rows   [][]int64 // k lines; rows[i][j] = DPM value at node (rs[i], c0+j)
+	cols   [][]int64 // k lines; cols[j][i] = DPM value at node (r0+i, cs[j])
+
+	entries int64 // budget charge
+	budget  *memory.Budget
+}
+
+// splitBoundaries divides [lo..hi] into k near-equal segments, returning the
+// k+1 boundary node indices. Requires hi-lo >= k so every segment is
+// non-empty.
+func splitBoundaries(lo, hi, k int) []int {
+	span := hi - lo
+	bs := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		bs[i] = lo + span*i/k
+	}
+	return bs
+}
+
+// newGrid allocates and initialises the grid cache for the general case of
+// subproblem t (allocateGrid + initializeGrid of Figure 2). cacheRow spans
+// node row r0 (len cols+1), cacheCol node column c0 (len rows+1). The
+// allocation is charged to the budget and must be returned with free.
+func newGrid(t rect, k int, cacheRow, cacheCol []int64, budget *memory.Budget) (*gridCache, error) {
+	rows, cols := t.rows(), t.cols()
+	g := &gridCache{
+		t:      t,
+		k:      k,
+		rs:     splitBoundaries(t.r0, t.r1, k),
+		cs:     splitBoundaries(t.c0, t.c1, k),
+		budget: budget,
+	}
+	g.entries = int64(k)*int64(cols+1) + int64(k)*int64(rows+1)
+	if err := budget.Reserve(g.entries); err != nil {
+		return nil, fmt.Errorf("core: grid cache for %s (k=%d, %d entries): %w", t, k, g.entries, err)
+	}
+	// One backing array per direction keeps the allocation count flat.
+	rowBack := make([]int64, k*(cols+1))
+	colBack := make([]int64, k*(rows+1))
+	g.rows = make([][]int64, k)
+	g.cols = make([][]int64, k)
+	for i := 0; i < k; i++ {
+		g.rows[i], rowBack = rowBack[:cols+1:cols+1], rowBack[cols+1:]
+		g.cols[i], colBack = colBack[:rows+1:rows+1], colBack[rows+1:]
+	}
+	copy(g.rows[0], cacheRow)
+	copy(g.cols[0], cacheCol)
+	// Left endpoints of deeper row lines sit on the subproblem's left
+	// boundary; top endpoints of deeper column lines on its top boundary.
+	for i := 1; i < k; i++ {
+		g.rows[i][0] = cacheCol[g.rs[i]-t.r0]
+	}
+	for j := 1; j < k; j++ {
+		g.cols[j][0] = cacheRow[g.cs[j]-t.c0]
+	}
+	return g, nil
+}
+
+// free releases the grid's budget charge (deallocateGrid of Figure 2).
+func (g *gridCache) free() {
+	g.budget.Release(g.entries)
+	g.entries = 0
+	g.rows, g.cols = nil, nil
+}
+
+// blockOf locates the block whose cell range contains cell (r, c):
+// rs[u] < r <= rs[u+1] and cs[v] < c <= cs[v+1]. This is the UpLeft step of
+// Figure 2 — the next subproblem is this block clipped to bottom-right
+// (r, c).
+func (g *gridCache) blockOf(r, c int) (u, v int) {
+	u = findSegment(g.rs, r)
+	v = findSegment(g.cs, c)
+	return u, v
+}
+
+// findSegment returns the index i with bs[i] < x <= bs[i+1].
+func findSegment(bs []int, x int) int {
+	lo, hi := 0, len(bs)-2
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if bs[mid] < x {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// inputRow returns the cached top-boundary row for the subproblem with
+// top-left block corner (u, v) and bottom-right node (r, c): node row rs[u]
+// over columns cs[v]..c.
+func (g *gridCache) inputRow(u, v, c int) []int64 {
+	return g.rows[u][g.cs[v]-g.t.c0 : c-g.t.c0+1]
+}
+
+// inputCol returns the cached left-boundary column: node column cs[v] over
+// rows rs[u]..r.
+func (g *gridCache) inputCol(u, v, r int) []int64 {
+	return g.cols[v][g.rs[u]-g.t.r0 : r-g.t.r0+1]
+}
+
+// blockRect returns block (u, v) as a rect.
+func (g *gridCache) blockRect(u, v int) rect {
+	return rect{r0: g.rs[u], c0: g.cs[v], r1: g.rs[u+1], c1: g.cs[v+1]}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"fastlsa/internal/fm"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/stats"
+)
+
+// AlignLocal computes an optimal Smith-Waterman local alignment in
+// FastLSA-bounded space (an extension exercising FastLSA as a subroutine,
+// in the style of Huang's linear-space local alignment):
+//
+//  1. a score-only Smith-Waterman row scan locates the optimal end cell,
+//  2. a second score-only scan over the reversed prefixes locates the start,
+//  3. FastLSA globally aligns the two delimited substrings (the optimal
+//     local alignment is a global alignment of them).
+//
+// Only the two O(min(m,n)) scan rows plus FastLSA's own footprint are live;
+// the full Smith-Waterman matrix is never stored. Linear gap models only.
+func AlignLocal(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, opt Options) (fm.LocalResult, error) {
+	if err := gap.Validate(); err != nil {
+		return fm.LocalResult{}, err
+	}
+	if !gap.IsLinear() {
+		return fm.LocalResult{}, fmt.Errorf("core: AlignLocal: affine gaps not supported by the local variant (use linear)")
+	}
+	g := int64(gap.Extend)
+	c := opt.Counters
+
+	best, endR, endC := swScan(a.Residues, b.Residues, m, g, c)
+	if best == 0 {
+		return fm.LocalResult{}, nil
+	}
+
+	// Reverse scan over the prefixes ending at the end cell. The best cell of
+	// the reversed problem is the start of the local alignment; it must reach
+	// the same score.
+	ra := reverseBytes(a.Residues[:endR])
+	rb := reverseBytes(b.Residues[:endC])
+	rbest, rR, rC := swScan(ra, rb, m, g, c)
+	if rbest != best {
+		return fm.LocalResult{}, fmt.Errorf("core: AlignLocal: reverse scan found %d, forward %d (internal invariant)", rbest, best)
+	}
+	startR, startC := endR-rR, endC-rC
+
+	subA := a.Slice(startR, endR)
+	subB := b.Slice(startC, endC)
+	res, err := Align(subA, subB, m, gap, opt)
+	if err != nil {
+		return fm.LocalResult{}, err
+	}
+	if res.Score != best {
+		return fm.LocalResult{}, fmt.Errorf("core: AlignLocal: global alignment of the delimited substrings scored %d, want %d", res.Score, best)
+	}
+	return fm.LocalResult{
+		Score:  best,
+		Path:   res.Path,
+		StartA: startR, EndA: endR,
+		StartB: startC, EndB: endC,
+	}, nil
+}
+
+// swScan is the score-only Smith-Waterman pass: one row of DP values,
+// returning the maximum cell value and its position (first maximum in
+// row-major order, matching fm.AlignLocal's tie-break).
+func swScan(a, b []byte, m *scoring.Matrix, g int64, c *stats.Counters) (best int64, bestR, bestC int) {
+	n := len(b)
+	row := make([]int64, n+1)
+	for r := 1; r <= len(a); r++ {
+		srow := m.Row(a[r-1])
+		diag := row[0]
+		rv := int64(0)
+		row[0] = 0
+		for j := 1; j <= n; j++ {
+			up := row[j]
+			v := diag + int64(srow[b[j-1]])
+			if x := up + g; x > v {
+				v = x
+			}
+			if x := rv + g; x > v {
+				v = x
+			}
+			if v < 0 {
+				v = 0
+			}
+			row[j] = v
+			rv = v
+			diag = up
+			if v > best {
+				best = v
+				bestR, bestC = r, j
+			}
+		}
+	}
+	c.AddCells(int64(len(a)) * int64(n))
+	return best, bestR, bestC
+}
+
+func reverseBytes(s []byte) []byte {
+	r := make([]byte, len(s))
+	for i, ch := range s {
+		r[len(s)-1-i] = ch
+	}
+	return r
+}

@@ -1,0 +1,128 @@
+package core_test
+
+import (
+	"testing"
+
+	"fastlsa/internal/core"
+	"fastlsa/internal/fm"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/testutil"
+)
+
+// TestAlignLocalMatchesSW compares the linear-space local alignment against
+// full-matrix Smith-Waterman on random problems.
+func TestAlignLocalMatchesSW(t *testing.T) {
+	gap := scoring.Linear(-3)
+	for seed := int64(0); seed < 20; seed++ {
+		la := int(seed*13%120) + 1
+		lb := int(seed*37%120) + 1
+		a, b := testutil.RandomPair(la, lb, seq.DNA, seed+700)
+		m := testutil.RandomMatrix(seq.DNA, seed+700)
+		want, err := fm.AlignLocal(a, b, m, gap, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := core.AlignLocal(a, b, m, gap, core.Options{K: 4, BaseCells: 64, Workers: 1})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got.Score != want.Score {
+			t.Fatalf("seed %d: linear-space local %d, SW %d", seed, got.Score, want.Score)
+		}
+		if got.Score == 0 {
+			continue
+		}
+		// End cell tie-break matches full SW exactly.
+		if got.EndA != want.EndA || got.EndB != want.EndB {
+			t.Fatalf("seed %d: end (%d,%d), SW end (%d,%d)", seed, got.EndA, got.EndB, want.EndA, want.EndB)
+		}
+		subA := a.Slice(got.StartA, got.EndA)
+		subB := b.Slice(got.StartB, got.EndB)
+		if msg := testutil.CheckAlignment(subA, subB, got.Path, got.Score, m, gap); msg != "" {
+			t.Fatalf("seed %d: %s", seed, msg)
+		}
+	}
+}
+
+func TestAlignLocalHomologousCore(t *testing.T) {
+	gap := scoring.Linear(-4)
+	m := scoring.DNASimple
+	// A conserved island inside unrelated flanks.
+	island := seq.Random("island", 150, seq.DNA, 901).String()
+	a := seq.MustNew("a", seq.Random("fa", 200, seq.DNA, 902).String()+island+seq.Random("fb", 200, seq.DNA, 903).String(), seq.DNA)
+	b := seq.MustNew("b", seq.Random("fc", 100, seq.DNA, 904).String()+island+seq.Random("fd", 300, seq.DNA, 905).String(), seq.DNA)
+	res, err := core.AlignLocal(a, b, m, gap, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score < int64(150*5*9/10) {
+		t.Fatalf("local score %d too low for a 150-residue identical island", res.Score)
+	}
+	if res.EndA-res.StartA < 140 || res.EndB-res.StartB < 140 {
+		t.Fatalf("island not recovered: a[%d:%d] b[%d:%d]", res.StartA, res.EndA, res.StartB, res.EndB)
+	}
+}
+
+func TestAlignLocalNoPositive(t *testing.T) {
+	a := seq.MustNew("a", "AAAA", seq.DNA)
+	b := seq.MustNew("b", "TTTT", seq.DNA)
+	res, err := core.AlignLocal(a, b, scoring.DNASimple, scoring.Linear(-4), core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 0 || res.Path.Len() != 0 {
+		t.Fatalf("expected empty result, got %+v", res)
+	}
+}
+
+func TestAlignLocalRejectsAffine(t *testing.T) {
+	a, b := testutil.RandomPair(5, 5, seq.DNA, 1)
+	if _, err := core.AlignLocal(a, b, scoring.DNASimple, scoring.Affine(-5, -1), core.Options{}); err == nil {
+		t.Fatal("affine local must be rejected")
+	}
+}
+
+func TestFMAlignParallelMatchesSequential(t *testing.T) {
+	gap := scoring.Linear(-4)
+	m := scoring.DNASimple
+	a, b := testutil.HomologousPair(400, seq.DNA, 15)
+	want, err := fm.Align(a, b, m, gap, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 7} {
+		got, err := fm.AlignParallel(a, b, m, gap, w, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != want.Score || !got.Path.Equal(want.Path) {
+			t.Fatalf("workers=%d: parallel FM diverges", w)
+		}
+	}
+	// workers=1 delegates to the sequential path.
+	got, err := fm.AlignParallel(a, b, m, gap, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Path.Equal(want.Path) {
+		t.Fatal("workers=1 delegate diverges")
+	}
+}
+
+func TestFMAlignParallelEdges(t *testing.T) {
+	gap := scoring.Linear(-2)
+	m := scoring.DNAStrict
+	empty := seq.MustNew("e", "", seq.DNA)
+	b := seq.MustNew("b", "ACG", seq.DNA)
+	res, err := fm.AlignParallel(empty, b, m, gap, 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Path.String() != "LLL" {
+		t.Fatalf("path %q", res.Path)
+	}
+	if _, err := fm.AlignParallel(b, b, m, scoring.Affine(-5, -1), 4, nil, nil); err == nil {
+		t.Fatal("affine must be rejected by the parallel FM")
+	}
+}

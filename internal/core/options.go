@@ -1,0 +1,197 @@
+// Package core implements the paper's contribution: the FastLSA algorithm,
+// sequential (§3) and parallel (§5).
+//
+// FastLSA is a divide-and-conquer alignment algorithm parameterised by k and
+// by a Base Case buffer of BM DPM entries. A (sub)problem whose matrix fits
+// in the buffer is solved with the full-matrix algorithm; otherwise the
+// logical DPM is divided into k x k blocks, all blocks except the
+// bottom-right one are computed once to fill a grid cache of k row lines and
+// k column lines, and the optimal path is recovered by recursing through the
+// at most 2k-1 blocks the path crosses, bottom-right to top-left, using the
+// grid lines as subproblem boundaries. With quadratic memory FastLSA
+// degenerates to the full-matrix algorithm (no recomputation); with linear
+// memory it computes at most mn * (k/(k-1))^2 cells (Theorem 2), versus
+// Hirschberg's ~2mn.
+//
+// The parallel algorithm (§5) keeps the same recursion but computes each
+// Fill Cache and each large Base Case with a diagonal-wavefront pool of P
+// workers over an R x C tiling aligned to the grid (R = u*k, C = v*k,
+// Figure 13).
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"fastlsa/internal/memory"
+	"fastlsa/internal/stats"
+)
+
+// Default parameter values.
+const (
+	// DefaultK is the number of grid segments per dimension (paper §3,
+	// "k >= 2"). 8 balances grid memory against recomputation:
+	// (8/7)^2 ~ 1.31 worst-case operation factor.
+	DefaultK = 8
+	// DefaultBaseCells is the default Base Case buffer size BM in DPM
+	// entries (512 KiB of int64 values — comfortably cache-resident on the
+	// machines the paper targets).
+	DefaultBaseCells = 64 * 1024
+	// MinBaseCells is the smallest accepted Base Case buffer. Below this the
+	// recursion overhead swamps the computation and the buffer cannot hold
+	// even tiny blocks.
+	MinBaseCells = 16
+	// DefaultParallelFillCells is the subproblem area below which fills run
+	// sequentially even when workers are available (tiles would be too small
+	// to pay for scheduling).
+	DefaultParallelFillCells = 1 << 16
+)
+
+// Options configures a FastLSA run. The zero value selects sensible
+// defaults: k=8, a 64Ki-entry base buffer, unlimited memory, sequential
+// execution.
+type Options struct {
+	// K is the number of segments each dimension is divided into in the
+	// general case (>= 2; 0 selects DefaultK).
+	K int
+	// BaseCells is BM, the Base Case buffer size in DPM entries (0 selects
+	// DefaultBaseCells). Subproblems with (rows+1)*(cols+1) <= BaseCells are
+	// solved with the full-matrix algorithm.
+	BaseCells int
+	// Budget is RM, the total memory budget in DPM entries (nil =
+	// unlimited). The Base Case buffer, every live grid cache, and parallel
+	// fill meshes are charged against it; exhaustion aborts the run with
+	// memory.ErrExceeded.
+	Budget *memory.Budget
+	// Workers is P, the number of parallel workers (1 = the sequential
+	// algorithm; 0 selects GOMAXPROCS).
+	Workers int
+	// TileRows (u) and TileCols (v) subdivide each grid block into u x v
+	// wavefront tiles for the parallel fill (Figure 13 uses u=2, v=3). 0
+	// derives them from Workers and K so that the tile grid is at least
+	// ~2P wide per dimension.
+	TileRows, TileCols int
+	// ParallelFillCells is the minimum subproblem area for a parallel fill
+	// (0 selects DefaultParallelFillCells).
+	ParallelFillCells int
+	// Counters, when non-nil, accumulates instrumentation.
+	Counters *stats.Counters
+}
+
+// resolved is the validated, defaulted form of Options.
+type resolved struct {
+	k          int
+	baseCells  int
+	budget     *memory.Budget
+	workers    int
+	tileRows   int
+	tileCols   int
+	parMinArea int
+	c          *stats.Counters
+}
+
+func (o Options) resolve() (resolved, error) {
+	r := resolved{
+		k:          o.K,
+		baseCells:  o.BaseCells,
+		budget:     o.Budget,
+		workers:    o.Workers,
+		tileRows:   o.TileRows,
+		tileCols:   o.TileCols,
+		parMinArea: o.ParallelFillCells,
+		c:          o.Counters,
+	}
+	if r.k == 0 {
+		r.k = DefaultK
+	}
+	if r.k < 2 {
+		return resolved{}, fmt.Errorf("core: Options.K = %d, want >= 2 (paper §3)", o.K)
+	}
+	if r.baseCells == 0 {
+		r.baseCells = DefaultBaseCells
+	}
+	if r.baseCells < MinBaseCells {
+		return resolved{}, fmt.Errorf("core: Options.BaseCells = %d, want >= %d", o.BaseCells, MinBaseCells)
+	}
+	if r.workers < 0 {
+		return resolved{}, fmt.Errorf("core: Options.Workers = %d, want >= 0", o.Workers)
+	}
+	if r.workers == 0 {
+		r.workers = runtime.GOMAXPROCS(0)
+	}
+	if r.tileRows < 0 || r.tileCols < 0 {
+		return resolved{}, fmt.Errorf("core: negative tile subdivision (%d, %d)", o.TileRows, o.TileCols)
+	}
+	if r.tileRows == 0 {
+		r.tileRows = defaultTileSub(r.workers, r.k)
+	}
+	if r.tileCols == 0 {
+		r.tileCols = defaultTileSub(r.workers, r.k)
+	}
+	if r.parMinArea == 0 {
+		r.parMinArea = DefaultParallelFillCells
+	}
+	return r, nil
+}
+
+// defaultTileSub picks u (or v) so that the R = u*k tile rows comfortably
+// exceed 2P, keeping the ramp phases (Figure 13 phases 1 and 3) a small
+// fraction of the fill: with R, C >= 2P the alpha of Theorem 4 is at most
+// (1 + 1/4)/P.
+func defaultTileSub(workers, k int) int {
+	if workers <= 1 {
+		return 1
+	}
+	u := (2*workers + k - 1) / k
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+// SuggestOptions derives FastLSA parameters from a memory budget for an
+// m x n problem, following the paper's tuning discussion (§3, §4): reserve a
+// cache-sized Base Case buffer, then verify that the top-level grid cache
+// (~2k(m+n) entries plus the geometric recursion tail) fits the remainder.
+// It returns an error when even k=2 cannot fit, i.e. the budget is below the
+// linear-space floor of the algorithm.
+func SuggestOptions(m, n int, budgetEntries int64, workers int) (Options, error) {
+	if m < 0 || n < 0 {
+		return Options{}, fmt.Errorf("core: SuggestOptions: negative dimensions %dx%d", m, n)
+	}
+	if budgetEntries <= 0 {
+		// Unlimited: defaults.
+		return Options{K: DefaultK, BaseCells: DefaultBaseCells, Workers: workers}, nil
+	}
+	// gridNeed estimates the peak grid-cache footprint of a run with
+	// parameter k: the top level holds k(m+n+2) entries, each deeper level
+	// 1/k of the previous; sum <= k(m+n+2) * k/(k-1).
+	gridNeed := func(k int) int64 {
+		top := int64(k) * int64(m+n+2)
+		return top + top/int64(k-1) + 1
+	}
+	// Prefer the largest base buffer and the default k; shrink as needed.
+	for _, k := range []int{DefaultK, 6, 4, 3, 2} {
+		need := gridNeed(k)
+		if need >= budgetEntries {
+			continue
+		}
+		base := budgetEntries - need
+		if base > budgetEntries/2 {
+			base = budgetEntries / 2 // keep headroom for deep recursion
+		}
+		if base > int64(DefaultBaseCells)*16 {
+			base = int64(DefaultBaseCells) * 16
+		}
+		if base < MinBaseCells {
+			continue
+		}
+		b, err := memory.NewBudget(budgetEntries)
+		if err != nil {
+			return Options{}, err
+		}
+		return Options{K: k, BaseCells: int(base), Budget: b, Workers: workers}, nil
+	}
+	return Options{}, fmt.Errorf("core: budget of %d entries is below FastLSA's linear-space floor for a %dx%d problem (needs ~%d)",
+		budgetEntries, m, n, gridNeed(2)+MinBaseCells)
+}

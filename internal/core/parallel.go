@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"fastlsa/internal/lastrow"
+	"fastlsa/internal/wavefront"
+)
+
+// fillGridCacheParallel is the Parallel Fill Cache of §5 (Figure 13): the
+// subproblem is tiled R x C with R = u*k and C = v*k, so tile boundaries are
+// aligned with (a refinement of) the grid lines. Tiles are executed by P
+// workers in diagonal-wavefront order; the u x v tiles of the bottom-right
+// block are skipped. Inter-tile boundary values travel through a transient
+// "mesh" of R row lines and C column lines, charged to the budget and
+// released once the aligned lines have been copied into the grid cache.
+func (s *solver) fillGridCacheParallel(grid *gridCache) error {
+	t, k := grid.t, grid.k
+	rows, cols := t.rows(), t.cols()
+
+	// Clamp the per-block subdivision so every tile is non-empty.
+	u := clampSub(s.opt.tileRows, minSegment(grid.rs))
+	v := clampSub(s.opt.tileCols, minSegment(grid.cs))
+	R, C := k*u, k*v
+
+	// Tile boundaries refine the block boundaries.
+	trs := refineBoundaries(grid.rs, u)
+	tcs := refineBoundaries(grid.cs, v)
+
+	// Mesh lines: meshRows[i] spans node row trs[i] (full width); meshCols[j]
+	// spans node column tcs[j] (full height). Row/column 0 alias the grid's
+	// copies of the input caches; lines at indices >= R (resp. C) are never
+	// produced or consumed.
+	meshEntries := int64(R-1)*int64(cols+1) + int64(C-1)*int64(rows+1)
+	if err := s.opt.budget.Reserve(meshEntries); err != nil {
+		return fmt.Errorf("core: parallel fill mesh (%dx%d tiles, %d entries): %w", R, C, meshEntries, err)
+	}
+	defer s.opt.budget.Release(meshEntries)
+	s.c.ObserveGridEntries(s.opt.budget.Used())
+
+	meshRows := make([][]int64, R)
+	meshCols := make([][]int64, C)
+	meshRows[0] = grid.rows[0]
+	meshCols[0] = grid.cols[0]
+	rowBack := make([]int64, (R-1)*(cols+1))
+	colBack := make([]int64, (C-1)*(rows+1))
+	for i := 1; i < R; i++ {
+		meshRows[i], rowBack = rowBack[:cols+1:cols+1], rowBack[cols+1:]
+		meshRows[i][0] = grid.cols[0][trs[i]-t.r0]
+	}
+	for j := 1; j < C; j++ {
+		meshCols[j], colBack = colBack[:rows+1:rows+1], colBack[rows+1:]
+		meshCols[j][0] = grid.rows[0][tcs[j]-t.c0]
+	}
+
+	skip := func(ti, tj int) bool { return ti >= (k-1)*u && tj >= (k-1)*v }
+
+	ph := wavefront.ClassifyPhases(R, C, s.opt.workers, skip)
+	s.c.AddPhaseTiles(1, ph.Tiles1)
+	s.c.AddPhaseTiles(2, ph.Tiles2)
+	s.c.AddPhaseTiles(3, ph.Tiles3)
+
+	wf := &wavefront.Grid{
+		Rows:    R,
+		Cols:    C,
+		Workers: s.opt.workers,
+		Skip:    skip,
+		Exec: func(ti, tj int) error {
+			return s.fillTile(t, trs, tcs, meshRows, meshCols, ti, tj)
+		},
+	}
+	if err := wf.Run(); err != nil {
+		return err
+	}
+
+	// Copy the block-aligned mesh lines into the persistent grid cache.
+	for i := 1; i < k; i++ {
+		copy(grid.rows[i], meshRows[i*u])
+	}
+	for j := 1; j < k; j++ {
+		copy(grid.cols[j], meshCols[j*v])
+	}
+	return nil
+}
+
+// fillTile computes one wavefront tile: rows trs[ti]..trs[ti+1], columns
+// tcs[tj]..tcs[tj+1]. It reads its top boundary from meshRows[ti] and left
+// boundary from meshCols[tj], and publishes its bottom row into
+// meshRows[ti+1] and right column into meshCols[tj+1] (excluding the
+// top/left endpoints, which the up-left neighbours own).
+func (s *solver) fillTile(t rect, trs, tcs []int, meshRows, meshCols [][]int64, ti, tj int) error {
+	r0, r1 := trs[ti], trs[ti+1]
+	c0, c1 := tcs[tj], tcs[tj+1]
+	segRows, segCols := r1-r0, c1-c0
+
+	top := meshRows[ti][c0-t.c0 : c1-t.c0+1]
+	left := meshCols[tj][r0-t.r0 : r1-t.r0+1]
+
+	outRow := s.pool.GetFull(segCols + 1)
+	outCol := s.pool.GetFull(segRows + 1)
+	defer s.pool.Put(outRow)
+	defer s.pool.Put(outCol)
+
+	if err := lastrow.Forward(s.a[r0:r1], s.b[c0:c1], s.m, s.g, top, left, outRow, outCol, s.c); err != nil {
+		return err
+	}
+	if ti+1 < len(meshRows) {
+		dst := meshRows[ti+1][c0-t.c0:]
+		copy(dst[1:segCols+1], outRow[1:])
+	}
+	if tj+1 < len(meshCols) {
+		dst := meshCols[tj+1][r0-t.r0:]
+		copy(dst[1:segRows+1], outCol[1:])
+	}
+	s.c.AddFillTile()
+	return nil
+}
+
+// fillRectParallel is the Parallel Base Case of §5.2: the full matrix buf is
+// filled by P workers over an R x C wavefront tiling; the traceback that
+// follows is sequential (its cost is linear in the path length).
+func (s *solver) fillRectParallel(ra, rb []byte, top, left []int64, buf []int64) error {
+	rows, cols := len(ra), len(rb)
+	stride := cols + 1
+
+	// Derive a tiling comparable to the fill-cache one.
+	R := s.opt.workers * 2
+	if R > rows {
+		R = rows
+	}
+	if R < 1 {
+		R = 1
+	}
+	C := s.opt.workers * 2
+	if C > cols {
+		C = cols
+	}
+	if C < 1 {
+		C = 1
+	}
+	trs := splitBoundaries(0, rows, R)
+	tcs := splitBoundaries(0, cols, C)
+
+	copy(buf[:stride], top)
+	for r := 0; r <= rows; r++ {
+		buf[r*stride] = left[r]
+	}
+
+	ph := wavefront.ClassifyPhases(R, C, s.opt.workers, nil)
+	s.c.AddPhaseTiles(1, ph.Tiles1)
+	s.c.AddPhaseTiles(2, ph.Tiles2)
+	s.c.AddPhaseTiles(3, ph.Tiles3)
+
+	wf := &wavefront.Grid{
+		Rows:    R,
+		Cols:    C,
+		Workers: s.opt.workers,
+		Exec: func(ti, tj int) error {
+			s.fillBufRegion(ra, rb, buf, stride, trs[ti], trs[ti+1], tcs[tj], tcs[tj+1])
+			s.c.AddFillTile()
+			return nil
+		},
+	}
+	return wf.Run()
+}
+
+// fillBufRegion computes cells (r0+1..r1) x (c0+1..c1) of the stored matrix
+// in place, reading the already-computed row above and column to the left.
+func (s *solver) fillBufRegion(ra, rb []byte, buf []int64, stride, r0, r1, c0, c1 int) {
+	for r := r0 + 1; r <= r1; r++ {
+		base := r * stride
+		prev := base - stride
+		srow := s.m.Row(ra[r-1])
+		rv := buf[base+c0]
+		for j := c0 + 1; j <= c1; j++ {
+			best := buf[prev+j-1] + int64(srow[rb[j-1]])
+			if v := buf[prev+j] + s.g; v > best {
+				best = v
+			}
+			if v := rv + s.g; v > best {
+				best = v
+			}
+			buf[base+j] = best
+			rv = best
+		}
+	}
+	s.c.AddCells(int64(r1-r0) * int64(c1-c0))
+}
+
+// clampSub limits a per-block tile subdivision to the smallest block extent
+// so no tile is empty.
+func clampSub(sub, minSeg int) int {
+	if sub < 1 {
+		return 1
+	}
+	if sub > minSeg {
+		if minSeg < 1 {
+			return 1
+		}
+		return minSeg
+	}
+	return sub
+}
+
+// minSegment returns the smallest gap between consecutive boundaries.
+func minSegment(bs []int) int {
+	min := bs[len(bs)-1] - bs[0]
+	for i := 0; i+1 < len(bs); i++ {
+		if d := bs[i+1] - bs[i]; d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// refineBoundaries splits every [bs[i], bs[i+1]] segment into sub near-equal
+// parts, returning the refined boundary list of len (len(bs)-1)*sub + 1.
+func refineBoundaries(bs []int, sub int) []int {
+	out := make([]int, 0, (len(bs)-1)*sub+1)
+	for i := 0; i+1 < len(bs); i++ {
+		lo, hi := bs[i], bs[i+1]
+		span := hi - lo
+		for sIdx := 0; sIdx < sub; sIdx++ {
+			out = append(out, lo+span*sIdx/sub)
+		}
+	}
+	out = append(out, bs[len(bs)-1])
+	return out
+}

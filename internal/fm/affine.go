@@ -1,0 +1,168 @@
+package fm
+
+import (
+	"fmt"
+	"math"
+
+	"fastlsa/internal/align"
+	"fastlsa/internal/memory"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/stats"
+)
+
+// NegInf is the "minus infinity" sentinel for unreachable affine DP states.
+// It is far below any reachable score yet safe to add gap penalties to
+// without wrapping.
+const NegInf = math.MinInt64 / 4
+
+// AlignAffine computes the optimal global alignment under an affine
+// (Gotoh) gap model: a gap of length L costs Open + L*Extend. This is the
+// gap-model extension of the paper's FM algorithm; three (m+1)*(n+1)
+// matrices (H, E, F) are stored and charged to the budget.
+//
+// State meaning: H = best score ending in a Diag move (or at a boundary),
+// E = best score ending in an Up move (gap in b), F = best score ending in a
+// Left move (gap in a). Overall best at a node is max(H,E,F), held in H here
+// (H is the "closed" state).
+func AlignAffine(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, budget *memory.Budget, c *stats.Counters) (Result, error) {
+	if err := gap.Validate(); err != nil {
+		return Result{}, err
+	}
+	ra, rb := a.Residues, b.Residues
+	rows, cols := len(ra)+1, len(rb)+1
+	entries := int64(rows) * int64(cols)
+	if err := budget.Reserve(3 * entries); err != nil {
+		return Result{}, fmt.Errorf("fm: affine DPM of 3 x %d x %d entries: %w", rows, cols, err)
+	}
+	defer budget.Release(3 * entries)
+
+	open, ext := int64(gap.Open), int64(gap.Extend)
+	H := make([]int64, entries)
+	E := make([]int64, entries)
+	F := make([]int64, entries)
+
+	H[0] = 0
+	for j := 1; j < cols; j++ {
+		H[j] = open + int64(j)*ext
+		F[j] = H[j]
+		E[j] = NegInf
+	}
+	for r := 1; r < rows; r++ {
+		base := r * cols
+		H[base] = open + int64(r)*ext
+		E[base] = H[base]
+		F[base] = NegInf
+	}
+
+	for r := 1; r < rows; r++ {
+		base := r * cols
+		prev := base - cols
+		srow := m.Row(ra[r-1])
+		for j := 1; j < cols; j++ {
+			e := E[prev+j] + ext
+			if v := H[prev+j] + open + ext; v > e {
+				e = v
+			}
+			E[base+j] = e
+			f := F[base+j-1] + ext
+			if v := H[base+j-1] + open + ext; v > f {
+				f = v
+			}
+			F[base+j] = f
+			h := H[prev+j-1] + int64(srow[rb[j-1]])
+			if e > h {
+				h = e
+			}
+			if f > h {
+				h = f
+			}
+			H[base+j] = h
+		}
+	}
+	c.AddCells(int64(len(ra)) * int64(len(rb)))
+
+	bld := align.NewBuilder(len(ra) + len(rb))
+	r, cc, _ := TracebackAffine(ra, rb, m, open, ext, H, E, F, bld, len(ra), len(rb), StateH, c)
+	for ; r > 0; r-- {
+		bld.Push(align.Up)
+	}
+	for ; cc > 0; cc-- {
+		bld.Push(align.Left)
+	}
+	return Result{Score: H[entries-1], Path: bld.Path()}, nil
+}
+
+// Affine traceback states. FastLSA threads these across block boundaries:
+// a gap can span several subproblems, and the traceback must resume inside
+// it.
+const (
+	// StateH is the closed state: the next decision considers all three
+	// predecessors (this is also the "overall best" matrix, since H holds
+	// max(diag-closed, E, F)).
+	StateH = iota
+	// StateE is inside a vertical gap (a run of Up moves).
+	StateE
+	// StateF is inside a horizontal gap (a run of Left moves).
+	StateF
+)
+
+// TracebackAffine traces an affine-gap path backwards from (fromR, fromC) in
+// the given state until node row 0 or column 0, pushing moves on bld and
+// returning the exit node together with the state at the exit node (so a
+// caller recursing across block boundaries can resume mid-gap). Tie-break
+// within H: Diag > E (Up) > F (Left); within a gap state: extend > close
+// (produces maximal-length gaps, matching the FastLSA affine base case).
+func TracebackAffine(a, b []byte, m *scoring.Matrix, open, ext int64, H, E, F []int64, bld *align.Builder, fromR, fromC, state int, c *stats.Counters) (exitR, exitC, exitState int) {
+	cols := len(b) + 1
+	r, cc := fromR, fromC
+	steps := int64(0)
+	for r > 0 && cc > 0 {
+		idx := r*cols + cc
+		switch state {
+		case StateH:
+			cur := H[idx]
+			switch {
+			case H[idx-cols-1]+int64(m.Score(a[r-1], b[cc-1])) == cur:
+				bld.Push(align.Diag)
+				r--
+				cc--
+			case E[idx] == cur:
+				state = StateE
+				continue // no move yet; E will emit
+			case F[idx] == cur:
+				state = StateF
+				continue
+			default:
+				panic(fmt.Sprintf("fm: affine traceback stuck in H at (%d,%d)", r, cc))
+			}
+		case StateE:
+			cur := E[idx]
+			bld.Push(align.Up)
+			switch {
+			case E[idx-cols]+ext == cur:
+				// stay in E
+			case H[idx-cols]+open+ext == cur:
+				state = StateH
+			default:
+				panic(fmt.Sprintf("fm: affine traceback stuck in E at (%d,%d)", r, cc))
+			}
+			r--
+		case StateF:
+			cur := F[idx]
+			bld.Push(align.Left)
+			switch {
+			case F[idx-1]+ext == cur:
+				// stay in F
+			case H[idx-1]+open+ext == cur:
+				state = StateH
+			default:
+				panic(fmt.Sprintf("fm: affine traceback stuck in F at (%d,%d)", r, cc))
+			}
+			cc--
+		}
+		steps++
+	}
+	c.AddTraceback(steps)
+	return r, cc, state
+}

@@ -1,0 +1,148 @@
+package fm
+
+import (
+	"fmt"
+
+	"fastlsa/internal/align"
+	"fastlsa/internal/lastrow"
+	"fastlsa/internal/memory"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/stats"
+)
+
+// AlignMode computes an optimal ends-free alignment (align.Mode) with the
+// full-matrix algorithm: free-start flags zero the corresponding DPM
+// boundary, free-end flags move the traceback start to the best entry of
+// the last column (FreeEndA) and/or last row (FreeEndB). The returned path
+// still spans the full (m, n) rectangle — its free terminal runs simply
+// carry no score — and Result.Score is the mode score (equal to
+// align.ScorePathMode of the path). Both linear and affine gap models are
+// supported.
+func AlignMode(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, md align.Mode, budget *memory.Budget, c *stats.Counters) (Result, error) {
+	if err := gap.Validate(); err != nil {
+		return Result{}, err
+	}
+	if md.IsGlobal() {
+		return Align(a, b, m, gap, budget, c)
+	}
+	if !gap.IsLinear() {
+		return alignModeAffine(a, b, m, gap, md, budget, c)
+	}
+	ra, rb := a.Residues, b.Residues
+	rows, cols := len(ra)+1, len(rb)+1
+	entries := int64(rows) * int64(cols)
+	if err := budget.Reserve(entries); err != nil {
+		return Result{}, fmt.Errorf("fm: mode DPM of %d x %d entries: %w", rows, cols, err)
+	}
+	defer budget.Release(entries)
+
+	g := int64(gap.Extend)
+	buf := make([]int64, entries)
+	top := ModeTopBoundary(nil, len(rb), g, md)
+	left := ModeLeftBoundary(nil, len(ra), g, md)
+	for r := 0; r < rows; r++ {
+		buf[r*cols] = left[r]
+	}
+	FillRect(ra, rb, m, g, top, left, buf, c)
+
+	endR, endC, score := ModeEnd(buf, rows, cols, md)
+
+	bld := align.NewBuilder(len(ra) + len(rb))
+	// Free trailing moves sit at the end of the path: push them first
+	// (the builder accumulates in trace order).
+	for i := len(ra); i > endR; i-- {
+		bld.Push(align.Up)
+	}
+	for j := len(rb); j > endC; j-- {
+		bld.Push(align.Left)
+	}
+	r, cc := TracebackRect(ra, rb, m, g, buf, bld, endR, endC, c)
+	for ; r > 0; r-- {
+		bld.Push(align.Up)
+	}
+	for ; cc > 0; cc-- {
+		bld.Push(align.Left)
+	}
+	return Result{Score: score, Path: bld.Path()}, nil
+}
+
+// ModeTopBoundary builds DPM row 0 for the mode. Moves along row 0 consume
+// B residues against gaps, so the row is zero-initialised when B's prefix is
+// free to dangle (FreeStartB); otherwise it carries the usual leading-gap
+// penalties.
+func ModeTopBoundary(dst []int64, n int, g int64, md align.Mode) []int64 {
+	if md.FreeStartB {
+		if cap(dst) < n+1 {
+			dst = make([]int64, n+1)
+		}
+		dst = dst[:n+1]
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	return lastrow.Boundary(dst, n, 0, g)
+}
+
+// ModeLeftBoundary builds DPM column 0 for the mode (zeros when FreeStartA).
+func ModeLeftBoundary(dst []int64, m int, g int64, md align.Mode) []int64 {
+	if md.FreeStartA {
+		if cap(dst) < m+1 {
+			dst = make([]int64, m+1)
+		}
+		dst = dst[:m+1]
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	return lastrow.Boundary(dst, m, 0, g)
+}
+
+// ModeEnd locates the traceback start for the mode in a filled row-major
+// matrix: the best entry among (m, n), the last column if FreeEndA, and the
+// last row if FreeEndB. Ties resolve to (m, n) first, then to larger
+// indices (longer aligned cores).
+func ModeEnd(buf []int64, rows, cols int, md align.Mode) (endR, endC int, score int64) {
+	endR, endC = rows-1, cols-1
+	score = buf[int64(rows)*int64(cols)-1]
+	if md.FreeEndA {
+		for r := rows - 2; r >= 0; r-- {
+			if v := buf[r*cols+cols-1]; v > score {
+				score, endR, endC = v, r, cols-1
+			}
+		}
+	}
+	if md.FreeEndB {
+		for j := cols - 2; j >= 0; j-- {
+			if v := buf[(rows-1)*cols+j]; v > score {
+				score, endR, endC = v, rows-1, j
+			}
+		}
+	}
+	return endR, endC, score
+}
+
+// ModeEndFromEdges is ModeEnd over the last row and last column vectors
+// (for linear-space engines that never store the matrix).
+func ModeEndFromEdges(lastRow, lastCol []int64, md align.Mode) (endR, endC int, score int64) {
+	m, n := len(lastCol)-1, len(lastRow)-1
+	endR, endC = m, n
+	score = lastRow[n]
+	if md.FreeEndA {
+		for r := m - 1; r >= 0; r-- {
+			if lastCol[r] > score {
+				score, endR, endC = lastCol[r], r, n
+			}
+		}
+	}
+	if md.FreeEndB {
+		for j := n - 1; j >= 0; j-- {
+			if lastRow[j] > score {
+				score, endR, endC = lastRow[j], m, j
+			}
+		}
+	}
+	return endR, endC, score
+}

@@ -1,0 +1,128 @@
+package fm
+
+import (
+	"fmt"
+
+	"fastlsa/internal/align"
+	"fastlsa/internal/lastrow"
+	"fastlsa/internal/memory"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/stats"
+)
+
+// alignModeAffine is the affine-gap ends-free full-matrix engine: free-start
+// flags zero the H boundary of the corresponding edge (terminal gaps along
+// that edge carry no charge, and paths may effectively start anywhere on
+// it), free-end flags move the traceback start to the best H entry of the
+// last column / row.
+func alignModeAffine(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, md align.Mode, budget *memory.Budget, c *stats.Counters) (Result, error) {
+	ra, rb := a.Residues, b.Residues
+	rows, cols := len(ra)+1, len(rb)+1
+	entries := int64(rows) * int64(cols)
+	if err := budget.Reserve(3 * entries); err != nil {
+		return Result{}, fmt.Errorf("fm: affine mode DPM of 3 x %d x %d entries: %w", rows, cols, err)
+	}
+	defer budget.Release(3 * entries)
+
+	open, ext := int64(gap.Open), int64(gap.Extend)
+	H := make([]int64, entries)
+	E := make([]int64, entries)
+	F := make([]int64, entries)
+
+	// Boundaries: free edges are zero in H and dead in the gap lanes (a
+	// restart on the boundary is always at least as good as continuing a
+	// free gap, so the gap lanes need no boundary values).
+	for j := 1; j < cols; j++ {
+		if md.FreeStartB {
+			H[j] = 0
+		} else {
+			H[j] = open + int64(j)*ext
+		}
+		E[j] = NegInf
+		F[j] = NegInf
+	}
+	for r := 1; r < rows; r++ {
+		base := r * cols
+		if md.FreeStartA {
+			H[base] = 0
+		} else {
+			H[base] = open + int64(r)*ext
+		}
+		E[base] = NegInf
+		F[base] = NegInf
+	}
+
+	for r := 1; r < rows; r++ {
+		base := r * cols
+		prev := base - cols
+		srow := m.Row(ra[r-1])
+		for j := 1; j < cols; j++ {
+			e := E[prev+j] + ext
+			if v := H[prev+j] + open + ext; v > e {
+				e = v
+			}
+			E[base+j] = e
+			f := F[base+j-1] + ext
+			if v := H[base+j-1] + open + ext; v > f {
+				f = v
+			}
+			F[base+j] = f
+			h := H[prev+j-1] + int64(srow[rb[j-1]])
+			if e > h {
+				h = e
+			}
+			if f > h {
+				h = f
+			}
+			H[base+j] = h
+		}
+	}
+	c.AddCells(int64(len(ra)) * int64(len(rb)))
+
+	endR, endC, score := ModeEnd(H, rows, cols, md)
+
+	bld := align.NewBuilder(len(ra) + len(rb))
+	for i := len(ra); i > endR; i-- {
+		bld.Push(align.Up)
+	}
+	for j := len(rb); j > endC; j-- {
+		bld.Push(align.Left)
+	}
+	r, cc, _ := TracebackAffine(ra, rb, m, open, ext, H, E, F, bld, endR, endC, StateH, c)
+	for ; r > 0; r-- {
+		bld.Push(align.Up)
+	}
+	for ; cc > 0; cc-- {
+		bld.Push(align.Left)
+	}
+	return Result{Score: score, Path: bld.Path()}, nil
+}
+
+// AffineModeBoundaries builds the mode-aware affine boundary vectors for a
+// linear-space sweep (H lanes; the gap lanes are NegInf at free or global
+// boundaries alike, since E is never live on row 0 nor F on column 0).
+func AffineModeBoundaries(mlen, nlen int, open, ext int64, md align.Mode) (topH, topE, leftH, leftF []int64) {
+	topH = make([]int64, nlen+1)
+	topE = make([]int64, nlen+1)
+	leftH = make([]int64, mlen+1)
+	leftF = make([]int64, mlen+1)
+	for j := 1; j <= nlen; j++ {
+		if !md.FreeStartB {
+			topH[j] = open + int64(j)*ext
+		}
+	}
+	for i := 0; i <= nlen; i++ {
+		topE[i] = lastrow.NegInf
+	}
+	topE[0] = lastrow.NegInf
+	for r := 1; r <= mlen; r++ {
+		if !md.FreeStartA {
+			leftH[r] = open + int64(r)*ext
+		}
+	}
+	for i := 0; i <= mlen; i++ {
+		leftF[i] = lastrow.NegInf
+	}
+	return topH, topE, leftH, leftF
+}

@@ -1,0 +1,118 @@
+package fm
+
+import (
+	"fmt"
+
+	"fastlsa/internal/align"
+	"fastlsa/internal/lastrow"
+	"fastlsa/internal/memory"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/stats"
+	"fastlsa/internal/wavefront"
+)
+
+// AlignParallel is the wavefront-parallel full-matrix algorithm: the stored
+// DPM is filled by P workers over a tile grid (the FindScore phase
+// parallelises; the FindPath traceback stays sequential). It is the
+// quadratic-space baseline that Parallel FastLSA is compared against in the
+// parallel experiments. Linear gap models only.
+func AlignParallel(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, workers int, budget *memory.Budget, c *stats.Counters) (Result, error) {
+	if err := gap.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !gap.IsLinear() {
+		return Result{}, fmt.Errorf("fm: AlignParallel: affine gaps not supported (use Align)")
+	}
+	if workers <= 1 {
+		return Align(a, b, m, gap, budget, c)
+	}
+	ra, rb := a.Residues, b.Residues
+	rows, cols := len(ra), len(rb)
+	stride := cols + 1
+	entries := int64(rows+1) * int64(stride)
+	if err := budget.Reserve(entries); err != nil {
+		return Result{}, fmt.Errorf("fm: parallel DPM of %dx%d entries: %w", rows+1, stride, err)
+	}
+	defer budget.Release(entries)
+
+	g := int64(gap.Extend)
+	buf := make([]int64, entries)
+	lastrow.Boundary(buf[:stride], cols, 0, g)
+	v := int64(0)
+	for r := 0; r <= rows; r++ {
+		buf[r*stride] = v
+		v += g
+	}
+
+	if rows > 0 && cols > 0 {
+		R := workers * 2
+		if R > rows {
+			R = rows
+		}
+		C := workers * 2
+		if C > cols {
+			C = cols
+		}
+		trs := tileBounds(rows, R)
+		tcs := tileBounds(cols, C)
+		wf := &wavefront.Grid{
+			Rows:    R,
+			Cols:    C,
+			Workers: workers,
+			Exec: func(ti, tj int) error {
+				fillRegion(ra, rb, m, g, buf, stride, trs[ti], trs[ti+1], tcs[tj], tcs[tj+1])
+				c.AddFillTile()
+				return nil
+			},
+		}
+		ph := wavefront.ClassifyPhases(R, C, workers, nil)
+		c.AddPhaseTiles(1, ph.Tiles1)
+		c.AddPhaseTiles(2, ph.Tiles2)
+		c.AddPhaseTiles(3, ph.Tiles3)
+		if err := wf.Run(); err != nil {
+			return Result{}, err
+		}
+		c.AddCells(int64(rows) * int64(cols))
+	}
+
+	bld := align.NewBuilder(rows + cols)
+	r, cc := TracebackRect(ra, rb, m, g, buf, bld, rows, cols, c)
+	for ; r > 0; r-- {
+		bld.Push(align.Up)
+	}
+	for ; cc > 0; cc-- {
+		bld.Push(align.Left)
+	}
+	return Result{Score: buf[entries-1], Path: bld.Path()}, nil
+}
+
+// fillRegion computes cells (r0+1..r1) x (c0+1..c1) of the stored matrix.
+func fillRegion(a, b []byte, m *scoring.Matrix, g int64, buf []int64, stride, r0, r1, c0, c1 int) {
+	for r := r0 + 1; r <= r1; r++ {
+		base := r * stride
+		prev := base - stride
+		srow := m.Row(a[r-1])
+		rv := buf[base+c0]
+		for j := c0 + 1; j <= c1; j++ {
+			best := buf[prev+j-1] + int64(srow[b[j-1]])
+			if v := buf[prev+j] + g; v > best {
+				best = v
+			}
+			if v := rv + g; v > best {
+				best = v
+			}
+			buf[base+j] = best
+			rv = best
+		}
+	}
+}
+
+// tileBounds splits [0, n] into t near-equal segments.
+func tileBounds(n, t int) []int {
+	bs := make([]int, t+1)
+	for i := 0; i <= t; i++ {
+		bs[i] = n * i / t
+	}
+	return bs
+}

@@ -1,0 +1,239 @@
+package hirschberg
+
+import (
+	"fmt"
+
+	"fastlsa/internal/align"
+	"fastlsa/internal/fm"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/stats"
+)
+
+// AlignAffine computes the optimal global alignment under an affine gap
+// model in linear space, following Myers & Miller's adaptation of
+// Hirschberg's scheme (an extension over the paper's linear-gap setting).
+//
+// The recursion carries two boundary discounts, tb and te: the gap-open
+// charge for a vertical gap that continues through the subproblem's top
+// boundary at its column 0, and through its bottom boundary at its column N,
+// respectively. A split is either type 1 (the optimal path crosses the middle
+// row between gaps) or type 2 (a single vertical gap spans the middle rows,
+// in which case one gap-open charge is refunded and the two straddling rows
+// are emitted directly).
+func AlignAffine(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, opt Options, c *stats.Counters) (fm.Result, error) {
+	if err := gap.Validate(); err != nil {
+		return fm.Result{}, err
+	}
+	if gap.IsLinear() {
+		return Align(a, b, m, gap, opt, c)
+	}
+	open, ext := int64(gap.Open), int64(gap.Extend)
+	s := &affineSolver{m: m, open: open, ext: ext, c: c}
+	s.moves = make([]align.Move, 0, a.Len()+b.Len())
+	s.diff(a.Residues, b.Residues, open, open)
+	path := align.NewPath(s.moves)
+	if err := path.Validate(a.Len(), b.Len()); err != nil {
+		return fm.Result{}, fmt.Errorf("hirschberg: affine path invalid: %w", err)
+	}
+	score := align.ScorePath(a, b, path, m, gap)
+	c.AddTraceback(int64(path.Len()))
+	return fm.Result{Score: score, Path: path}, nil
+}
+
+// scoreAffine computes just the affine global score in linear space.
+func scoreAffine(ra, rb []byte, m *scoring.Matrix, open, ext int64, c *stats.Counters) (int64, error) {
+	if len(ra) == 0 {
+		if len(rb) == 0 {
+			return 0, nil
+		}
+		return open + int64(len(rb))*ext, nil
+	}
+	cc, _ := forwardAffine(ra, rb, m, open, ext, open, c)
+	return cc[len(rb)], nil
+}
+
+type affineSolver struct {
+	m     *scoring.Matrix
+	open  int64
+	ext   int64
+	c     *stats.Counters
+	moves []align.Move
+}
+
+func (s *affineSolver) emit(mv align.Move, n int) {
+	for i := 0; i < n; i++ {
+		s.moves = append(s.moves, mv)
+	}
+}
+
+// gapScore is the score of inserting a gap of length n (0 for n == 0).
+func (s *affineSolver) gapScore(n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return s.open + int64(n)*s.ext
+}
+
+// diff emits the optimal path for aligning ra against rb given the boundary
+// discounts tb and te (each either s.open or 0).
+func (s *affineSolver) diff(ra, rb []byte, tb, te int64) {
+	M, N := len(ra), len(rb)
+	switch {
+	case M == 0:
+		s.emit(align.Left, N)
+		return
+	case N == 0:
+		s.emit(align.Up, M)
+		return
+	case M == 1:
+		s.diffSingleRow(ra, rb, tb, te)
+		return
+	}
+
+	i := M / 2
+	cc, dd := forwardAffine(ra[:i], rb, s.m, s.open, s.ext, tb, s.c)
+	rr, ss := reverseAffine(ra[i:], rb, s.m, s.open, s.ext, te, s.c)
+
+	// Choose the crossing column and type. Type 1: path passes node (i,j)
+	// between gaps. Type 2: a vertical gap spans rows i and i+1 at column j
+	// (one open refunded).
+	bestJ, bestType := 0, 1
+	best := cc[0] + rr[0]
+	for j := 0; j <= N; j++ {
+		if v := cc[j] + rr[j]; v > best {
+			best, bestJ, bestType = v, j, 1
+		}
+		if v := dd[j] + ss[j] - s.open; v > best {
+			best, bestJ, bestType = v, j, 2
+		}
+	}
+
+	if bestType == 1 {
+		s.diff(ra[:i], rb[:bestJ], tb, s.open)
+		s.diff(ra[i:], rb[bestJ:], s.open, te)
+		return
+	}
+	// Type 2: rows i and i+1 (1-based) are inside one vertical gap.
+	s.diff(ra[:i-1], rb[:bestJ], tb, 0)
+	s.emit(align.Up, 2)
+	s.diff(ra[i+1:], rb[bestJ:], 0, te)
+}
+
+// diffSingleRow handles M == 1, N >= 1 explicitly (the Myers-Miller base
+// case): either the single residue is deleted (gap open discounted by the
+// better of tb/te) or it is matched against some b[j-1].
+func (s *affineSolver) diffSingleRow(ra, rb []byte, tb, te int64) {
+	N := len(rb)
+	// Option A: delete ra[0], insert all of rb.
+	openDel := tb
+	delAtTop := true
+	if te > openDel {
+		openDel = te
+		delAtTop = false
+	}
+	best := openDel + s.ext + s.gapScore(N)
+	bestJ := 0 // 0 means option A
+	// Option B: match ra[0] with rb[j-1].
+	for j := 1; j <= N; j++ {
+		v := int64(s.m.Score(ra[0], rb[j-1])) + s.gapScore(j-1) + s.gapScore(N-j)
+		if v > best {
+			best = v
+			bestJ = j
+		}
+	}
+	switch {
+	case bestJ == 0 && delAtTop:
+		s.emit(align.Up, 1)
+		s.emit(align.Left, N)
+	case bestJ == 0:
+		s.emit(align.Left, N)
+		s.emit(align.Up, 1)
+	default:
+		s.emit(align.Left, bestJ-1)
+		s.emit(align.Diag, 1)
+		s.emit(align.Left, N-bestJ)
+	}
+}
+
+// forwardAffine computes the Myers-Miller forward vectors over aligning
+// ra (rows) against rb: cc[j] = best score of aligning all of ra against
+// rb[:j] (any end state); dd[j] = best score of the same ending in a vertical
+// gap (an Up move). tb is the gap-open charge for a vertical gap running down
+// column 0 from the top boundary.
+func forwardAffine(ra, rb []byte, m *scoring.Matrix, open, ext, tb int64, c *stats.Counters) (cc, dd []int64) {
+	N := len(rb)
+	cc = make([]int64, N+1)
+	dd = make([]int64, N+1)
+	t := open
+	cc[0] = 0
+	for j := 1; j <= N; j++ {
+		t += ext
+		cc[j] = t
+		dd[j] = t + open
+	}
+	dd[0] = fm.NegInf
+	t = tb
+	for i := 1; i <= len(ra); i++ {
+		srow := m.Row(ra[i-1])
+		sdiag := cc[0]
+		t += ext
+		cv := t
+		cc[0] = cv
+		e := t + open
+		for j := 1; j <= N; j++ {
+			// e: best ending in a horizontal gap at (i, j).
+			if v := cv + open; v > e {
+				e = v
+			}
+			e += ext
+			// dd[j]: best ending in a vertical gap at (i, j).
+			d := dd[j]
+			if v := cc[j] + open; v > d {
+				d = v
+			}
+			d += ext
+			dd[j] = d
+			// cv: best overall at (i, j).
+			cv = sdiag + int64(srow[rb[j-1]])
+			if d > cv {
+				cv = d
+			}
+			if e > cv {
+				cv = e
+			}
+			sdiag = cc[j]
+			cc[j] = cv
+		}
+		dd[0] = cc[0] // column 0 is one vertical run when i >= 1
+	}
+	c.AddCells(int64(len(ra)) * int64(N))
+	return cc, dd
+}
+
+// reverseAffine computes the reverse vectors: rr[j] = best score of aligning
+// ra (the bottom rows) against rb[j:] (any start state); ss[j] = the same
+// *starting* with a vertical gap (an Up move consuming ra[0]). te is the
+// gap-open charge for a vertical gap running up column N from the bottom
+// boundary.
+func reverseAffine(ra, rb []byte, m *scoring.Matrix, open, ext, te int64, c *stats.Counters) (rr, ss []int64) {
+	ra2 := reverseBytes(ra)
+	rb2 := reverseBytes(rb)
+	cc2, dd2 := forwardAffine(ra2, rb2, m, open, ext, te, c)
+	N := len(rb)
+	rr = make([]int64, N+1)
+	ss = make([]int64, N+1)
+	for j := 0; j <= N; j++ {
+		rr[j] = cc2[N-j]
+		ss[j] = dd2[N-j]
+	}
+	return rr, ss
+}
+
+func reverseBytes(s []byte) []byte {
+	r := make([]byte, len(s))
+	for i, c := range s {
+		r[len(s)-1-i] = c
+	}
+	return r
+}

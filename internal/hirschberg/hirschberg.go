@@ -1,0 +1,162 @@
+// Package hirschberg implements Hirschberg's divide-and-conquer linear-space
+// global alignment algorithm as applied to sequence alignment by Myers and
+// Miller (paper §2.2): split the row sequence in half, run the score-only
+// LastRow kernel forwards over the top half and backwards over the bottom
+// half, pick the column where the two meet with maximal total score, and
+// recurse on the two subproblems. Space is O(min(m,n)); roughly m*n extra
+// cell computations are performed compared to the full-matrix algorithm
+// (recomputation factor ~2).
+package hirschberg
+
+import (
+	"fastlsa/internal/align"
+	"fastlsa/internal/fm"
+	"fastlsa/internal/lastrow"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/stats"
+)
+
+// DefaultBaseCells is the subproblem area at which the recursion switches to
+// the full-matrix solver. Small enough to be cache-resident, large enough to
+// amortise recursion overhead.
+const DefaultBaseCells = 4096
+
+// Options tunes the algorithm.
+type Options struct {
+	// BaseCells is the (m+1)*(n+1) area threshold below which a subproblem
+	// is solved with the stored-matrix algorithm (<= 0 selects
+	// DefaultBaseCells; 1 forces full recursion to single rows).
+	BaseCells int
+}
+
+// Align computes the optimal global alignment of a and b in linear space.
+// Linear gap models only; affine models are handled by AlignAffine
+// (Myers-Miller).
+func Align(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, opt Options, c *stats.Counters) (fm.Result, error) {
+	if err := gap.Validate(); err != nil {
+		return fm.Result{}, err
+	}
+	if !gap.IsLinear() {
+		return AlignAffine(a, b, m, gap, opt, c)
+	}
+	base := opt.BaseCells
+	if base <= 0 {
+		base = DefaultBaseCells
+	}
+	h := &solver{m: m, g: int64(gap.Extend), base: base, c: c}
+	h.moves = make([]align.Move, 0, a.Len()+b.Len())
+	if err := h.solve(a.Residues, b.Residues); err != nil {
+		return fm.Result{}, err
+	}
+	path := align.NewPath(h.moves)
+	score := align.ScorePath(a, b, path, m, gap)
+	c.AddTraceback(int64(path.Len()))
+	return fm.Result{Score: score, Path: path}, nil
+}
+
+// Score computes only the optimal score in O(min(m,n)) space (one LastRow
+// sweep; no recursion).
+func Score(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, c *stats.Counters) (int64, error) {
+	if err := gap.Validate(); err != nil {
+		return 0, err
+	}
+	if !gap.IsLinear() {
+		return scoreAffine(a.Residues, b.Residues, m, int64(gap.Open), int64(gap.Extend), c)
+	}
+	return lastrow.Score(a.Residues, b.Residues, m, int64(gap.Extend), c)
+}
+
+type solver struct {
+	m     *scoring.Matrix
+	g     int64
+	base  int
+	c     *stats.Counters
+	moves []align.Move
+}
+
+func (h *solver) emit(mv align.Move, n int) {
+	for i := 0; i < n; i++ {
+		h.moves = append(h.moves, mv)
+	}
+}
+
+// solve appends the optimal path moves for the standalone global alignment
+// of ra vs rb (leading-gap boundaries) to h.moves, in forward order.
+func (h *solver) solve(ra, rb []byte) error {
+	la, lb := len(ra), len(rb)
+	switch {
+	case la == 0:
+		h.emit(align.Left, lb)
+		return nil
+	case lb == 0:
+		h.emit(align.Up, la)
+		return nil
+	case (la+1)*(lb+1) <= h.base || la == 1:
+		return h.solveFull(ra, rb)
+	}
+
+	mid := la / 2
+
+	// Forward pass: last row of a[:mid] x b.
+	fwd := make([]int64, lb+1)
+	top := lastrow.Boundary(nil, lb, 0, h.g)
+	left := lastrow.Boundary(nil, mid, 0, h.g)
+	if err := lastrow.Forward(ra[:mid], rb, h.m, h.g, top, left, fwd, nil, h.c); err != nil {
+		return err
+	}
+
+	// Backward pass: suffix scores of a[mid:] x b at row mid.
+	bwd := make([]int64, lb+1)
+	bottom := trailingBoundary(lb, h.g)
+	right := trailingBoundary(la-mid, h.g)
+	if err := lastrow.Backward(ra[mid:], rb, h.m, h.g, bottom, right, bwd, nil, h.c); err != nil {
+		return err
+	}
+
+	// The optimal path crosses row mid at the column maximising fwd+bwd.
+	// Smallest such column for determinism.
+	split, best := 0, fwd[0]+bwd[0]
+	for j := 1; j <= lb; j++ {
+		if s := fwd[j] + bwd[j]; s > best {
+			best = s
+			split = j
+		}
+	}
+
+	if err := h.solve(ra[:mid], rb[:split]); err != nil {
+		return err
+	}
+	return h.solve(ra[mid:], rb[split:])
+}
+
+// solveFull solves a base-case subproblem with a stored matrix and appends
+// its full path.
+func (h *solver) solveFull(ra, rb []byte) error {
+	cols := len(rb) + 1
+	buf := make([]int64, (len(ra)+1)*cols)
+	top := lastrow.Boundary(buf[:cols], len(rb), 0, h.g)
+	left := lastrow.Boundary(nil, len(ra), 0, h.g)
+	fm.FillRect(ra, rb, h.m, h.g, top, left, buf, h.c)
+	bld := align.NewBuilder(len(ra) + len(rb))
+	r, cc := fm.TracebackRect(ra, rb, h.m, h.g, buf, bld, len(ra), len(rb), h.c)
+	for ; r > 0; r-- {
+		bld.Push(align.Up)
+	}
+	for ; cc > 0; cc-- {
+		bld.Push(align.Left)
+	}
+	h.moves = append(h.moves, bld.Path().Moves()...)
+	return nil
+}
+
+// trailingBoundary returns dst[i] = (n-i)*g: the cost of gapping out the
+// remaining suffix, i.e. the bottom/right boundary of a standalone suffix
+// alignment.
+func trailingBoundary(n int, g int64) []int64 {
+	dst := make([]int64, n+1)
+	for i := 0; i <= n; i++ {
+		dst[i] = int64(n-i) * g
+	}
+	return dst
+}

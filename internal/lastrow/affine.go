@@ -1,0 +1,146 @@
+package lastrow
+
+import (
+	"fmt"
+	"math"
+
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/stats"
+)
+
+// NegInf mirrors fm.NegInf (duplicated to avoid a dependency cycle): the
+// unreachable-state sentinel for affine DP, safe to add penalties to.
+const NegInf = math.MinInt64 / 4
+
+// AffineBoundary fills the global top-boundary vectors for an affine model:
+// H[j] = open + j*ext (H[0] = corner), and the gap-state vector G[j] that is
+// live along this boundary (F for a row, E for a column) with the same
+// values; the dead state receives NegInf and is not represented here.
+// dst slices are allocated when nil.
+func AffineBoundary(dstH, dstG []int64, n int, corner, open, ext int64) (h, g []int64) {
+	if cap(dstH) < n+1 {
+		dstH = make([]int64, n+1)
+	}
+	if cap(dstG) < n+1 {
+		dstG = make([]int64, n+1)
+	}
+	dstH, dstG = dstH[:n+1], dstG[:n+1]
+	dstH[0] = corner
+	dstG[0] = NegInf
+	for j := 1; j <= n; j++ {
+		dstH[j] = corner + open + int64(j)*ext
+		dstG[j] = dstH[j]
+	}
+	return dstH, dstG
+}
+
+// ForwardAffine propagates affine DP triples (H, E, F) across a rectangle in
+// O(n) space, the affine counterpart of Forward. State convention matches
+// fm.AlignAffine: H is the overall best at a node, E the best ending in an
+// Up move, F the best ending in a Left move.
+//
+// Boundary inputs: the top row carries (topH, topE) — F is never read from a
+// row boundary — and the left column carries (leftH, leftF) — E is never
+// read from a column boundary. Outputs mirror them: the bottom row is
+// (outRowH, outRowE), the right column (outColH, outColF). Output slices may
+// be nil when not needed; outRowH/outRowE may alias topH/topE.
+func ForwardAffine(a, b []byte, m *scoring.Matrix, open, ext int64,
+	topH, topE, leftH, leftF []int64,
+	outRowH, outRowE, outColH, outColF []int64, c *stats.Counters) error {
+
+	n := len(b)
+	rows := len(a)
+	if len(topH) != n+1 || len(topE) != n+1 {
+		return fmt.Errorf("lastrow: ForwardAffine: top boundary has %d/%d entries, want %d", len(topH), len(topE), n+1)
+	}
+	if len(leftH) != rows+1 || len(leftF) != rows+1 {
+		return fmt.Errorf("lastrow: ForwardAffine: left boundary has %d/%d entries, want %d", len(leftH), len(leftF), rows+1)
+	}
+	if topH[0] != leftH[0] {
+		return fmt.Errorf("lastrow: ForwardAffine: corner mismatch: topH[0]=%d leftH[0]=%d", topH[0], leftH[0])
+	}
+	checkOut := func(name string, s []int64, want int) error {
+		if s != nil && len(s) != want {
+			return fmt.Errorf("lastrow: ForwardAffine: %s has %d entries, want %d", name, len(s), want)
+		}
+		return nil
+	}
+	if err := checkOut("outRowH", outRowH, n+1); err != nil {
+		return err
+	}
+	if err := checkOut("outRowE", outRowE, n+1); err != nil {
+		return err
+	}
+	if err := checkOut("outColH", outColH, rows+1); err != nil {
+		return err
+	}
+	if err := checkOut("outColF", outColF, rows+1); err != nil {
+		return err
+	}
+
+	rowH, rowE := outRowH, outRowE
+	if rowH == nil {
+		rowH = make([]int64, n+1)
+	}
+	if rowE == nil {
+		rowE = make([]int64, n+1)
+	}
+	if &rowH[0] != &topH[0] {
+		copy(rowH, topH)
+	}
+	if &rowE[0] != &topE[0] {
+		copy(rowE, topE)
+	}
+	if outColH != nil {
+		outColH[0] = topH[n]
+	}
+	if outColF != nil {
+		// The top boundary does not carry F, so the top-right corner's F is
+		// unknown here — and also never consumed: the kernel only reads
+		// leftF[1..], and a column boundary's row-0 entry seeds nothing.
+		outColF[0] = NegInf
+	}
+	if rows == 0 {
+		return nil
+	}
+
+	for r := 0; r < rows; r++ {
+		srow := m.Row(a[r])
+		diagH := rowH[0]
+		h := leftH[r+1]
+		f := leftF[r+1]
+		rowH[0] = h
+		rowE[0] = NegInf
+		for j := 1; j <= n; j++ {
+			upH, upE := rowH[j], rowE[j]
+			e := upE + ext
+			if v := upH + open + ext; v > e {
+				e = v
+			}
+			fNew := f + ext
+			if v := h + open + ext; v > fNew {
+				fNew = v
+			}
+			f = fNew
+			hNew := diagH + int64(srow[b[j-1]])
+			if e > hNew {
+				hNew = e
+			}
+			if f > hNew {
+				hNew = f
+			}
+			h = hNew
+			diagH = upH
+			rowH[j] = h
+			rowE[j] = e
+		}
+		if outColH != nil {
+			outColH[r+1] = h
+		}
+		if outColF != nil {
+			outColF[r+1] = f
+		}
+	}
+	c.AddCells(int64(rows) * int64(n))
+	return nil
+}

@@ -1,0 +1,93 @@
+package lastrow_test
+
+import (
+	"testing"
+
+	"fastlsa/internal/lastrow"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/testutil"
+)
+
+// BenchmarkForward measures the core DP kernel in cells/second — the number
+// every higher-level result divides into.
+func BenchmarkForward(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		x, y := testutil.RandomPair(n, n, seq.DNA, int64(n))
+		top := lastrow.Boundary(nil, n, 0, -4)
+		left := lastrow.Boundary(nil, n, 0, -4)
+		out := make([]int64, n+1)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(n) * int64(n))
+			for i := 0; i < b.N; i++ {
+				copy(out, top)
+				if err := lastrow.Forward(x.Residues, y.Residues, scoring.DNASimple, -4, top, left, out, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBackward(b *testing.B) {
+	const n = 1024
+	x, y := testutil.RandomPair(n, n, seq.DNA, 7)
+	bottom := make([]int64, n+1)
+	right := make([]int64, n+1)
+	for i := 0; i <= n; i++ {
+		bottom[i] = int64(n-i) * -4
+		right[i] = int64(n-i) * -4
+	}
+	out := make([]int64, n+1)
+	b.SetBytes(n * n)
+	for i := 0; i < b.N; i++ {
+		if err := lastrow.Backward(x.Residues, y.Residues, scoring.DNASimple, -4, bottom, right, out, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForwardAffine(b *testing.B) {
+	const n = 1024
+	x, y := testutil.RandomPair(n, n, seq.Protein, 8)
+	topH, _ := lastrow.AffineBoundary(nil, nil, n, 0, -11, -1)
+	leftH, _ := lastrow.AffineBoundary(nil, nil, n, 0, -11, -1)
+	topE := make([]int64, n+1)
+	leftF := make([]int64, n+1)
+	for i := range topE {
+		topE[i] = lastrow.NegInf
+		leftF[i] = lastrow.NegInf
+	}
+	outH := make([]int64, n+1)
+	outE := make([]int64, n+1)
+	b.SetBytes(n * n)
+	for i := 0; i < b.N; i++ {
+		if err := lastrow.ForwardAffine(x.Residues, y.Residues, scoring.BLOSUM62, -11, -1,
+			topH, topE, leftH, leftF, outH, outE, nil, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1024 && n%1024 == 0:
+		return "n" + itoa(n/1024) + "k"
+	default:
+		return "n" + itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

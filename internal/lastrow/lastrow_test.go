@@ -1,0 +1,271 @@
+package lastrow_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fastlsa/internal/fm"
+	"fastlsa/internal/lastrow"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/stats"
+	"fastlsa/internal/testutil"
+)
+
+// fullMatrix computes the reference DPM with fm.FillRect for comparison.
+func fullMatrix(a, b []byte, m *scoring.Matrix, g int64, top, left []int64) []int64 {
+	buf := make([]int64, (len(a)+1)*(len(b)+1))
+	fm.FillRect(a, b, m, g, top, left, buf, nil)
+	return buf
+}
+
+func TestBoundary(t *testing.T) {
+	got := lastrow.Boundary(nil, 4, 0, -10)
+	want := []int64{0, -10, -20, -30, -40}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Boundary[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Reuse of a larger destination.
+	dst := make([]int64, 10)
+	got = lastrow.Boundary(dst, 3, 5, -2)
+	if len(got) != 4 || got[0] != 5 || got[3] != -1 {
+		t.Fatalf("Boundary reuse = %v", got)
+	}
+}
+
+func TestForwardMatchesFullMatrix(t *testing.T) {
+	g := int64(-4)
+	for seed := int64(0); seed < 10; seed++ {
+		a, b := testutil.RandomPair(int(seed%15)+1, int(seed*3%20)+1, seq.DNA, seed)
+		m := testutil.RandomMatrix(seq.DNA, seed)
+		top := lastrow.Boundary(nil, b.Len(), 0, g)
+		left := lastrow.Boundary(nil, a.Len(), 0, g)
+		outRow := make([]int64, b.Len()+1)
+		outCol := make([]int64, a.Len()+1)
+		if err := lastrow.Forward(a.Residues, b.Residues, m, g, top, left, outRow, outCol, nil); err != nil {
+			t.Fatal(err)
+		}
+		buf := fullMatrix(a.Residues, b.Residues, m, g, top, left)
+		cols := b.Len() + 1
+		for j := 0; j <= b.Len(); j++ {
+			if outRow[j] != buf[a.Len()*cols+j] {
+				t.Fatalf("seed %d: outRow[%d] = %d, matrix %d", seed, j, outRow[j], buf[a.Len()*cols+j])
+			}
+		}
+		for r := 0; r <= a.Len(); r++ {
+			if outCol[r] != buf[r*cols+b.Len()] {
+				t.Fatalf("seed %d: outCol[%d] = %d, matrix %d", seed, r, outCol[r], buf[r*cols+b.Len()])
+			}
+		}
+	}
+}
+
+// TestForwardAliasesTop verifies in-place operation when outRow aliases the
+// top boundary.
+func TestForwardAliasesTop(t *testing.T) {
+	g := int64(-2)
+	a, b := testutil.RandomPair(8, 9, seq.DNA, 3)
+	m := scoring.DNASimple
+	top := lastrow.Boundary(nil, b.Len(), 0, g)
+	left := lastrow.Boundary(nil, a.Len(), 0, g)
+	ref := make([]int64, b.Len()+1)
+	if err := lastrow.Forward(a.Residues, b.Residues, m, g, top, left, ref, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	top2 := lastrow.Boundary(nil, b.Len(), 0, g)
+	if err := lastrow.Forward(a.Residues, b.Residues, m, g, top2, left, top2, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	for j := range ref {
+		if top2[j] != ref[j] {
+			t.Fatalf("aliased run diverges at %d", j)
+		}
+	}
+}
+
+// TestBackwardMirrorsForward: Backward over (a, b) equals Forward over the
+// reversed sequences with mirrored boundaries.
+func TestBackwardMirrorsForward(t *testing.T) {
+	g := int64(-3)
+	for seed := int64(0); seed < 10; seed++ {
+		a, b := testutil.RandomPair(int(seed%12)+1, int(seed*5%14)+1, seq.DNA, seed+50)
+		m := testutil.RandomMatrix(seq.DNA, seed+50)
+
+		bottom := make([]int64, b.Len()+1)
+		right := make([]int64, a.Len()+1)
+		for j := 0; j <= b.Len(); j++ {
+			bottom[j] = int64(b.Len()-j) * g
+		}
+		for r := 0; r <= a.Len(); r++ {
+			right[r] = int64(a.Len()-r) * g
+		}
+		outRow := make([]int64, b.Len()+1)
+		if err := lastrow.Backward(a.Residues, b.Residues, m, g, bottom, right, outRow, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+
+		ar, br := a.Reverse(), b.Reverse()
+		top := lastrow.Boundary(nil, br.Len(), 0, g)
+		left := lastrow.Boundary(nil, ar.Len(), 0, g)
+		fwd := make([]int64, br.Len()+1)
+		if err := lastrow.Forward(ar.Residues, br.Residues, m, g, top, left, fwd, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j <= b.Len(); j++ {
+			if outRow[j] != fwd[b.Len()-j] {
+				t.Fatalf("seed %d: backward[%d]=%d, mirrored forward=%d", seed, j, outRow[j], fwd[b.Len()-j])
+			}
+		}
+	}
+}
+
+func TestScore(t *testing.T) {
+	a, b := testutil.HomologousPair(200, seq.DNA, 4)
+	m := scoring.DNASimple
+	g := scoring.Linear(-4)
+	want, err := fm.Align(a, b, m, g, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lastrow.Score(a.Residues, b.Residues, m, -4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want.Score {
+		t.Fatalf("Score = %d, want %d", got, want.Score)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	a, b := testutil.RandomPair(3, 3, seq.DNA, 1)
+	m := scoring.DNASimple
+	good := lastrow.Boundary(nil, 3, 0, -1)
+	short := make([]int64, 2)
+	if err := lastrow.Forward(a.Residues, b.Residues, m, -1, short, good, nil, nil, nil); err == nil {
+		t.Fatal("short top must fail")
+	}
+	if err := lastrow.Forward(a.Residues, b.Residues, m, -1, good, short, nil, nil, nil); err == nil {
+		t.Fatal("short left must fail")
+	}
+	badCorner := lastrow.Boundary(nil, 3, 5, -1)
+	if err := lastrow.Forward(a.Residues, b.Residues, m, -1, good, badCorner, nil, nil, nil); err == nil {
+		t.Fatal("corner mismatch must fail")
+	}
+	if err := lastrow.Forward(a.Residues, b.Residues, m, -1, good, good, make([]int64, 2), nil, nil); err == nil {
+		t.Fatal("short outRow must fail")
+	}
+	if err := lastrow.Forward(a.Residues, b.Residues, m, -1, good, good, nil, make([]int64, 2), nil); err == nil {
+		t.Fatal("short outCol must fail")
+	}
+}
+
+func TestCellsCounted(t *testing.T) {
+	var c stats.Counters
+	a, b := testutil.RandomPair(7, 11, seq.DNA, 2)
+	top := lastrow.Boundary(nil, 11, 0, -1)
+	left := lastrow.Boundary(nil, 7, 0, -1)
+	if err := lastrow.Forward(a.Residues, b.Residues, scoring.DNASimple, -1, top, left, nil, nil, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Cells.Load() != 77 {
+		t.Fatalf("cells = %d, want 77", c.Cells.Load())
+	}
+}
+
+// TestForwardAffineMatchesGotoh compares the O(n)-space affine kernel's
+// output row against the full Gotoh matrices.
+func TestForwardAffineMatchesGotoh(t *testing.T) {
+	open, ext := int64(-7), int64(-2)
+	for seed := int64(0); seed < 10; seed++ {
+		a, b := testutil.RandomPair(int(seed%10)+1, int(seed*3%12)+1, seq.Protein, seed+200)
+		m := testutil.RandomMatrix(seq.Protein, seed+200)
+
+		// Reference via fm.AlignAffine's score at every prefix of the last
+		// row: use full matrices by calling the affine FM path on (a, b[:j]).
+		topH, _ := lastrow.AffineBoundary(nil, nil, b.Len(), 0, open, ext)
+		topE := make([]int64, b.Len()+1)
+		for j := range topE {
+			topE[j] = lastrow.NegInf
+		}
+		leftH, _ := lastrow.AffineBoundary(nil, nil, a.Len(), 0, open, ext)
+		leftF := make([]int64, a.Len()+1)
+		for r := range leftF {
+			leftF[r] = lastrow.NegInf
+		}
+		outH := make([]int64, b.Len()+1)
+		outE := make([]int64, b.Len()+1)
+		if err := lastrow.ForwardAffine(a.Residues, b.Residues, m, open, ext,
+			topH, topE, leftH, leftF, outH, outE, nil, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		gap := scoring.Gap{Open: int(open), Extend: int(ext)}
+		for j := 1; j <= b.Len(); j++ {
+			want, err := fm.AlignAffine(a, b.Slice(0, j), m, gap, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if outH[j] != want.Score {
+				t.Fatalf("seed %d: H[m][%d] = %d, gotoh %d", seed, j, outH[j], want.Score)
+			}
+		}
+	}
+}
+
+func TestForwardAffineValidation(t *testing.T) {
+	a, b := testutil.RandomPair(3, 3, seq.DNA, 1)
+	m := scoring.DNASimple
+	h4 := make([]int64, 4)
+	h3 := make([]int64, 3)
+	if err := lastrow.ForwardAffine(a.Residues, b.Residues, m, -5, -1, h3, h4, h4, h4, nil, nil, nil, nil, nil); err == nil {
+		t.Fatal("short topH must fail")
+	}
+	if err := lastrow.ForwardAffine(a.Residues, b.Residues, m, -5, -1, h4, h4, h3, h4, nil, nil, nil, nil, nil); err == nil {
+		t.Fatal("short leftH must fail")
+	}
+	bad := []int64{9, 0, 0, 0}
+	if err := lastrow.ForwardAffine(a.Residues, b.Residues, m, -5, -1, h4, h4, bad, h4, nil, nil, nil, nil, nil); err == nil {
+		t.Fatal("corner mismatch must fail")
+	}
+}
+
+// TestForwardQuickAgainstMatrix is a quick-check property comparing the
+// kernel to the stored matrix on arbitrary inputs and boundary offsets.
+func TestForwardQuickAgainstMatrix(t *testing.T) {
+	m := scoring.DNAStrict
+	letters := []byte("ACGT")
+	f := func(xa, xb []uint8, corner int16) bool {
+		if len(xa) > 24 {
+			xa = xa[:24]
+		}
+		if len(xb) > 24 {
+			xb = xb[:24]
+		}
+		ra := make([]byte, len(xa))
+		for i, v := range xa {
+			ra[i] = letters[int(v)%4]
+		}
+		rb := make([]byte, len(xb))
+		for i, v := range xb {
+			rb[i] = letters[int(v)%4]
+		}
+		g := int64(-2)
+		top := lastrow.Boundary(nil, len(rb), int64(corner), g)
+		left := lastrow.Boundary(nil, len(ra), int64(corner), g)
+		out := make([]int64, len(rb)+1)
+		if err := lastrow.Forward(ra, rb, m, g, top, left, out, nil, nil); err != nil {
+			return false
+		}
+		buf := fullMatrix(ra, rb, m, g, top, left)
+		for j := 0; j <= len(rb); j++ {
+			if out[j] != buf[len(ra)*(len(rb)+1)+j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

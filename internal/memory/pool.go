@@ -1,0 +1,40 @@
+package memory
+
+import "sync"
+
+// RowPool recycles int64 row buffers between DP passes. FastLSA's recursion
+// allocates and frees many rows of similar sizes; pooling them keeps the
+// allocator out of the inner loop without changing the budget accounting
+// (budgets charge logical entries, pools manage physical slices).
+type RowPool struct {
+	pool sync.Pool
+}
+
+// NewRowPool returns an empty pool.
+func NewRowPool() *RowPool { return &RowPool{} }
+
+// Get returns a zero-length slice with capacity >= n. The contents are
+// unspecified; callers must initialise every entry they read.
+func (p *RowPool) Get(n int) []int64 {
+	if p == nil {
+		return make([]int64, 0, n)
+	}
+	if v := p.pool.Get(); v != nil {
+		s := v.([]int64)
+		if cap(s) >= n {
+			return s[:0]
+		}
+	}
+	return make([]int64, 0, n)
+}
+
+// GetFull returns a length-n slice (contents unspecified).
+func (p *RowPool) GetFull(n int) []int64 { return p.Get(n)[:n:n][:n] }
+
+// Put recycles a slice obtained from Get.
+func (p *RowPool) Put(s []int64) {
+	if p == nil || cap(s) == 0 {
+		return
+	}
+	p.pool.Put(s[:0]) //nolint:staticcheck // slice headers are fine to pool
+}

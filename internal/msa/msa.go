@@ -1,0 +1,226 @@
+// Package msa implements progressive multiple sequence alignment on top of
+// the pairwise engines: pairwise distances are estimated with FastLSA
+// alignments, a guide tree is built with UPGMA, and profiles are merged
+// bottom-up with a sum-of-pairs profile-profile dynamic program. It is the
+// canonical downstream application of the paper's pairwise algorithm
+// (homology search across a sequence family) and exercises the public
+// pairwise API the way an adopting project would.
+package msa
+
+import (
+	"fmt"
+	"strings"
+
+	"fastlsa/internal/align"
+	"fastlsa/internal/core"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+)
+
+// GapByte is the gap character in MSA rows.
+const GapByte = align.GapByte
+
+// Options configures an MSA build.
+type Options struct {
+	// Matrix is the residue similarity table (required).
+	Matrix *scoring.Matrix
+	// Gap is the linear gap model used both pairwise and column-wise
+	// (zero value selects Linear(-4); affine models are rejected — the
+	// profile DP is linear-gap).
+	Gap scoring.Gap
+	// Pairwise tunes the FastLSA runs used for the distance matrix
+	// (zero value = defaults, sequential).
+	Pairwise core.Options
+}
+
+// Result is a multiple sequence alignment.
+type Result struct {
+	// Sequences are the input sequences, in input order.
+	Sequences []*seq.Sequence
+	// Rows are the gapped rows, parallel to Sequences, all of equal length.
+	Rows []string
+	// Columns is the alignment length.
+	Columns int
+	// SumOfPairs is the sum-of-pairs score of the final alignment under
+	// (Matrix, Gap): every residue pair scored by the matrix, residue-gap
+	// pairs by Gap.Extend, gap-gap pairs zero.
+	SumOfPairs int64
+	// Tree is the guide tree in Newick-ish text form (for inspection).
+	Tree string
+}
+
+// Align builds a progressive MSA of the input sequences.
+func Align(seqs []*seq.Sequence, opt Options) (*Result, error) {
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("msa: no sequences")
+	}
+	if opt.Matrix == nil {
+		return nil, fmt.Errorf("msa: Options.Matrix is required")
+	}
+	gap := opt.Gap
+	if gap == (scoring.Gap{}) {
+		gap = scoring.Linear(-4)
+	}
+	if err := gap.Validate(); err != nil {
+		return nil, err
+	}
+	if !gap.IsLinear() {
+		return nil, fmt.Errorf("msa: affine gap models are not supported by the profile DP (use linear)")
+	}
+	for i, s := range seqs {
+		if s.Len() == 0 {
+			return nil, fmt.Errorf("msa: sequence %d (%s) is empty", i, s.ID)
+		}
+		if s.Alphabet != seqs[0].Alphabet {
+			return nil, fmt.Errorf("msa: sequence %d (%s) uses alphabet %s, first sequence uses %s",
+				i, s.ID, s.Alphabet.Name, seqs[0].Alphabet.Name)
+		}
+	}
+
+	if len(seqs) == 1 {
+		return &Result{
+			Sequences:  seqs,
+			Rows:       []string{seqs[0].String()},
+			Columns:    seqs[0].Len(),
+			SumOfPairs: 0,
+			Tree:       treeLabel(seqs[0], 0),
+		}, nil
+	}
+
+	// 1. Pairwise distance matrix from FastLSA alignments.
+	dist, err := distanceMatrix(seqs, opt.Matrix, gap, opt.Pairwise)
+	if err != nil {
+		return nil, err
+	}
+
+	// 2. UPGMA guide tree.
+	tree := upgma(dist, seqs)
+
+	// 3. Post-order profile merge.
+	prof, err := buildProfile(tree, seqs, opt.Matrix, gap)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reorder profile rows back to input order.
+	rows := make([]string, len(seqs))
+	for i, idx := range prof.members {
+		rows[idx] = string(prof.rows[i])
+	}
+	res := &Result{
+		Sequences: seqs,
+		Rows:      rows,
+		Columns:   prof.columns(),
+		Tree:      tree.newick(seqs),
+	}
+	res.SumOfPairs = SumOfPairs(rows, opt.Matrix, gap)
+	return res, nil
+}
+
+// Validate checks the structural invariants of the result: equal-length
+// rows, and each row un-gaps to its input sequence.
+func (r *Result) Validate() error {
+	if len(r.Rows) != len(r.Sequences) {
+		return fmt.Errorf("msa: %d rows for %d sequences", len(r.Rows), len(r.Sequences))
+	}
+	for i, row := range r.Rows {
+		if len(row) != r.Columns {
+			return fmt.Errorf("msa: row %d has %d columns, want %d", i, len(row), r.Columns)
+		}
+		ungapped := strings.ReplaceAll(row, string(GapByte), "")
+		if ungapped != r.Sequences[i].String() {
+			return fmt.Errorf("msa: row %d does not un-gap to its sequence", i)
+		}
+	}
+	return nil
+}
+
+// Fprint renders the MSA in blocks.
+func (r *Result) Fprint(w interface{ Write([]byte) (int, error) }, width int) error {
+	if width <= 0 {
+		width = 60
+	}
+	labelW := 0
+	for i, s := range r.Sequences {
+		if n := len(displayID(s, i)); n > labelW {
+			labelW = n
+		}
+	}
+	for off := 0; off < r.Columns; off += width {
+		end := off + width
+		if end > r.Columns {
+			end = r.Columns
+		}
+		for i, row := range r.Rows {
+			if _, err := fmt.Fprintf(w, "%-*s %s\n", labelW, displayID(r.Sequences[i], i), row[off:end]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "columns=%d sum-of-pairs=%d\n", r.Columns, r.SumOfPairs)
+	return err
+}
+
+func displayID(s *seq.Sequence, i int) string {
+	if s.ID != "" {
+		return s.ID
+	}
+	return fmt.Sprintf("seq%d", i+1)
+}
+
+func treeLabel(s *seq.Sequence, i int) string { return displayID(s, i) }
+
+// SumOfPairs scores a finished alignment: residue pairs by the matrix,
+// residue-gap pairs by gap.Extend, gap-gap pairs zero. (Terminal gaps are
+// charged; this is the classic SP objective, not the ends-free variant.)
+func SumOfPairs(rows []string, m *scoring.Matrix, gap scoring.Gap) int64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	total := int64(0)
+	cols := len(rows[0])
+	for c := 0; c < cols; c++ {
+		for i := 0; i < len(rows); i++ {
+			for j := i + 1; j < len(rows); j++ {
+				x, y := rows[i][c], rows[j][c]
+				switch {
+				case x == GapByte && y == GapByte:
+				case x == GapByte || y == GapByte:
+					total += int64(gap.Extend)
+				default:
+					total += int64(m.Score(x, y))
+				}
+			}
+		}
+	}
+	return total
+}
+
+// distanceMatrix aligns every pair and converts identity to distance
+// (1 - identity over alignment columns).
+func distanceMatrix(seqs []*seq.Sequence, m *scoring.Matrix, gap scoring.Gap, popt core.Options) ([][]float64, error) {
+	n := len(seqs)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			res, err := core.Align(seqs[i], seqs[j], m, gap, popt)
+			if err != nil {
+				return nil, fmt.Errorf("msa: pairwise %d x %d: %w", i, j, err)
+			}
+			al, err := align.New(seqs[i], seqs[j], res.Path, res.Score)
+			if err != nil {
+				return nil, err
+			}
+			dist := 1 - al.Stats().Identity
+			d[i][j] = dist
+			d[j][i] = dist
+		}
+	}
+	return d, nil
+}

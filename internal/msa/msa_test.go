@@ -1,0 +1,269 @@
+package msa_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fastlsa/internal/align"
+	"fastlsa/internal/core"
+	"fastlsa/internal/msa"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+)
+
+// family generates n mutated copies of one reference.
+func family(t *testing.T, n, length int, seed int64) []*seq.Sequence {
+	t.Helper()
+	ref := seq.Random("ref", length, seq.DNA, seed)
+	model := seq.MutationModel{SubstitutionRate: 0.08, InsertionRate: 0.01, DeletionRate: 0.01, MaxIndelRun: 3, IndelExtend: 0.3}
+	out := []*seq.Sequence{ref}
+	for i := 1; i < n; i++ {
+		m, err := model.Mutate("m", ref, seed+int64(i)*13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.ID = "m" + string(rune('0'+i))
+		out = append(out, m)
+	}
+	return out
+}
+
+func defaultOpts() msa.Options {
+	return msa.Options{
+		Matrix:   scoring.DNASimple,
+		Gap:      scoring.Linear(-6),
+		Pairwise: core.Options{Workers: 1},
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := msa.Align(nil, defaultOpts()); err == nil {
+		t.Fatal("empty input must fail")
+	}
+	seqs := family(t, 3, 50, 1)
+	opt := defaultOpts()
+	opt.Matrix = nil
+	if _, err := msa.Align(seqs, opt); err == nil {
+		t.Fatal("missing matrix must fail")
+	}
+	opt = defaultOpts()
+	opt.Gap = scoring.Affine(-5, -1)
+	if _, err := msa.Align(seqs, opt); err == nil {
+		t.Fatal("affine gaps must be rejected")
+	}
+	opt = defaultOpts()
+	mixed := append([]*seq.Sequence{}, seqs...)
+	mixed = append(mixed, seq.Random("p", 20, seq.Protein, 2))
+	if _, err := msa.Align(mixed, opt); err == nil {
+		t.Fatal("mixed alphabets must fail")
+	}
+	empty := append([]*seq.Sequence{}, seqs...)
+	empty = append(empty, seq.MustNew("e", "", seq.DNA))
+	if _, err := msa.Align(empty, opt); err == nil {
+		t.Fatal("empty sequence must fail")
+	}
+}
+
+func TestSingleSequence(t *testing.T) {
+	s := seq.Random("one", 40, seq.DNA, 3)
+	res, err := msa.Align([]*seq.Sequence{s}, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Columns != 40 || res.Rows[0] != s.String() {
+		t.Fatalf("single-sequence MSA wrong: %+v", res)
+	}
+}
+
+// TestPairEqualsPairwise: an MSA of two sequences is exactly the pairwise
+// optimal alignment.
+func TestPairEqualsPairwise(t *testing.T) {
+	seqs := family(t, 2, 120, 4)
+	opt := defaultOpts()
+	res, err := msa.Align(seqs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pw, err := core.Align(seqs[0], seqs[1], opt.Matrix, opt.Gap, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := align.New(seqs[0], seqs[1], pw.Path, pw.Score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowA, rowB := al.Rows()
+	// Same score; rows may differ only between co-optimal alignments, and
+	// the profile DP uses the same tie-break, so expect identical rows.
+	if res.Rows[0] != rowA || res.Rows[1] != rowB {
+		t.Fatalf("pair MSA differs from pairwise:\n%s\n%s\nvs\n%s\n%s", res.Rows[0], res.Rows[1], rowA, rowB)
+	}
+	if res.SumOfPairs != pw.Score {
+		t.Fatalf("sum-of-pairs %d != pairwise score %d", res.SumOfPairs, pw.Score)
+	}
+}
+
+func TestFamilyAlignment(t *testing.T) {
+	seqs := family(t, 6, 300, 5)
+	res, err := msa.Align(seqs, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Columns at least as long as the longest input, not absurdly longer.
+	maxLen := 0
+	for _, s := range seqs {
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	if res.Columns < maxLen || res.Columns > maxLen*3/2 {
+		t.Fatalf("columns %d out of range for max input %d", res.Columns, maxLen)
+	}
+	// A high-identity family must produce a strongly positive SP score.
+	if res.SumOfPairs <= 0 {
+		t.Fatalf("sum-of-pairs %d for a 92%%-identity family", res.SumOfPairs)
+	}
+	// Pairwise identity *within the MSA* must stay high.
+	id := rowIdentity(res.Rows[0], res.Rows[1])
+	if id < 0.75 {
+		t.Fatalf("row identity %.2f too low", id)
+	}
+	// Tree mentions every label.
+	for i := range seqs {
+		lbl := seqs[i].ID
+		if lbl == "" {
+			continue
+		}
+		if !strings.Contains(res.Tree, lbl) {
+			t.Fatalf("tree %q missing %q", res.Tree, lbl)
+		}
+	}
+}
+
+func rowIdentity(a, b string) float64 {
+	match, cols := 0, 0
+	for i := 0; i < len(a); i++ {
+		if a[i] == msa.GapByte && b[i] == msa.GapByte {
+			continue
+		}
+		cols++
+		if a[i] == b[i] && a[i] != msa.GapByte {
+			match++
+		}
+	}
+	if cols == 0 {
+		return 0
+	}
+	return float64(match) / float64(cols)
+}
+
+// TestMSADeterministic: same inputs, same output.
+func TestMSADeterministic(t *testing.T) {
+	seqs := family(t, 5, 150, 6)
+	r1, err := msa.Align(seqs, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := msa.Align(seqs, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Rows {
+		if r1.Rows[i] != r2.Rows[i] {
+			t.Fatal("MSA not deterministic")
+		}
+	}
+}
+
+// TestMSAImprovesOnNaiveStacking: the SP score of the MSA must beat padding
+// every sequence to the same length with trailing gaps.
+func TestMSAImprovesOnNaiveStacking(t *testing.T) {
+	seqs := family(t, 4, 200, 7)
+	opt := defaultOpts()
+	res, err := msa.Align(seqs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLen := 0
+	for _, s := range seqs {
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	naive := make([]string, len(seqs))
+	for i, s := range seqs {
+		naive[i] = s.String() + strings.Repeat(string(msa.GapByte), maxLen-s.Len())
+	}
+	if res.SumOfPairs <= msa.SumOfPairs(naive, opt.Matrix, opt.Gap) {
+		t.Fatalf("MSA SP %d does not beat naive stacking %d", res.SumOfPairs, msa.SumOfPairs(naive, opt.Matrix, opt.Gap))
+	}
+}
+
+func TestSumOfPairs(t *testing.T) {
+	m := scoring.DNAStrict // +1/-1
+	gap := scoring.Linear(-2)
+	rows := []string{"AC-", "A-G", "ACG"}
+	// Columns: (A,A,A): 3 pairs * +1 = 3
+	//          (C,-,C): C/- -2, C/C +1, -/C -2 => -3
+	//          (-,G,G): -2 +(-2) + 1 = -3
+	if got := msa.SumOfPairs(rows, m, gap); got != 3-3-3 {
+		t.Fatalf("SP = %d, want -3", got)
+	}
+	if msa.SumOfPairs(nil, m, gap) != 0 {
+		t.Fatal("empty SP must be 0")
+	}
+}
+
+func TestFprint(t *testing.T) {
+	seqs := family(t, 3, 80, 8)
+	res, err := msa.Align(seqs, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Fprint(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ref") || !strings.Contains(out, "sum-of-pairs=") {
+		t.Fatalf("rendering missing pieces:\n%s", out)
+	}
+}
+
+// TestProteinFamily runs the whole pipeline on protein data with BLOSUM62.
+func TestProteinFamily(t *testing.T) {
+	ref := seq.Random("p0", 150, seq.Protein, 9)
+	model := seq.MutationModel{SubstitutionRate: 0.15, InsertionRate: 0.02, DeletionRate: 0.02, MaxIndelRun: 3, IndelExtend: 0.3}
+	seqs := []*seq.Sequence{ref}
+	for i := 1; i < 5; i++ {
+		m, err := model.Mutate("p"+string(rune('0'+i)), ref, 100+int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, m)
+	}
+	res, err := msa.Align(seqs, msa.Options{
+		Matrix:   scoring.BLOSUM62,
+		Gap:      scoring.Linear(-8),
+		Pairwise: core.Options{Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.SumOfPairs <= 0 {
+		t.Fatalf("protein family SP = %d", res.SumOfPairs)
+	}
+}

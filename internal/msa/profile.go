@@ -1,0 +1,222 @@
+package msa
+
+import (
+	"fmt"
+
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+)
+
+// profile is a partial alignment: a set of gapped rows of equal length,
+// tagged with the input-sequence index of each row.
+type profile struct {
+	members []int
+	rows    [][]byte
+}
+
+func (p *profile) columns() int {
+	if len(p.rows) == 0 {
+		return 0
+	}
+	return len(p.rows[0])
+}
+
+// colCount summarises one profile column: residue letter counts plus the
+// number of gap characters. Letters is sparse (only letters present).
+type colCount struct {
+	letters []byte
+	counts  []int
+	gaps    int
+	nonGaps int
+}
+
+// columnCounts precomputes the per-column summaries of a profile.
+func columnCounts(p *profile) []colCount {
+	cols := p.columns()
+	out := make([]colCount, cols)
+	for c := 0; c < cols; c++ {
+		cc := &out[c]
+		for _, row := range p.rows {
+			ch := row[c]
+			if ch == GapByte {
+				cc.gaps++
+				continue
+			}
+			cc.nonGaps++
+			found := false
+			for i, l := range cc.letters {
+				if l == ch {
+					cc.counts[i]++
+					found = true
+					break
+				}
+			}
+			if !found {
+				cc.letters = append(cc.letters, ch)
+				cc.counts = append(cc.counts, 1)
+			}
+		}
+	}
+	return out
+}
+
+// pairScore is the sum-of-pairs score of pairing two profile columns:
+// residue-residue pairs by the matrix, residue-gap pairs by ext, gap-gap
+// pairs zero.
+func pairScore(a, b *colCount, m *scoring.Matrix, ext int64) int64 {
+	var s int64
+	for i, la := range a.letters {
+		ca := int64(a.counts[i])
+		row := m.Row(la)
+		for j, lb := range b.letters {
+			s += ca * int64(b.counts[j]) * int64(row[lb])
+		}
+	}
+	s += int64(a.gaps) * int64(b.nonGaps) * ext
+	s += int64(a.nonGaps) * int64(b.gaps) * ext
+	return s
+}
+
+// gapColScore is the cost of aligning column c of a profile against an
+// all-gap column of a profile with otherRows rows.
+func gapColScore(c *colCount, otherRows int, ext int64) int64 {
+	return int64(c.nonGaps) * int64(otherRows) * ext
+}
+
+// buildProfile walks the guide tree post-order, merging children.
+func buildProfile(n *node, seqs []*seq.Sequence, m *scoring.Matrix, gap scoring.Gap) (*profile, error) {
+	if n.leaf() {
+		row := make([]byte, seqs[n.seqIdx].Len())
+		copy(row, seqs[n.seqIdx].Residues)
+		return &profile{members: []int{n.seqIdx}, rows: [][]byte{row}}, nil
+	}
+	left, err := buildProfile(n.left, seqs, m, gap)
+	if err != nil {
+		return nil, err
+	}
+	right, err := buildProfile(n.right, seqs, m, gap)
+	if err != nil {
+		return nil, err
+	}
+	return mergeProfiles(left, right, m, gap)
+}
+
+// Direction bits of the profile DP traceback.
+const (
+	pDiag byte = 1 + iota
+	pUp
+	pLeft
+)
+
+// mergeProfiles aligns two profiles with a sum-of-pairs Needleman-Wunsch
+// over their columns (linear gaps) and merges the rows along the optimal
+// column path. Tie-break diag > up > left, matching the pairwise engines.
+func mergeProfiles(L, R *profile, m *scoring.Matrix, gap scoring.Gap) (*profile, error) {
+	ext := int64(gap.Extend)
+	lc := columnCounts(L)
+	rc := columnCounts(R)
+	lp, lq := len(lc), len(rc)
+	cols := lq + 1
+
+	// Per-column gap costs (aligning the column against all-gaps).
+	gl := make([]int64, lp) // L column i vs gaps in R
+	for i := range gl {
+		gl[i] = gapColScore(&lc[i], len(R.rows), ext)
+	}
+	gr := make([]int64, lq)
+	for j := range gr {
+		gr[j] = gapColScore(&rc[j], len(L.rows), ext)
+	}
+
+	score := make([]int64, (lp+1)*cols)
+	dirs := make([]byte, (lp+1)*cols)
+	for j := 1; j <= lq; j++ {
+		score[j] = score[j-1] + gr[j-1]
+		dirs[j] = pLeft
+	}
+	for i := 1; i <= lp; i++ {
+		score[i*cols] = score[(i-1)*cols] + gl[i-1]
+		dirs[i*cols] = pUp
+	}
+	for i := 1; i <= lp; i++ {
+		base := i * cols
+		prev := base - cols
+		for j := 1; j <= lq; j++ {
+			d := score[prev+j-1] + pairScore(&lc[i-1], &rc[j-1], m, ext)
+			u := score[prev+j] + gl[i-1]
+			l := score[base+j-1] + gr[j-1]
+			best, dir := d, pDiag
+			if u > best {
+				best, dir = u, pUp
+			}
+			if l > best {
+				best, dir = l, pLeft
+			}
+			score[base+j] = best
+			dirs[base+j] = dir
+		}
+	}
+
+	// Traceback into a move list (backwards), then merge forwards.
+	moves := make([]byte, 0, lp+lq)
+	i, j := lp, lq
+	for i > 0 || j > 0 {
+		d := dirs[i*cols+j]
+		moves = append(moves, d)
+		switch d {
+		case pDiag:
+			i--
+			j--
+		case pUp:
+			i--
+		case pLeft:
+			j--
+		default:
+			return nil, fmt.Errorf("msa: profile traceback stuck at (%d,%d)", i, j)
+		}
+	}
+	// Reverse.
+	for x, y := 0, len(moves)-1; x < y; x, y = x+1, y-1 {
+		moves[x], moves[y] = moves[y], moves[x]
+	}
+
+	out := &profile{
+		members: append(append([]int{}, L.members...), R.members...),
+		rows:    make([][]byte, len(L.rows)+len(R.rows)),
+	}
+	total := len(moves)
+	for r := range out.rows {
+		out.rows[r] = make([]byte, 0, total)
+	}
+	li, rj := 0, 0
+	for _, mv := range moves {
+		switch mv {
+		case pDiag:
+			appendColumn(out.rows[:len(L.rows)], L.rows, li)
+			appendColumn(out.rows[len(L.rows):], R.rows, rj)
+			li++
+			rj++
+		case pUp:
+			appendColumn(out.rows[:len(L.rows)], L.rows, li)
+			appendGaps(out.rows[len(L.rows):])
+			li++
+		case pLeft:
+			appendGaps(out.rows[:len(L.rows)])
+			appendColumn(out.rows[len(L.rows):], R.rows, rj)
+			rj++
+		}
+	}
+	return out, nil
+}
+
+func appendColumn(dst [][]byte, src [][]byte, col int) {
+	for r := range dst {
+		dst[r] = append(dst[r], src[r][col])
+	}
+}
+
+func appendGaps(dst [][]byte) {
+	for r := range dst {
+		dst[r] = append(dst[r], GapByte)
+	}
+}

@@ -1,0 +1,119 @@
+package msa
+
+import (
+	"fmt"
+	"strings"
+
+	"fastlsa/internal/seq"
+)
+
+// node is a guide-tree node: either a leaf (Seq >= 0) or an internal node
+// with two children. Height is the UPGMA cluster height (for inspection).
+type node struct {
+	seqIdx      int // leaf sequence index, or -1
+	left, right *node
+	height      float64
+	size        int // leaves under this node
+}
+
+func (n *node) leaf() bool { return n.seqIdx >= 0 }
+
+// newick renders the tree in Newick-like text (no branch lengths beyond the
+// cluster heights, which is enough for inspection and tests).
+func (n *node) newick(seqs []*seq.Sequence) string {
+	var b strings.Builder
+	n.write(&b, seqs)
+	b.WriteByte(';')
+	return b.String()
+}
+
+func (n *node) write(b *strings.Builder, seqs []*seq.Sequence) {
+	if n.leaf() {
+		b.WriteString(displayID(seqs[n.seqIdx], n.seqIdx))
+		return
+	}
+	b.WriteByte('(')
+	n.left.write(b, seqs)
+	b.WriteByte(',')
+	n.right.write(b, seqs)
+	fmt.Fprintf(b, "):%.3f", n.height)
+}
+
+// upgma builds the guide tree by iteratively merging the closest clusters
+// under average linkage (the classic UPGMA). Deterministic: ties resolve to
+// the lexicographically smallest (i, j) pair.
+func upgma(dist [][]float64, seqs []*seq.Sequence) *node {
+	n := len(seqs)
+	clusters := make([]*node, 0, n)
+	for i := 0; i < n; i++ {
+		clusters = append(clusters, &node{seqIdx: i, size: 1})
+	}
+	// Working copy of the distance matrix, indexed by current cluster slot.
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		copy(d[i], dist[i])
+	}
+
+	for len(clusters) > 1 {
+		// Find the closest pair.
+		bi, bj := 0, 1
+		best := d[0][1]
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if d[i][j] < best {
+					best = d[i][j]
+					bi, bj = i, j
+				}
+			}
+		}
+		a, b := clusters[bi], clusters[bj]
+		merged := &node{
+			seqIdx: -1,
+			left:   a,
+			right:  b,
+			height: best / 2,
+			size:   a.size + b.size,
+		}
+		// Average-linkage distances from the merged cluster to the rest.
+		newRow := make([]float64, 0, len(clusters)-1)
+		for k := 0; k < len(clusters); k++ {
+			if k == bi || k == bj {
+				continue
+			}
+			wa := float64(a.size)
+			wb := float64(b.size)
+			newRow = append(newRow, (wa*d[bi][k]+wb*d[bj][k])/(wa+wb))
+		}
+		// Rebuild the cluster list and matrix with bi/bj removed and the
+		// merged cluster appended.
+		next := make([]*node, 0, len(clusters)-1)
+		keep := make([]int, 0, len(clusters)-2)
+		for k := 0; k < len(clusters); k++ {
+			if k == bi || k == bj {
+				continue
+			}
+			next = append(next, clusters[k])
+			keep = append(keep, k)
+		}
+		next = append(next, merged)
+
+		nd := make([][]float64, len(next))
+		for i := range nd {
+			nd[i] = make([]float64, len(next))
+		}
+		for i, ki := range keep {
+			for j, kj := range keep {
+				nd[i][j] = d[ki][kj]
+			}
+		}
+		last := len(next) - 1
+		for i := range keep {
+			nd[i][last] = newRow[i]
+			nd[last][i] = newRow[i]
+		}
+		clusters = next
+		d = nd
+	}
+	return clusters[0]
+}

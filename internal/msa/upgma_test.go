@@ -1,0 +1,120 @@
+package msa
+
+import (
+	"strings"
+	"testing"
+
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+)
+
+func leaves(n *node) []int {
+	if n.leaf() {
+		return []int{n.seqIdx}
+	}
+	return append(leaves(n.left), leaves(n.right)...)
+}
+
+func TestUPGMAKnownTopology(t *testing.T) {
+	// Three close sequences (0,1,2) and one distant (3): the outgroup must
+	// join last (at the root).
+	dist := [][]float64{
+		{0.0, 0.1, 0.2, 0.9},
+		{0.1, 0.0, 0.15, 0.9},
+		{0.2, 0.15, 0.0, 0.9},
+		{0.9, 0.9, 0.9, 0.0},
+	}
+	seqs := []*seq.Sequence{
+		seq.MustNew("s0", "A", seq.DNA),
+		seq.MustNew("s1", "A", seq.DNA),
+		seq.MustNew("s2", "A", seq.DNA),
+		seq.MustNew("out", "A", seq.DNA),
+	}
+	root := upgma(dist, seqs)
+	if root.leaf() {
+		t.Fatal("root must be internal")
+	}
+	if root.size != 4 {
+		t.Fatalf("root size %d", root.size)
+	}
+	// One root child must be exactly the outgroup leaf.
+	var outChild *node
+	if root.left.leaf() && root.left.seqIdx == 3 {
+		outChild = root.left
+	}
+	if root.right.leaf() && root.right.seqIdx == 3 {
+		outChild = root.right
+	}
+	if outChild == nil {
+		t.Fatalf("outgroup not at the root: tree %s", root.newick(seqs))
+	}
+	// The first merge is the closest pair (0,1).
+	all := leaves(root)
+	if len(all) != 4 {
+		t.Fatalf("leaves %v", all)
+	}
+	nw := root.newick(seqs)
+	if !strings.Contains(nw, "s0") || !strings.Contains(nw, "out") || !strings.HasSuffix(nw, ";") {
+		t.Fatalf("newick %q", nw)
+	}
+	// Heights are monotone from children to parent.
+	var checkHeights func(n *node) float64
+	checkHeights = func(n *node) float64 {
+		if n.leaf() {
+			return 0
+		}
+		hl := checkHeights(n.left)
+		hr := checkHeights(n.right)
+		if n.height < hl || n.height < hr {
+			t.Fatalf("UPGMA height not monotone: %f under %f/%f", n.height, hl, hr)
+		}
+		return n.height
+	}
+	checkHeights(root)
+}
+
+func TestUPGMATwoLeaves(t *testing.T) {
+	dist := [][]float64{{0, 0.4}, {0.4, 0}}
+	seqs := []*seq.Sequence{
+		seq.MustNew("a", "A", seq.DNA),
+		seq.MustNew("b", "A", seq.DNA),
+	}
+	root := upgma(dist, seqs)
+	if root.leaf() || !root.left.leaf() || !root.right.leaf() {
+		t.Fatal("two-leaf tree malformed")
+	}
+	if root.height != 0.2 {
+		t.Fatalf("height %f, want 0.2", root.height)
+	}
+}
+
+func TestColumnCountsAndPairScore(t *testing.T) {
+	p := &profile{members: []int{0, 1, 2}, rows: [][]byte{
+		[]byte("AC-"),
+		[]byte("AG-"),
+		[]byte("-GT"),
+	}}
+	cc := columnCounts(p)
+	if len(cc) != 3 {
+		t.Fatalf("columns %d", len(cc))
+	}
+	// Column 0: A x2, gap x1.
+	if cc[0].nonGaps != 2 || cc[0].gaps != 1 {
+		t.Fatalf("col0 %+v", cc[0])
+	}
+	// Column 1: C, G, G.
+	if cc[1].nonGaps != 3 || cc[1].gaps != 0 || len(cc[1].letters) != 2 {
+		t.Fatalf("col1 %+v", cc[1])
+	}
+	// pairScore of col0 against itself under DNAStrict (+1/-1), ext -2:
+	// residue pairs: A-A counts 2x2 -> 4 * +1 = 4; gap-res: 1*2*2 dirs -> 2
+	// pairs each way = (1*2 + 2*1) * -2 = -8. Total -4.
+	got := pairScore(&cc[0], &cc[0], scoring.DNAStrict, -2)
+	if got != 4-8 {
+		t.Fatalf("pairScore = %d, want -4", got)
+	}
+	// gapColScore: col1 (3 residues) against a 4-row gap column at ext -2.
+	if got := gapColScore(&cc[1], 4, -2); got != -24 {
+		t.Fatalf("gapColScore = %d, want -24", got)
+	}
+}

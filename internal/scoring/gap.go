@@ -1,0 +1,55 @@
+package scoring
+
+import "fmt"
+
+// Gap is a gap-penalty model. A gap of length L >= 1 costs Open + L*Extend
+// (both fields are non-positive; the cost is added to the alignment score).
+// Open == 0 yields the linear model the paper uses; Open < 0 yields the
+// affine (Gotoh) model implemented as an extension in this repository.
+type Gap struct {
+	// Open is the one-time penalty charged when a gap is opened.
+	Open int
+	// Extend is the per-residue penalty charged for every gapped position,
+	// including the first.
+	Extend int
+}
+
+// Linear returns the paper's gap model: each gapped position costs g.
+func Linear(g int) Gap { return Gap{Open: 0, Extend: g} }
+
+// Affine returns a Gotoh-style gap model.
+func Affine(open, extend int) Gap { return Gap{Open: open, Extend: extend} }
+
+// PaperGap is the gap model of the paper's worked examples (-10 per gap).
+var PaperGap = Linear(PaperGapPenalty)
+
+// IsLinear reports whether the model degenerates to the linear case.
+func (g Gap) IsLinear() bool { return g.Open == 0 }
+
+// Cost returns the total penalty of a gap of length n (0 for n <= 0).
+func (g Gap) Cost(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return g.Open + n*g.Extend
+}
+
+// Validate rejects models that would make "maximise score" degenerate
+// (non-negative extension) or that reward opening gaps.
+func (g Gap) Validate() error {
+	if g.Extend >= 0 {
+		return fmt.Errorf("scoring: gap extend penalty %d must be negative", g.Extend)
+	}
+	if g.Open > 0 {
+		return fmt.Errorf("scoring: gap open penalty %d must be non-positive", g.Open)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (g Gap) String() string {
+	if g.IsLinear() {
+		return fmt.Sprintf("linear(%d)", g.Extend)
+	}
+	return fmt.Sprintf("affine(open=%d, extend=%d)", g.Open, g.Extend)
+}

@@ -1,0 +1,81 @@
+package scoring_test
+
+import (
+	"testing"
+
+	"fastlsa/internal/fm"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+)
+
+func TestIUPACBases(t *testing.T) {
+	cases := map[byte]string{
+		'A': "A", 'c': "C", 'R': "AG", 'y': "CT", 'N': "ACGT",
+		'B': "CGT", 'V': "ACG", 'S': "GC", 'W': "AT", 'K': "GT",
+		'M': "AC", 'D': "AGT", 'H': "ACT",
+	}
+	for code, want := range cases {
+		if got := seq.IUPACBases(code); got != want {
+			t.Errorf("IUPACBases(%c) = %q, want %q", code, got, want)
+		}
+	}
+	if seq.IUPACBases('X') != "" {
+		t.Fatal("unknown code must expand to empty")
+	}
+}
+
+func TestDNAIUPACMatrix(t *testing.T) {
+	m := scoring.DNAIUPAC
+	if !m.Symmetric() {
+		t.Fatal("IUPAC matrix must be symmetric")
+	}
+	// Exact bases keep the +5/-4 scheme.
+	if m.Score('A', 'A') != 5 || m.Score('A', 'T') != -4 {
+		t.Fatalf("exact-base scores: %d, %d", m.Score('A', 'A'), m.Score('A', 'T'))
+	}
+	// A vs R: (5 - 4) / 2 = 0.5, rounds to 1.
+	if got := m.Score('A', 'R'); got != 1 {
+		t.Fatalf("A/R = %d, want 1", got)
+	}
+	// A vs Y: (-4 - 4) / 2 = -4.
+	if got := m.Score('A', 'Y'); got != -4 {
+		t.Fatalf("A/Y = %d, want -4", got)
+	}
+	// N vs N: (4*5 + 12*(-4)) / 16 = -1.75 -> -2.
+	if got := m.Score('N', 'N'); got != -2 {
+		t.Fatalf("N/N = %d, want -2", got)
+	}
+	// R vs R: (2*5 + 2*(-4)) / 4 = 0.5 -> 1.
+	if got := m.Score('R', 'R'); got != 1 {
+		t.Fatalf("R/R = %d, want 1", got)
+	}
+	// Every ambiguous identity must be >= the disjoint-set score.
+	if m.Score('R', 'R') <= m.Score('R', 'Y') {
+		t.Fatal("overlapping sets must outscore disjoint sets")
+	}
+	if _, err := scoring.ByName("dna-iupac"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seq.ParseAlphabet("iupac"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIUPACAlignment runs a small end-to-end alignment with ambiguity codes:
+// an N-containing read aligned against a clean reference.
+func TestIUPACAlignment(t *testing.T) {
+	ref := seq.MustNew("ref", "ACGTACGTACGT", seq.DNAIUPAC)
+	read := seq.MustNew("read", "ACGTNCGTACGT", seq.DNAIUPAC)
+	res, err := fm.Align(ref, read, scoring.DNAIUPAC, scoring.Linear(-6), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 11 exact matches (+5) and one A/N column ((5-12)/4 = -1.75 -> -2).
+	if res.Score != 11*5-2 {
+		t.Fatalf("score = %d, want %d", res.Score, 11*5-2)
+	}
+	// The path must be a pure diagonal.
+	if res.Path.String() != "DDDDDDDDDDDD" {
+		t.Fatalf("path = %s", res.Path)
+	}
+}

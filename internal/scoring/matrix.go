@@ -1,0 +1,181 @@
+// Package scoring provides the similarity tables and gap-penalty models used
+// by every alignment algorithm in this repository: the paper's Table 1
+// modified-Dayhoff excerpt (exact values, used by the Figure 1 worked
+// example), a full 20x20 non-negative "MDM78-like" protein matrix, BLOSUM62,
+// and simple DNA match/mismatch schemes, plus linear and affine gap models.
+package scoring
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fastlsa/internal/seq"
+)
+
+// Matrix is a symmetric residue-pair similarity table with O(1) lookup.
+// Higher scores denote higher similarity (paper §1.1).
+type Matrix struct {
+	// Name identifies the table ("table1", "blosum62", ...).
+	Name string
+	// Alphabet is the residue universe the table is defined over.
+	Alphabet *seq.Alphabet
+
+	table [256 * 256]int16
+	min   int
+	max   int
+}
+
+// NewMatrix builds a matrix over the alphabet from explicit pair scores.
+// The pairs map uses two-letter keys ("AB"); each entry sets both (A,B) and
+// (B,A). Pairs not listed default to defaultScore. Letters outside the
+// alphabet are rejected.
+func NewMatrix(name string, a *seq.Alphabet, defaultScore int, pairs map[string]int) (*Matrix, error) {
+	if a == nil {
+		return nil, fmt.Errorf("scoring: NewMatrix(%s): nil alphabet", name)
+	}
+	m := &Matrix{Name: name, Alphabet: a, min: defaultScore, max: defaultScore}
+	if err := checkScore(name, defaultScore); err != nil {
+		return nil, err
+	}
+	for _, x := range a.Letters {
+		for _, y := range a.Letters {
+			m.set(x, y, defaultScore)
+		}
+	}
+	// Apply in sorted key order so duplicate-conflict detection is
+	// deterministic.
+	keys := make([]string, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	seen := map[[2]byte]int{}
+	for _, k := range keys {
+		if len(k) != 2 {
+			return nil, fmt.Errorf("scoring: NewMatrix(%s): key %q is not a residue pair", name, k)
+		}
+		v := pairs[k]
+		if err := checkScore(name, v); err != nil {
+			return nil, err
+		}
+		x, y := upper(k[0]), upper(k[1])
+		if !a.Contains(x) || !a.Contains(y) {
+			return nil, fmt.Errorf("scoring: NewMatrix(%s): pair %q has a letter outside alphabet %s", name, k, a.Name)
+		}
+		key := [2]byte{x, y}
+		if x > y {
+			key = [2]byte{y, x}
+		}
+		if prev, dup := seen[key]; dup && prev != v {
+			return nil, fmt.Errorf("scoring: NewMatrix(%s): conflicting scores %d and %d for pair %c%c", name, prev, v, key[0], key[1])
+		}
+		seen[key] = v
+		m.set(x, y, v)
+		m.set(y, x, v)
+		if v < m.min {
+			m.min = v
+		}
+		if v > m.max {
+			m.max = v
+		}
+	}
+	return m, nil
+}
+
+func checkScore(name string, v int) error {
+	if v < -32768 || v > 32767 {
+		return fmt.Errorf("scoring: NewMatrix(%s): score %d outside int16 range", name, v)
+	}
+	return nil
+}
+
+func mustMatrix(name string, a *seq.Alphabet, def int, pairs map[string]int) *Matrix {
+	m, err := NewMatrix(name, a, def, pairs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (m *Matrix) set(x, y byte, v int) { m.table[int(x)<<8|int(y)] = int16(v) }
+
+func upper(c byte) byte {
+	if 'a' <= c && c <= 'z' {
+		return c - 'a' + 'A'
+	}
+	return c
+}
+
+// Score returns the similarity of residues x and y. Lookups are
+// case-insensitive for ASCII letters.
+func (m *Matrix) Score(x, y byte) int {
+	return int(m.table[int(upper(x))<<8|int(upper(y))])
+}
+
+// Row returns the 256-entry score row for residue x: Row(x)[y] == Score(x,y)
+// for canonical (uppercase) residue bytes y. DP inner loops use this to avoid
+// per-cell case folding; sequences built by internal/seq are already
+// canonical.
+func (m *Matrix) Row(x byte) *[256]int16 {
+	off := int(upper(x)) << 8
+	return (*[256]int16)(m.table[off : off+256])
+}
+
+// Min and Max report the extreme scores present in the table; useful for
+// bounding DP values.
+func (m *Matrix) Min() int { return m.min }
+func (m *Matrix) Max() int { return m.max }
+
+// Symmetric verifies S(x,y)==S(y,x) over the whole alphabet. Always true for
+// matrices built by NewMatrix; exported for property tests over hand-built
+// tables.
+func (m *Matrix) Symmetric() bool {
+	for _, x := range m.Alphabet.Letters {
+		for _, y := range m.Alphabet.Letters {
+			if m.Score(x, y) != m.Score(y, x) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the full table, BLAST-style.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s over %s\n  ", m.Name, m.Alphabet.Name)
+	for _, c := range m.Alphabet.Letters {
+		fmt.Fprintf(&b, " %3c", c)
+	}
+	b.WriteByte('\n')
+	for _, x := range m.Alphabet.Letters {
+		fmt.Fprintf(&b, "%c ", x)
+		for _, y := range m.Alphabet.Letters {
+			fmt.Fprintf(&b, " %3d", m.Score(x, y))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ByName resolves a built-in matrix. Recognised names: "table1",
+// "mdm78" (alias "dayhoff"), "blosum62", "dna", "dna-strict", "dna-iupac".
+func ByName(name string) (*Matrix, error) {
+	switch strings.ToLower(name) {
+	case "table1":
+		return Table1, nil
+	case "mdm78", "dayhoff":
+		return MDM78, nil
+	case "blosum62":
+		return BLOSUM62, nil
+	case "dna":
+		return DNASimple, nil
+	case "dna-strict":
+		return DNAStrict, nil
+	case "dna-iupac", "iupac":
+		return DNAIUPAC, nil
+	default:
+		return nil, fmt.Errorf("scoring: unknown matrix %q", name)
+	}
+}

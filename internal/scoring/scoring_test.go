@@ -1,0 +1,198 @@
+package scoring_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+)
+
+// TestTable1ExactValues pins the paper's Table 1 entries exactly.
+func TestTable1ExactValues(t *testing.T) {
+	m := scoring.Table1
+	cases := []struct {
+		x, y byte
+		want int
+	}{
+		{'A', 'A', 16},
+		{'D', 'D', 20},
+		{'K', 'K', 20},
+		{'L', 'L', 20},
+		{'T', 'T', 20},
+		{'V', 'V', 20},
+		{'L', 'V', 12},
+		{'V', 'L', 12},
+		{'K', 'L', 0},
+		{'T', 'L', 0},
+		{'A', 'D', 0},
+	}
+	for _, tc := range cases {
+		if got := m.Score(tc.x, tc.y); got != tc.want {
+			t.Errorf("Table1[%c,%c] = %d, want %d", tc.x, tc.y, got, tc.want)
+		}
+	}
+	if !m.Symmetric() {
+		t.Fatal("Table1 must be symmetric")
+	}
+}
+
+func TestBuiltinMatrices(t *testing.T) {
+	for _, m := range []*scoring.Matrix{
+		scoring.Table1, scoring.MDM78, scoring.PAM250, scoring.BLOSUM62,
+		scoring.DNASimple, scoring.DNAStrict,
+	} {
+		if !m.Symmetric() {
+			t.Errorf("%s is not symmetric", m.Name)
+		}
+		// Identity must never score below any pairing with the same residue
+		// for these standard matrices.
+		for _, x := range m.Alphabet.Letters {
+			if m.Score(x, x) < m.Min() {
+				t.Errorf("%s: diagonal below minimum for %c", m.Name, x)
+			}
+		}
+	}
+	// MDM78 must be non-negative everywhere, as the paper requires.
+	if scoring.MDM78.Min() < 0 {
+		t.Fatalf("MDM78 min = %d, want >= 0", scoring.MDM78.Min())
+	}
+	// BLOSUM62 spot checks against the published table.
+	checks := []struct {
+		x, y byte
+		want int
+	}{
+		{'W', 'W', 11}, {'A', 'A', 4}, {'L', 'V', 1}, {'E', 'Q', 2},
+		{'C', 'C', 9}, {'W', 'C', -2}, {'P', 'F', -4}, {'I', 'V', 3},
+	}
+	for _, c := range checks {
+		if got := scoring.BLOSUM62.Score(c.x, c.y); got != c.want {
+			t.Errorf("BLOSUM62[%c,%c] = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+	// PAM250 -> MDM78 scaling is 2v+16 (order preserving).
+	if got, want := scoring.MDM78.Score('W', 'W'), 2*17+16; got != want {
+		t.Errorf("MDM78[W,W] = %d, want %d", got, want)
+	}
+	if got, want := scoring.MDM78.Score('C', 'W'), 2*-8+16; got != want {
+		t.Errorf("MDM78[C,W] = %d, want %d", got, want)
+	}
+}
+
+func TestScoreCaseInsensitive(t *testing.T) {
+	if scoring.BLOSUM62.Score('a', 'a') != scoring.BLOSUM62.Score('A', 'A') {
+		t.Fatal("lookup must fold case")
+	}
+}
+
+func TestRowAccessor(t *testing.T) {
+	m := scoring.BLOSUM62
+	row := m.Row('W')
+	for _, y := range seq.Protein.Letters {
+		if int(row[y]) != m.Score('W', y) {
+			t.Fatalf("Row(W)[%c] = %d, want %d", y, row[y], m.Score('W', y))
+		}
+	}
+}
+
+func TestNewMatrixValidation(t *testing.T) {
+	if _, err := scoring.NewMatrix("x", nil, 0, nil); err == nil {
+		t.Fatal("nil alphabet must fail")
+	}
+	if _, err := scoring.NewMatrix("x", seq.DNA, 0, map[string]int{"ACG": 1}); err == nil {
+		t.Fatal("three-letter key must fail")
+	}
+	if _, err := scoring.NewMatrix("x", seq.DNA, 0, map[string]int{"AX": 1}); err == nil {
+		t.Fatal("letter outside alphabet must fail")
+	}
+	if _, err := scoring.NewMatrix("x", seq.DNA, 0, map[string]int{"AC": 1, "CA": 2}); err == nil {
+		t.Fatal("conflicting symmetric entries must fail")
+	}
+	if _, err := scoring.NewMatrix("x", seq.DNA, 0, map[string]int{"AC": 1, "CA": 1}); err != nil {
+		t.Fatalf("consistent symmetric entries must be accepted: %v", err)
+	}
+	if _, err := scoring.NewMatrix("x", seq.DNA, 1<<20, nil); err == nil {
+		t.Fatal("out-of-range default must fail")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"table1", "mdm78", "dayhoff", "blosum62", "dna", "dna-strict"} {
+		if _, err := scoring.ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := scoring.ByName("nope"); err == nil {
+		t.Fatal("unknown name must fail")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	m, err := scoring.Uniform(seq.DNA, 3, -2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Score('A', 'A') != 3 || m.Score('A', 'C') != -2 {
+		t.Fatalf("uniform scores wrong: %d, %d", m.Score('A', 'A'), m.Score('A', 'C'))
+	}
+	if m.Min() != -2 || m.Max() != 3 {
+		t.Fatalf("min/max = %d/%d", m.Min(), m.Max())
+	}
+}
+
+// TestMatrixSymmetryQuick: any matrix built through NewMatrix is symmetric.
+func TestMatrixSymmetryQuick(t *testing.T) {
+	f := func(vals []int8) bool {
+		pairs := map[string]int{}
+		idx := 0
+		for i, x := range seq.DNA.Letters {
+			for _, y := range seq.DNA.Letters[i:] {
+				if idx < len(vals) {
+					pairs[string([]byte{x, y})] = int(vals[idx])
+					idx++
+				}
+			}
+		}
+		m, err := scoring.NewMatrix("q", seq.DNA, -1, pairs)
+		if err != nil {
+			return false
+		}
+		return m.Symmetric()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGapModels(t *testing.T) {
+	lin := scoring.Linear(-4)
+	if !lin.IsLinear() || lin.Cost(3) != -12 || lin.Cost(0) != 0 {
+		t.Fatalf("linear model misbehaves: %+v cost3=%d", lin, lin.Cost(3))
+	}
+	aff := scoring.Affine(-10, -2)
+	if aff.IsLinear() || aff.Cost(3) != -16 {
+		t.Fatalf("affine model misbehaves: cost3=%d", aff.Cost(3))
+	}
+	if err := scoring.Linear(0).Validate(); err == nil {
+		t.Fatal("zero extend must fail")
+	}
+	if err := scoring.Affine(5, -1).Validate(); err == nil {
+		t.Fatal("positive open must fail")
+	}
+	if err := scoring.Affine(0, -1).Validate(); err != nil {
+		t.Fatalf("zero open is the linear case and must validate: %v", err)
+	}
+	if s := scoring.PaperGap.String(); !strings.Contains(s, "-10") {
+		t.Fatalf("PaperGap string = %q", s)
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	s := scoring.Table1.String()
+	for _, frag := range []string{"table1", "A", "16", "20", "12"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("matrix rendering missing %q:\n%s", frag, s)
+		}
+	}
+}

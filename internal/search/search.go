@@ -1,0 +1,182 @@
+// Package search implements homology search — the paper's motivating
+// application (§1: "Pairwise sequence alignment is used to determine
+// homology ... in both DNA and protein sequences"): a query is scanned
+// against a database of sequences, candidates are ranked by optimal local
+// alignment score using the O(min) score-only kernel, the top hits get their
+// full alignments reconstructed in FastLSA-bounded space, and (optionally)
+// each hit is annotated with Karlin-Altschul E-values from a fitted Gumbel
+// tail. The database scan parallelises across entries with a worker pool.
+package search
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fastlsa/internal/core"
+	"fastlsa/internal/fm"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/significance"
+	"fastlsa/internal/stats"
+)
+
+// Hit is one database match.
+type Hit struct {
+	// Index is the database position; ID the sequence identifier.
+	Index int
+	ID    string
+	// Score is the optimal local alignment score against the query.
+	Score int64
+	// EValue and BitScore are set when Options.Stats is provided.
+	EValue   float64
+	BitScore float64
+	// Alignment is the reconstructed local alignment (only for the top
+	// Options.Alignments hits; nil otherwise).
+	Alignment *fm.LocalResult
+}
+
+// Options configures a search.
+type Options struct {
+	// Matrix and Gap define the scoring system (linear gaps only).
+	Matrix *scoring.Matrix
+	Gap    scoring.Gap
+	// TopK bounds the number of hits returned (0 selects 10).
+	TopK int
+	// Alignments is how many of the top hits get full alignments
+	// reconstructed (0 selects TopK; capped at TopK).
+	Alignments int
+	// MinScore drops candidates below the threshold (0 keeps everything
+	// positive).
+	MinScore int64
+	// Workers parallelises the database scan (0 = GOMAXPROCS via the
+	// FastLSA options, 1 = sequential).
+	Workers int
+	// Stats, when non-nil, annotates hits with E-values and bit scores.
+	Stats *significance.Params
+	// MaxEValue drops hits with a larger E-value (0 = no filter; requires
+	// Stats).
+	MaxEValue float64
+	// Pairwise tunes the FastLSA reconstruction runs.
+	Pairwise core.Options
+	// Counters, when non-nil, accumulates the scan's DP work.
+	Counters *stats.Counters
+}
+
+// Query scans the database and returns ranked hits (best first; ties by
+// database order). The result is identical for any worker count.
+func Query(query *seq.Sequence, db []*seq.Sequence, opt Options) ([]Hit, error) {
+	if opt.Matrix == nil {
+		return nil, fmt.Errorf("search: Options.Matrix is required")
+	}
+	gap := opt.Gap
+	if gap == (scoring.Gap{}) {
+		gap = scoring.Linear(-12)
+	}
+	if err := gap.Validate(); err != nil {
+		return nil, err
+	}
+	if !gap.IsLinear() {
+		return nil, fmt.Errorf("search: affine gap models not supported (the local kernel is linear-gap)")
+	}
+	if query.Len() == 0 {
+		return nil, fmt.Errorf("search: empty query")
+	}
+	if len(db) == 0 {
+		return nil, nil
+	}
+	if opt.MaxEValue > 0 && opt.Stats == nil {
+		return nil, fmt.Errorf("search: MaxEValue requires Options.Stats")
+	}
+	topK := opt.TopK
+	if topK <= 0 {
+		topK = 10
+	}
+
+	// Phase 1: parallel score-only scan.
+	type scored struct {
+		idx   int
+		score int64
+		err   error
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(db) {
+		workers = len(db)
+	}
+	results := make([]scored, len(db))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				s, _, _, err := fm.ScoreLocal(query, db[i], opt.Matrix, gap, opt.Counters)
+				results[i] = scored{idx: i, score: s, err: err}
+			}
+		}()
+	}
+	for i := range db {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("search: database entry %d: %w", r.idx, r.err)
+		}
+	}
+
+	// Phase 2: rank and cut.
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].score != results[j].score {
+			return results[i].score > results[j].score
+		}
+		return results[i].idx < results[j].idx
+	})
+	hits := make([]Hit, 0, topK)
+	for _, r := range results {
+		if len(hits) == topK {
+			break
+		}
+		if r.score <= 0 || r.score < opt.MinScore {
+			continue
+		}
+		h := Hit{Index: r.idx, ID: db[r.idx].ID, Score: r.score}
+		if opt.Stats != nil {
+			h.EValue = opt.Stats.EValue(r.score, query.Len(), db[r.idx].Len())
+			h.BitScore = opt.Stats.BitScore(r.score)
+			if opt.MaxEValue > 0 && h.EValue > opt.MaxEValue {
+				continue
+			}
+		}
+		hits = append(hits, h)
+	}
+
+	// Phase 3: reconstruct alignments for the leading hits in
+	// FastLSA-bounded space.
+	nAlign := opt.Alignments
+	if nAlign <= 0 || nAlign > len(hits) {
+		nAlign = len(hits)
+	}
+	popt := opt.Pairwise
+	if popt.Workers == 0 {
+		popt.Workers = 1
+	}
+	for i := 0; i < nAlign; i++ {
+		loc, err := core.AlignLocal(query, db[hits[i].Index], opt.Matrix, gap, popt)
+		if err != nil {
+			return nil, fmt.Errorf("search: reconstructing hit %d (db %d): %w", i, hits[i].Index, err)
+		}
+		if loc.Score != hits[i].Score {
+			return nil, fmt.Errorf("search: hit %d reconstruction scored %d, scan said %d (internal invariant)",
+				i, loc.Score, hits[i].Score)
+		}
+		locCopy := loc
+		hits[i].Alignment = &locCopy
+	}
+	return hits, nil
+}

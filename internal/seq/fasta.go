@@ -1,0 +1,110 @@
+package seq
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadFASTA parses all records from r. Each record is validated against the
+// alphabet. Header lines start with '>'; the ID is the first whitespace-
+// separated token of the header. Blank lines are ignored; ';' comment lines
+// (legacy FASTA) are skipped.
+func ReadFASTA(r io.Reader, a *Alphabet) ([]*Sequence, error) {
+	if a == nil {
+		a = DNA
+	}
+	var (
+		out    []*Sequence
+		id     string
+		desc   bool
+		body   bytes.Buffer
+		lineNo int
+	)
+	flush := func() error {
+		if !desc {
+			return nil
+		}
+		s, err := New(id, body.String(), a)
+		if err != nil {
+			return err
+		}
+		out = append(out, s)
+		body.Reset()
+		desc = false
+		return nil
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, ";"):
+			continue
+		case strings.HasPrefix(line, ">"):
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			header := strings.TrimSpace(line[1:])
+			if header == "" {
+				return nil, fmt.Errorf("seq: fasta line %d: empty header", lineNo)
+			}
+			id = strings.Fields(header)[0]
+			desc = true
+		default:
+			if !desc {
+				return nil, fmt.Errorf("seq: fasta line %d: sequence data before first header", lineNo)
+			}
+			body.WriteString(line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seq: fasta read: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("seq: fasta input contains no records")
+	}
+	return out, nil
+}
+
+// WriteFASTA renders records to w, wrapping residue lines at width columns
+// (width <= 0 selects the conventional 70).
+func WriteFASTA(w io.Writer, width int, seqs ...*Sequence) error {
+	if width <= 0 {
+		width = 70
+	}
+	bw := bufio.NewWriter(w)
+	for i, s := range seqs {
+		id := s.ID
+		if id == "" {
+			id = fmt.Sprintf("seq%d", i+1)
+		}
+		if _, err := fmt.Fprintf(bw, ">%s\n", id); err != nil {
+			return err
+		}
+		for off := 0; off < len(s.Residues); off += width {
+			end := off + width
+			if end > len(s.Residues) {
+				end = len(s.Residues)
+			}
+			if _, err := bw.Write(s.Residues[off:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+		if s.Len() == 0 {
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

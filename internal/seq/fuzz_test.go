@@ -1,0 +1,63 @@
+package seq_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fastlsa/internal/seq"
+)
+
+// FuzzReadFASTA: the parser never panics, and everything it accepts
+// round-trips through WriteFASTA -> ReadFASTA unchanged.
+func FuzzReadFASTA(f *testing.F) {
+	f.Add(">a\nACGT\n")
+	f.Add(">a desc\nAC\nGT\n>b\nTTTT\n")
+	f.Add("; comment\n>x\n\n")
+	f.Add("ACGT")
+	f.Add(">")
+	f.Fuzz(func(t *testing.T, in string) {
+		recs, err := seq.ReadFASTA(strings.NewReader(in), seq.DNAIUPAC)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := seq.WriteFASTA(&buf, 60, recs...); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		again, err := seq.ReadFASTA(&buf, seq.DNAIUPAC)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip count %d != %d", len(again), len(recs))
+		}
+		for i := range recs {
+			if !seq.Equal(recs[i], again[i]) {
+				t.Fatalf("record %d diverged", i)
+			}
+		}
+	})
+}
+
+// FuzzMutate: the mutation channel never panics and always emits residues of
+// the reference alphabet.
+func FuzzMutate(f *testing.F) {
+	f.Add(int64(1), 0.1, 0.05, 0.05)
+	f.Fuzz(func(t *testing.T, seed int64, sub, ins, del float64) {
+		ref := seq.Random("r", 64, seq.DNA, 9)
+		m := seq.MutationModel{SubstitutionRate: sub, InsertionRate: ins, DeletionRate: del, MaxIndelRun: 4, IndelExtend: 0.5}
+		out, err := m.Mutate("m", ref, seed)
+		if err != nil {
+			return // invalid rates are rejected, not panicked on
+		}
+		if out.Len() == 0 {
+			t.Fatal("empty mutation output")
+		}
+		for _, c := range out.Residues {
+			if !seq.DNA.Contains(c) {
+				t.Fatalf("letter %q outside alphabet", c)
+			}
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package seq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The standard genetic code. The paper's Table 1 cites exactly these codon
+// assignments for its six example residues (A=GC*, D=GAT/GAC, K=AAA/AAG,
+// L=TTA/TTG/CT*, T=AC*, V=GT*), which the tests pin.
+var geneticCode = map[string]byte{
+	"TTT": 'F', "TTC": 'F', "TTA": 'L', "TTG": 'L',
+	"CTT": 'L', "CTC": 'L', "CTA": 'L', "CTG": 'L',
+	"ATT": 'I', "ATC": 'I', "ATA": 'I', "ATG": 'M',
+	"GTT": 'V', "GTC": 'V', "GTA": 'V', "GTG": 'V',
+	"TCT": 'S', "TCC": 'S', "TCA": 'S', "TCG": 'S',
+	"CCT": 'P', "CCC": 'P', "CCA": 'P', "CCG": 'P',
+	"ACT": 'T', "ACC": 'T', "ACA": 'T', "ACG": 'T',
+	"GCT": 'A', "GCC": 'A', "GCA": 'A', "GCG": 'A',
+	"TAT": 'Y', "TAC": 'Y', "TAA": Stop, "TAG": Stop,
+	"CAT": 'H', "CAC": 'H', "CAA": 'Q', "CAG": 'Q',
+	"AAT": 'N', "AAC": 'N', "AAA": 'K', "AAG": 'K',
+	"GAT": 'D', "GAC": 'D', "GAA": 'E', "GAG": 'E',
+	"TGT": 'C', "TGC": 'C', "TGA": Stop, "TGG": 'W',
+	"CGT": 'R', "CGC": 'R', "CGA": 'R', "CGG": 'R',
+	"AGT": 'S', "AGC": 'S', "AGA": 'R', "AGG": 'R',
+	"GGT": 'G', "GGC": 'G', "GGA": 'G', "GGG": 'G',
+}
+
+// Stop is the translation terminator marker returned by Codon for the three
+// stop codons.
+const Stop byte = '*'
+
+// Codon translates one triplet (case-insensitive) under the standard
+// genetic code, returning Stop for stop codons. Unknown or non-DNA triplets
+// return an error.
+func Codon(triplet string) (byte, error) {
+	if len(triplet) != 3 {
+		return 0, fmt.Errorf("seq: codon %q is not a triplet", triplet)
+	}
+	aa, ok := geneticCode[strings.ToUpper(triplet)]
+	if !ok {
+		return 0, fmt.Errorf("seq: unknown codon %q", triplet)
+	}
+	return aa, nil
+}
+
+// Translate converts a DNA sequence to protein in the given reading frame
+// (0, 1 or 2), stopping at the first stop codon (which is not included).
+// Trailing bases that do not fill a codon are ignored. The input must be
+// over the plain DNA alphabet (ambiguity codes cannot be translated).
+func Translate(s *Sequence, frame int) (*Sequence, error) {
+	if frame < 0 || frame > 2 {
+		return nil, fmt.Errorf("seq: reading frame %d, want 0..2", frame)
+	}
+	for _, c := range s.Residues {
+		if !DNA.Contains(c) {
+			return nil, fmt.Errorf("seq: Translate: %q is not a plain DNA base", c)
+		}
+	}
+	out := make([]byte, 0, (s.Len()-frame)/3)
+	for i := frame; i+3 <= s.Len(); i += 3 {
+		aa, err := Codon(string(s.Residues[i : i+3]))
+		if err != nil {
+			return nil, err
+		}
+		if aa == Stop {
+			break
+		}
+		out = append(out, aa)
+	}
+	id := s.ID
+	if id != "" {
+		id = fmt.Sprintf("%s_frame%d", id, frame)
+	}
+	return New(id, string(out), Protein)
+}
+
+// ReverseComplement returns the reverse complement of a DNA or IUPAC
+// sequence (ambiguity codes complement to their set complements, e.g.
+// R=AG -> Y=CT).
+func ReverseComplement(s *Sequence) (*Sequence, error) {
+	comp := func(c byte) (byte, bool) {
+		switch c {
+		case 'A':
+			return 'T', true
+		case 'T':
+			return 'A', true
+		case 'C':
+			return 'G', true
+		case 'G':
+			return 'C', true
+		case 'R':
+			return 'Y', true
+		case 'Y':
+			return 'R', true
+		case 'S':
+			return 'S', true
+		case 'W':
+			return 'W', true
+		case 'K':
+			return 'M', true
+		case 'M':
+			return 'K', true
+		case 'B':
+			return 'V', true
+		case 'V':
+			return 'B', true
+		case 'D':
+			return 'H', true
+		case 'H':
+			return 'D', true
+		case 'N':
+			return 'N', true
+		default:
+			return 0, false
+		}
+	}
+	out := make([]byte, s.Len())
+	for i, c := range s.Residues {
+		cc, ok := comp(c)
+		if !ok {
+			return nil, fmt.Errorf("seq: ReverseComplement: %q is not a nucleotide code", c)
+		}
+		out[s.Len()-1-i] = cc
+	}
+	id := s.ID
+	if id != "" {
+		id += "_rc"
+	}
+	return &Sequence{ID: id, Residues: out, Alphabet: s.Alphabet}, nil
+}
+
+// SixFrames translates all six reading frames (three forward, three on the
+// reverse complement), the standard preprocessing step for searching DNA
+// against a protein database.
+func SixFrames(s *Sequence) ([]*Sequence, error) {
+	rc, err := ReverseComplement(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Sequence, 0, 6)
+	for frame := 0; frame < 3; frame++ {
+		f, err := Translate(s, frame)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+		r, err := Translate(rc, frame)
+		if err != nil {
+			return nil, err
+		}
+		if r.ID != "" {
+			r.ID += "_rc"
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package seq_test
+
+import (
+	"strings"
+	"testing"
+
+	"fastlsa/internal/seq"
+)
+
+// TestPaperTable1Codons pins the codon assignments the paper's Table 1
+// prints next to its six residues: A=GC*, D=GAT/GAC, K=AAA/AAG,
+// L=TTA/TTG/CT*, T=AC*, V=GT*.
+func TestPaperTable1Codons(t *testing.T) {
+	cases := map[string]byte{
+		"GCA": 'A', "GCC": 'A', "GCG": 'A', "GCT": 'A',
+		"GAT": 'D', "GAC": 'D',
+		"AAA": 'K', "AAG": 'K',
+		"TTA": 'L', "TTG": 'L', "CTA": 'L', "CTC": 'L', "CTG": 'L', "CTT": 'L',
+		"ACA": 'T', "ACC": 'T', "ACG": 'T', "ACT": 'T',
+		"GTA": 'V', "GTC": 'V', "GTG": 'V', "GTT": 'V',
+	}
+	for codon, want := range cases {
+		got, err := seq.Codon(codon)
+		if err != nil {
+			t.Fatalf("Codon(%s): %v", codon, err)
+		}
+		if got != want {
+			t.Errorf("Codon(%s) = %c, want %c", codon, got, want)
+		}
+	}
+	// Stops and case folding.
+	for _, stop := range []string{"TAA", "TAG", "TGA", "taa"} {
+		if got, err := seq.Codon(stop); err != nil || got != seq.Stop {
+			t.Fatalf("Codon(%s) = %c, %v", stop, got, err)
+		}
+	}
+	if _, err := seq.Codon("AC"); err == nil {
+		t.Fatal("short codon must fail")
+	}
+	if _, err := seq.Codon("AXC"); err == nil {
+		t.Fatal("unknown codon must fail")
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	// ATG GAT AAA TTA GTT TAA -> M D K L V (stop).
+	dna := seq.MustNew("gene", "ATGGATAAATTAGTTTAACCC", seq.DNA)
+	prot, err := seq.Translate(dna, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prot.String() != "MDKLV" {
+		t.Fatalf("frame 0 = %q, want MDKLV", prot.String())
+	}
+	if prot.Alphabet != seq.Protein {
+		t.Fatal("translation must be a protein sequence")
+	}
+	if !strings.Contains(prot.ID, "frame0") {
+		t.Fatalf("id %q", prot.ID)
+	}
+	// Frame 1 shifts by one base; trailing partial codons ignored.
+	p1, err := seq.Translate(dna, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Len() == 0 {
+		t.Fatal("frame 1 empty")
+	}
+	// Invalid frames and non-DNA input.
+	if _, err := seq.Translate(dna, 3); err == nil {
+		t.Fatal("frame 3 must fail")
+	}
+	iupac := seq.MustNew("n", "ATGN", seq.DNAIUPAC)
+	if _, err := seq.Translate(iupac, 0); err == nil {
+		t.Fatal("ambiguity codes must fail to translate")
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	s := seq.MustNew("s", "AACGTT", seq.DNA)
+	rc, err := seq.ReverseComplement(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.String() != "AACGTT" { // palindrome
+		t.Fatalf("rc = %q", rc.String())
+	}
+	s2 := seq.MustNew("s2", "AAACCC", seq.DNA)
+	rc2, err := seq.ReverseComplement(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc2.String() != "GGGTTT" {
+		t.Fatalf("rc2 = %q", rc2.String())
+	}
+	// Double reverse complement is the identity.
+	back, err := seq.ReverseComplement(rc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Equal(back, s2) {
+		t.Fatal("double rc not identity")
+	}
+	// IUPAC codes complement set-wise.
+	amb := seq.MustNew("a", "RYN", seq.DNAIUPAC)
+	rca, err := seq.ReverseComplement(amb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rca.String() != "NRY" {
+		t.Fatalf("iupac rc = %q", rca.String())
+	}
+	// Letters outside the nucleotide codes fail (M, K, W are also IUPAC
+	// nucleotide codes, so use residues that are not).
+	prot := seq.MustNew("p", "LEQ", seq.Protein)
+	if _, err := seq.ReverseComplement(prot); err == nil {
+		t.Fatal("non-nucleotide letters must fail")
+	}
+}
+
+func TestSixFrames(t *testing.T) {
+	dna := seq.Random("d", 120, seq.DNA, 55)
+	frames, err := seq.SixFrames(dna)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 6 {
+		t.Fatalf("%d frames", len(frames))
+	}
+	for i, f := range frames {
+		if f.Alphabet != seq.Protein {
+			t.Fatalf("frame %d not protein", i)
+		}
+		// Frames cannot be longer than len/3.
+		if f.Len() > dna.Len()/3 {
+			t.Fatalf("frame %d too long: %d", i, f.Len())
+		}
+	}
+	// Forward frame 0 of an ORF with no stop covers the full length.
+	orf := seq.MustNew("orf", strings.Repeat("GCT", 30), seq.DNA) // AAA... of alanines
+	frames, err = seq.SixFrames(orf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames[0].String() != strings.Repeat("A", 30) {
+		t.Fatalf("orf frame 0 = %q", frames[0].String())
+	}
+}

@@ -1,0 +1,193 @@
+// Package stats provides the instrumentation shared by every algorithm in
+// the repository: DP-cell counters, wall-clock phase timers, and derived
+// quantities such as the recomputation factor that Theorems 1-4 of the paper
+// bound analytically. All counters are safe for concurrent use and all
+// methods are nil-receiver safe, so uninstrumented runs pay (almost) nothing.
+package stats
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counters accumulates the work performed by one alignment run.
+type Counters struct {
+	// Cells counts DP matrix entries computed (the paper's unit of work).
+	Cells atomic.Int64
+	// TracebackSteps counts FindPath moves produced.
+	TracebackSteps atomic.Int64
+	// BaseCases counts FastLSA base-case invocations.
+	BaseCases atomic.Int64
+	// GeneralCases counts FastLSA general-case invocations.
+	GeneralCases atomic.Int64
+	// FillTiles counts tiles executed by parallel fill phases.
+	FillTiles atomic.Int64
+	// PeakGridEntries tracks the maximum number of grid-cache entries live
+	// at once (FastLSA space accounting).
+	PeakGridEntries atomic.Int64
+	// Phase1Tiles, Phase2Tiles, Phase3Tiles classify wavefront tiles into
+	// the three phases of Figure 13 (ramp-up diagonals with < P tiles,
+	// saturated middle, ramp-down).
+	Phase1Tiles, Phase2Tiles, Phase3Tiles atomic.Int64
+}
+
+// AddCells records n DP entries computed.
+func (c *Counters) AddCells(n int64) {
+	if c != nil {
+		c.Cells.Add(n)
+	}
+}
+
+// AddTraceback records n traceback steps.
+func (c *Counters) AddTraceback(n int64) {
+	if c != nil {
+		c.TracebackSteps.Add(n)
+	}
+}
+
+// AddBaseCase records a FastLSA base-case solve.
+func (c *Counters) AddBaseCase() {
+	if c != nil {
+		c.BaseCases.Add(1)
+	}
+}
+
+// AddGeneralCase records a FastLSA general-case split.
+func (c *Counters) AddGeneralCase() {
+	if c != nil {
+		c.GeneralCases.Add(1)
+	}
+}
+
+// AddFillTile records one executed wavefront tile.
+func (c *Counters) AddFillTile() {
+	if c != nil {
+		c.FillTiles.Add(1)
+	}
+}
+
+// AddPhaseTiles classifies cnt tiles into wavefront phase p (1, 2 or 3).
+func (c *Counters) AddPhaseTiles(p int, cnt int64) {
+	if c == nil {
+		return
+	}
+	switch p {
+	case 1:
+		c.Phase1Tiles.Add(cnt)
+	case 2:
+		c.Phase2Tiles.Add(cnt)
+	case 3:
+		c.Phase3Tiles.Add(cnt)
+	}
+}
+
+// ObserveGridEntries raises the peak grid-entry watermark to n if larger.
+func (c *Counters) ObserveGridEntries(n int64) {
+	if c == nil {
+		return
+	}
+	for {
+		cur := c.PeakGridEntries.Load()
+		if n <= cur || c.PeakGridEntries.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// RecomputationFactor is Cells / (m*n): 1.0 means no recomputation (full
+// matrix), Hirschberg is ~2, FastLSA is bounded by (k/(k-1))^2 (Theorem 2).
+func (c *Counters) RecomputationFactor(m, n int) float64 {
+	if c == nil || m == 0 || n == 0 {
+		return 0
+	}
+	return float64(c.Cells.Load()) / (float64(m) * float64(n))
+}
+
+// Snapshot is a plain-value copy of the counters.
+type Snapshot struct {
+	Cells           int64
+	TracebackSteps  int64
+	BaseCases       int64
+	GeneralCases    int64
+	FillTiles       int64
+	PeakGridEntries int64
+	Phase1Tiles     int64
+	Phase2Tiles     int64
+	Phase3Tiles     int64
+}
+
+// Snapshot copies the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Cells:           c.Cells.Load(),
+		TracebackSteps:  c.TracebackSteps.Load(),
+		BaseCases:       c.BaseCases.Load(),
+		GeneralCases:    c.GeneralCases.Load(),
+		FillTiles:       c.FillTiles.Load(),
+		PeakGridEntries: c.PeakGridEntries.Load(),
+		Phase1Tiles:     c.Phase1Tiles.Load(),
+		Phase2Tiles:     c.Phase2Tiles.Load(),
+		Phase3Tiles:     c.Phase3Tiles.Load(),
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("cells=%d trace=%d base=%d general=%d tiles=%d(p1=%d p2=%d p3=%d) peakGrid=%d",
+		s.Cells, s.TracebackSteps, s.BaseCases, s.GeneralCases,
+		s.FillTiles, s.Phase1Tiles, s.Phase2Tiles, s.Phase3Tiles, s.PeakGridEntries)
+}
+
+// Timer measures named phases of a run.
+type Timer struct {
+	mu     sync.Mutex
+	phases map[string]time.Duration
+	starts map[string]time.Time
+}
+
+// NewTimer returns an empty phase timer.
+func NewTimer() *Timer {
+	return &Timer{
+		phases: make(map[string]time.Duration),
+		starts: make(map[string]time.Time),
+	}
+}
+
+// Start begins (or resumes) the named phase.
+func (t *Timer) Start(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.starts[name] = time.Now()
+	t.mu.Unlock()
+}
+
+// Stop ends the named phase and accumulates its duration.
+func (t *Timer) Stop(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if s, ok := t.starts[name]; ok {
+		t.phases[name] += time.Since(s)
+		delete(t.starts, name)
+	}
+	t.mu.Unlock()
+}
+
+// Elapsed reports the accumulated duration of the named phase.
+func (t *Timer) Elapsed(name string) time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	d := t.phases[name]
+	t.mu.Unlock()
+	return d
+}

@@ -1,0 +1,147 @@
+package wavefront
+
+import "container/heap"
+
+// Simulate performs event-driven list scheduling of the tile grid on P
+// identical workers and returns the makespan and the total work, in the
+// units of the per-tile cost function. Tiles become ready when their up and
+// left neighbours finish; ready tiles are started on the earliest-free
+// worker (ties broken by diagonal order, matching the runtime scheduler's
+// natural tendency).
+//
+// This is the machine-independent reproduction of the paper's parallel
+// analysis: on a host with fewer physical CPUs than the paper's testbed, the
+// measured wall-clock cannot show the speedup curves of §6, but the
+// schedule itself — identical to the one the goroutine pool executes — can
+// be replayed against a virtual clock. With uniform tile costs the result
+// matches Theorem 4's three-phase bound: makespan <= (R*C/P + 2(P-1)) * T.
+func Simulate(rows, cols, workers int, skip func(r, c int) bool, cost func(r, c int) int64) (makespan, totalWork int64) {
+	if rows < 1 || cols < 1 {
+		return 0, 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	deps := make([]int32, rows*cols)
+	done := make([]int64, rows*cols) // completion times
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			var d int32
+			if r > 0 {
+				d++
+			}
+			if c > 0 {
+				d++
+			}
+			deps[r*cols+c] = d
+		}
+	}
+
+	// Worker pool as a min-heap of free times.
+	wk := make(workerHeap, workers)
+	heap.Init(&wk)
+
+	// Ready queue ordered by (ready time, diagonal, row).
+	rq := &readyHeap{cols: cols}
+	heap.Init(rq)
+	heap.Push(rq, tileEntry{idx: 0, ready: 0})
+
+	for rq.Len() > 0 {
+		e := heap.Pop(rq).(tileEntry)
+		r, c := e.idx/cols, e.idx%cols
+
+		var fin int64
+		if skip != nil && skip(r, c) {
+			// Skipped tiles complete instantly at their ready time and
+			// consume no worker.
+			fin = e.ready
+		} else {
+			w := heap.Pop(&wk).(int64)
+			start := max64(w, e.ready)
+			tc := cost(r, c)
+			totalWork += tc
+			fin = start + tc
+			heap.Push(&wk, fin)
+			if fin > makespan {
+				makespan = fin
+			}
+		}
+		done[e.idx] = fin
+
+		release := func(idx int) {
+			if deps[idx]--; deps[idx] == 0 {
+				ready := int64(0)
+				rr, cc := idx/cols, idx%cols
+				if rr > 0 && done[idx-cols] > ready {
+					ready = done[idx-cols]
+				}
+				if cc > 0 && done[idx-1] > ready {
+					ready = done[idx-1]
+				}
+				heap.Push(rq, tileEntry{idx: idx, ready: ready})
+			}
+		}
+		if c+1 < cols {
+			release(e.idx + 1)
+		}
+		if r+1 < rows {
+			release(e.idx + cols)
+		}
+	}
+	return makespan, totalWork
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type tileEntry struct {
+	idx   int
+	ready int64
+}
+
+type readyHeap struct {
+	cols    int
+	entries []tileEntry
+}
+
+func (h *readyHeap) Len() int { return len(h.entries) }
+func (h *readyHeap) Less(i, j int) bool {
+	a, b := h.entries[i], h.entries[j]
+	if a.ready != b.ready {
+		return a.ready < b.ready
+	}
+	da := a.idx/h.cols + a.idx%h.cols
+	db := b.idx/h.cols + b.idx%h.cols
+	if da != db {
+		return da < db
+	}
+	return a.idx < b.idx
+}
+func (h *readyHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *readyHeap) Push(x any)    { h.entries = append(h.entries, x.(tileEntry)) }
+func (h *readyHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	h.entries = old[:n-1]
+	return e
+}
+
+type workerHeap []int64
+
+func (h workerHeap) Len() int           { return len(h) }
+func (h workerHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h workerHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *workerHeap) Push(x any)        { *h = append(*h, x.(int64)) }
+func (h *workerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

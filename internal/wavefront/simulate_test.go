@@ -1,0 +1,106 @@
+package wavefront_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fastlsa/internal/wavefront"
+)
+
+func uniformCost(int, int) int64 { return 100 }
+
+func TestSimulateSequential(t *testing.T) {
+	// One worker: makespan == total work.
+	ms, total := wavefront.Simulate(7, 5, 1, nil, uniformCost)
+	if ms != 3500 || total != 3500 {
+		t.Fatalf("ms=%d total=%d, want 3500", ms, total)
+	}
+}
+
+func TestSimulateInfiniteWorkers(t *testing.T) {
+	// Unbounded workers: makespan = critical path = (rows+cols-1) * T.
+	ms, _ := wavefront.Simulate(10, 14, 1000, nil, uniformCost)
+	if ms != int64(10+14-1)*100 {
+		t.Fatalf("ms=%d, want %d", ms, (10+14-1)*100)
+	}
+}
+
+// TestSimulateTheorem4Bound: for uniform costs the makespan never exceeds
+// the paper's three-phase bound (R*C/P + 2(P-1)) * T.
+func TestSimulateTheorem4Bound(t *testing.T) {
+	for _, tc := range []struct{ r, c, p int }{
+		{12, 18, 8}, {16, 16, 4}, {8, 32, 8}, {20, 20, 16}, {5, 5, 3},
+	} {
+		ms, _ := wavefront.Simulate(tc.r, tc.c, tc.p, nil, uniformCost)
+		bound := (int64(tc.r*tc.c)/int64(tc.p) + 2*int64(tc.p-1) + 1) * 100
+		if ms > bound {
+			t.Fatalf("%dx%d P=%d: makespan %d exceeds Theorem 4 bound %d", tc.r, tc.c, tc.p, ms, bound)
+		}
+		// And it is at least the trivial work/P and critical-path bounds.
+		if ms < int64(tc.r*tc.c)*100/int64(tc.p) || ms < int64(tc.r+tc.c-1)*100 && tc.p >= minInt(tc.r, tc.c) {
+			t.Fatalf("%dx%d P=%d: makespan %d below lower bounds", tc.r, tc.c, tc.p, ms)
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestSimulateSkip: skipped tiles contribute no work and no time.
+func TestSimulateSkip(t *testing.T) {
+	skip := func(r, c int) bool { return r >= 2 && c >= 2 }
+	_, total := wavefront.Simulate(4, 4, 2, skip, uniformCost)
+	if total != 12*100 {
+		t.Fatalf("total=%d, want 1200", total)
+	}
+}
+
+// TestSimulateMonotoneInWorkers: adding workers never increases makespan.
+func TestSimulateMonotoneInWorkers(t *testing.T) {
+	cost := func(r, c int) int64 { return int64(1 + (r*31+c*17)%97) }
+	prev := int64(1 << 62)
+	for _, p := range []int{1, 2, 3, 4, 8, 16, 64} {
+		ms, _ := wavefront.Simulate(15, 22, p, nil, cost)
+		if ms > prev {
+			t.Fatalf("P=%d: makespan %d grew from %d", p, ms, prev)
+		}
+		prev = ms
+	}
+}
+
+// TestSimulateSpeedupShape: on a saturating grid, speedup at P=8 must be
+// near-linear (the paper's §6 claim in simulated form).
+func TestSimulateSpeedupShape(t *testing.T) {
+	seq, _ := wavefront.Simulate(64, 64, 1, nil, uniformCost)
+	par, _ := wavefront.Simulate(64, 64, 8, nil, uniformCost)
+	speedup := float64(seq) / float64(par)
+	if speedup < 7.0 {
+		t.Fatalf("simulated speedup %.2f < 7.0 on a 64x64 grid with P=8", speedup)
+	}
+}
+
+// TestSimulateQuick: makespan always lies between max(work/P, criticalPath)
+// and work, for arbitrary small grids.
+func TestSimulateQuick(t *testing.T) {
+	f := func(r8, c8, p8 uint8) bool {
+		rows := int(r8%12) + 1
+		cols := int(c8%12) + 1
+		p := int(p8%8) + 1
+		ms, total := wavefront.Simulate(rows, cols, p, nil, uniformCost)
+		if total != int64(rows*cols)*100 {
+			return false
+		}
+		lower := total / int64(p)
+		if cp := int64(rows+cols-1) * 100; cp > lower && ms < cp {
+			return false
+		}
+		return ms >= lower && ms <= total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

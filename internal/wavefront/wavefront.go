@@ -1,0 +1,193 @@
+// Package wavefront implements the diagonal-wavefront parallel execution
+// substrate of the paper's §5 (Figures 7 and 13): a rectangular grid of
+// tiles, where tile (r,c) depends on its left neighbour (r,c-1) and its up
+// neighbour (r-1,c), executed by a fixed pool of P workers. Tiles on the same
+// anti-diagonal are independent and run in parallel.
+//
+// The package also provides the phase accounting of Figure 13: wavefront
+// lines (anti-diagonals) holding fewer than P tiles at the start form phase
+// 1 (ramp-up), trailing lines with fewer than P tiles form phase 3
+// (ramp-down), and the saturated middle is phase 2 — the "true parallel
+// phase" of the paper's Theorem 4 analysis.
+package wavefront
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Grid describes a tile grid execution.
+type Grid struct {
+	// Rows and Cols give the tile-grid dimensions (both >= 1).
+	Rows, Cols int
+	// Workers is the number of parallel workers P (<= 0 selects GOMAXPROCS).
+	Workers int
+	// Skip, when non-nil, marks tiles that must not be executed. Skipped
+	// tiles are treated as instantly complete for dependency purposes
+	// (FastLSA skips the tiles of the bottom-right block during Fill Cache).
+	Skip func(r, c int) bool
+	// Exec runs one tile. It is called at most once per non-skipped tile,
+	// possibly concurrently with other tiles on the same wavefront line.
+	// The first error cancels the run: no new tiles start, and Run returns
+	// that error after in-flight tiles finish.
+	Exec func(r, c int) error
+}
+
+// Run executes the grid and returns the first tile error, if any.
+func (g *Grid) Run() error {
+	if g.Rows < 1 || g.Cols < 1 {
+		return fmt.Errorf("wavefront: grid %dx%d must be at least 1x1", g.Rows, g.Cols)
+	}
+	if g.Exec == nil {
+		return fmt.Errorf("wavefront: nil Exec")
+	}
+	workers := g.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	total := g.Rows * g.Cols
+	if workers > total {
+		workers = total
+	}
+
+	// Per-tile remaining-dependency counters.
+	deps := make([]int32, total)
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			var d int32
+			if r > 0 {
+				d++
+			}
+			if c > 0 {
+				d++
+			}
+			deps[r*g.Cols+c] = d
+		}
+	}
+
+	ready := make(chan int, total)
+	ready <- 0 // tile (0,0)
+
+	var (
+		firstErr  atomic.Value
+		cancelled atomic.Bool
+		done      atomic.Int64
+		wg        sync.WaitGroup
+	)
+
+	complete := func(idx int) {
+		// Release dependents; enqueue any that become ready.
+		r, c := idx/g.Cols, idx%g.Cols
+		if c+1 < g.Cols {
+			if atomic.AddInt32(&deps[idx+1], -1) == 0 {
+				ready <- idx + 1
+			}
+		}
+		if r+1 < g.Rows {
+			if atomic.AddInt32(&deps[idx+g.Cols], -1) == 0 {
+				ready <- idx + g.Cols
+			}
+		}
+		if done.Add(1) == int64(total) {
+			close(ready)
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range ready {
+				r, c := idx/g.Cols, idx%g.Cols
+				skipped := g.Skip != nil && g.Skip(r, c)
+				if !skipped && !cancelled.Load() {
+					if err := g.Exec(r, c); err != nil {
+						if cancelled.CompareAndSwap(false, true) {
+							firstErr.Store(err)
+						}
+					}
+				}
+				complete(idx)
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Phases classifies the grid's wavefront lines into the three phases of
+// Figure 13 for P workers, counting only non-skipped tiles.
+type Phases struct {
+	// Lines1, Lines2, Lines3 count wavefront lines per phase.
+	Lines1, Lines2, Lines3 int
+	// Tiles1, Tiles2, Tiles3 count tiles per phase.
+	Tiles1, Tiles2, Tiles3 int64
+}
+
+// Total reports the total non-skipped tile count.
+func (p Phases) Total() int64 { return p.Tiles1 + p.Tiles2 + p.Tiles3 }
+
+// ClassifyPhases computes the Figure 13 phase decomposition: the leading
+// anti-diagonals holding fewer than P tiles form phase 1, the trailing ones
+// with fewer than P tiles form phase 3, and everything between is phase 2.
+// Empty diagonals (all tiles skipped) at the edges belong to the adjacent
+// ramp phase.
+func ClassifyPhases(rows, cols, workers int, skip func(r, c int) bool) Phases {
+	if workers < 1 {
+		workers = 1
+	}
+	nd := rows + cols - 1
+	counts := make([]int64, nd)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if skip != nil && skip(r, c) {
+				continue
+			}
+			counts[r+c]++
+		}
+	}
+	var p Phases
+	lo := 0
+	for lo < nd && counts[lo] < int64(workers) {
+		p.Lines1++
+		p.Tiles1 += counts[lo]
+		lo++
+	}
+	hi := nd - 1
+	for hi >= lo && counts[hi] < int64(workers) {
+		p.Lines3++
+		p.Tiles3 += counts[hi]
+		hi--
+	}
+	for d := lo; d <= hi; d++ {
+		p.Lines2++
+		p.Tiles2 += counts[d]
+	}
+	return p
+}
+
+// DiagonalOrder returns the tiles in sequential wavefront order (Figure 7):
+// anti-diagonal by anti-diagonal, top-to-bottom within a diagonal. Used by
+// tests and by deterministic single-threaded fills.
+func DiagonalOrder(rows, cols int) [][2]int {
+	out := make([][2]int, 0, rows*cols)
+	for d := 0; d < rows+cols-1; d++ {
+		rLo := d - (cols - 1)
+		if rLo < 0 {
+			rLo = 0
+		}
+		rHi := d
+		if rHi > rows-1 {
+			rHi = rows - 1
+		}
+		for r := rLo; r <= rHi; r++ {
+			out = append(out, [2]int{r, d - r})
+		}
+	}
+	return out
+}
