@@ -1,0 +1,252 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"fastlsa"
+)
+
+// jobRequest is the POST /v1/jobs body: one alignment task submitted
+// asynchronously. Exactly one of Align/MSA/Search must match Type.
+type jobRequest struct {
+	// Type selects the task: "align", "msa" or "search".
+	Type string `json:"type"`
+	// Priority orders the queue (higher first; FIFO among equals).
+	Priority int `json:"priority"`
+	// TimeoutSec, when > 0, bounds the job's lifetime (queue wait plus
+	// execution); expiry cancels it.
+	TimeoutSec float64 `json:"timeoutSec"`
+
+	Align  *alignRequest  `json:"align,omitempty"`
+	MSA    *msaRequest    `json:"msa,omitempty"`
+	Search *searchRequest `json:"search,omitempty"`
+}
+
+// jobView is the JSON shape of a job for the async API.
+type jobView struct {
+	ID        string     `json:"id"`
+	Kind      string     `json:"kind"`
+	Priority  int        `json:"priority"`
+	State     string     `json:"state"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	// Result carries the endpoint-shaped response once the job succeeded.
+	Result any `json:"result,omitempty"`
+}
+
+func viewOf(info fastlsa.JobInfo, result any) jobView {
+	v := jobView{
+		ID:        info.ID,
+		Kind:      info.Kind,
+		Priority:  info.Priority,
+		State:     info.State.String(),
+		Submitted: info.Submitted,
+		Error:     info.Err,
+		Result:    result,
+	}
+	if !info.Started.IsZero() {
+		v.Started = &info.Started
+	}
+	if !info.Finished.IsZero() {
+		v.Finished = &info.Finished
+	}
+	return v
+}
+
+// handleJobSubmit accepts a job and replies 202 with its queued view. The
+// job's lifetime is not tied to this request: poll GET /v1/jobs/{id} for the
+// outcome, DELETE it to cancel.
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	var (
+		task func(ctx context.Context) (any, error)
+		kind string
+		err  error
+	)
+	switch req.Type {
+	case "align":
+		if req.Align == nil {
+			writeErr(w, http.StatusBadRequest, `"align" body required for type align`)
+			return
+		}
+		kind = "align"
+		if req.Align.Local {
+			kind = "align-local"
+		}
+		task, err = alignTask(s.cfg, *req.Align)
+	case "msa":
+		if req.MSA == nil {
+			writeErr(w, http.StatusBadRequest, `"msa" body required for type msa`)
+			return
+		}
+		kind = "msa"
+		task, err = msaTask(s.cfg, *req.MSA)
+	case "search":
+		if req.Search == nil {
+			writeErr(w, http.StatusBadRequest, `"search" body required for type search`)
+			return
+		}
+		kind = "search"
+		task, err = searchTask(s.cfg, *req.Search)
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown job type %q (want align, msa or search)", req.Type)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.eng.SubmitFunc(kind, task, fastlsa.JobOptions{
+		Priority: req.Priority,
+		Timeout:  time.Duration(req.TimeoutSec * float64(time.Second)),
+	})
+	if err != nil {
+		writeErr(w, errStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, viewOf(j.Info(), nil))
+}
+
+// handleJobGet reports one job, including its result once succeeded.
+func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, err := s.eng.Job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, jobLookupStatus(err), "%v", err)
+		return
+	}
+	result, _, _ := j.Result()
+	writeJSON(w, http.StatusOK, viewOf(j.Info(), result))
+}
+
+// handleJobCancel cancels a job; polling its state shows the effect.
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.eng.Cancel(id); err != nil {
+		writeErr(w, jobLookupStatus(err), "%v", err)
+		return
+	}
+	j, err := s.eng.Job(id)
+	if err != nil {
+		writeErr(w, jobLookupStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(j.Info(), nil))
+}
+
+// handleJobList reports every retained job, newest first (no results).
+func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	infos := s.eng.List()
+	out := make([]jobView, len(infos))
+	for i, info := range infos {
+		out[i] = viewOf(info, nil)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStats reports the engine counters.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+func jobLookupStatus(err error) int {
+	if errors.Is(err, fastlsa.ErrJobNotFound) {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}
+
+// batchRequest is the POST /v1/batch body: many pairs aligned under shared
+// options. The embedded alignRequest supplies the options (its A/B fields
+// are ignored); admission is atomic — either every pair is queued or the
+// whole batch is rejected with 503.
+type batchRequest struct {
+	alignRequest
+	Pairs []struct {
+		A   string `json:"a"`
+		B   string `json:"b"`
+		AID string `json:"aId"`
+		BID string `json:"bId"`
+	} `json:"pairs"`
+	// TimeoutSec, when > 0, bounds each pair's lifetime individually.
+	TimeoutSec float64 `json:"timeoutSec"`
+}
+
+// batchResponse is the POST /v1/batch reply: per-pair outcomes, indexed as
+// submitted.
+type batchResponse struct {
+	BatchID string      `json:"batchId"`
+	Units   []batchUnit `json:"units"`
+}
+
+type batchUnit struct {
+	Index  int    `json:"index"`
+	Error  string `json:"error,omitempty"`
+	Result any    `json:"result,omitempty"`
+}
+
+// handleBatch runs a bounded batch synchronously: all pairs are admitted
+// atomically, fan out over the worker pool, and the reply carries every
+// outcome. A client disconnect cancels the unfinished remainder.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Pairs) > s.cfg.MaxBatch {
+		writeErr(w, http.StatusBadRequest, "batch exceeds the %d-pair limit", s.cfg.MaxBatch)
+		return
+	}
+	tasks := make([]func(ctx context.Context) (any, error), len(req.Pairs))
+	for i, p := range req.Pairs {
+		unit := req.alignRequest
+		unit.A, unit.B = p.A, p.B
+		unit.AID = orDefault(p.AID, fmt.Sprintf("a%d", i))
+		unit.BID = orDefault(p.BID, fmt.Sprintf("b%d", i))
+		task, err := alignTask(s.cfg, unit)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "pair %d: %v", i, err)
+			return
+		}
+		tasks[i] = task
+	}
+	b, err := s.eng.SubmitBatchFunc("batch-align", tasks, fastlsa.JobOptions{
+		Timeout: time.Duration(req.TimeoutSec * float64(time.Second)),
+		Context: r.Context(),
+	})
+	if err != nil {
+		writeErr(w, errStatus(err), "%v", err)
+		return
+	}
+	results, err := b.Wait(r.Context())
+	if err != nil {
+		b.Cancel()
+		writeErr(w, errStatus(err), "%v", err)
+		return
+	}
+	resp := batchResponse{BatchID: b.ID(), Units: make([]batchUnit, len(results))}
+	for i, res := range results {
+		u := batchUnit{Index: i, Result: res.Result}
+		if res.Err != nil {
+			u.Error = res.Err.Error()
+			u.Result = nil
+		}
+		resp.Units[i] = u
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -3,11 +3,23 @@
 //
 // Endpoints:
 //
-//	GET  /healthz       liveness probe
-//	GET  /v1/matrices   available scoring matrices
-//	POST /v1/align      pairwise alignment (global, ends-free, or local)
-//	POST /v1/msa        progressive multiple sequence alignment
-//	POST /v1/search     homology search with optional E-value statistics
+//	GET    /healthz        liveness probe
+//	GET    /v1/matrices    available scoring matrices
+//	POST   /v1/align       pairwise alignment (global, ends-free, or local)
+//	POST   /v1/msa         progressive multiple sequence alignment
+//	POST   /v1/search      homology search with optional E-value statistics
+//	POST   /v1/jobs        submit an async job (align, msa or search)
+//	GET    /v1/jobs        list retained jobs, newest first
+//	GET    /v1/jobs/{id}   poll one job (result included once succeeded)
+//	DELETE /v1/jobs/{id}   cancel a job
+//	POST   /v1/batch       many pairwise alignments, admitted atomically
+//	GET    /v1/stats       engine counters (queue, workers, outcomes)
+//
+// All alignment work — synchronous or async — runs through a bounded job
+// engine: a saturated queue rejects with 503 rather than queueing without
+// bound, and cancelled or abandoned requests stop consuming CPU promptly.
+// On SIGINT/SIGTERM the server stops accepting work, drains in-flight jobs
+// until the drain deadline, then cancels the remainder and exits.
 //
 // Example:
 //
@@ -21,10 +33,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 )
 
@@ -36,20 +52,56 @@ func main() {
 		maxFamily  = flag.Int("max-family", 64, "maximum sequences per MSA request")
 		workers    = flag.Int("workers", 0, "default parallel workers per request (0 = all CPUs)")
 		timeoutSec = flag.Int("timeout", 300, "per-request timeout in seconds")
+		engWorkers = flag.Int("engine-workers", 0, "job engine worker pool size (0 = all CPUs)")
+		queueDepth = flag.Int("queue-depth", 0, "job queue bound; full queues reject with 503 (0 = 4x workers)")
+		maxBatch   = flag.Int("max-batch", 64, "maximum pairs per batch request")
+		drainSec   = flag.Int("drain", 30, "shutdown drain deadline in seconds")
 	)
 	flag.Parse()
 
-	handler := newServer(serverConfig{
+	app := newServer(serverConfig{
 		MaxSequenceLen:  *maxLen,
 		MaxBodyBytes:    *maxBody,
 		MaxMSASequences: *maxFamily,
 		DefaultWorkers:  *workers,
+		EngineWorkers:   *engWorkers,
+		QueueDepth:      *queueDepth,
+		MaxBatch:        *maxBatch,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           http.TimeoutHandler(handler, time.Duration(*timeoutSec)*time.Second, `{"error":"request timed out"}`),
+		Handler:           http.TimeoutHandler(app, time.Duration(*timeoutSec)*time.Second, `{"error":"request timed out"}`),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("fastlsa-server listening on %s\n", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections, let in-flight requests
+	// and queued jobs finish until the drain deadline, then cancel the rest.
+	stop()
+	drain := time.Duration(*drainSec) * time.Second
+	log.Printf("shutting down (drain deadline %s)", drain)
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := app.shutdown(dctx); err != nil {
+		log.Printf("engine shutdown: cancelled remaining jobs: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	log.Printf("bye")
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -19,6 +21,15 @@ type serverConfig struct {
 	MaxMSASequences int
 	// DefaultWorkers is used when a request does not set workers.
 	DefaultWorkers int
+	// EngineWorkers sizes the job engine's worker pool (0 = GOMAXPROCS).
+	EngineWorkers int
+	// QueueDepth bounds the engine's submission queue; saturated queues
+	// reject with 503 (0 = 4x workers).
+	QueueDepth int
+	// MaxRetained bounds how many finished jobs stay queryable (0 = 256).
+	MaxRetained int
+	// MaxBatch caps the units of one POST /v1/batch request (0 selects 64).
+	MaxBatch int
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -31,21 +42,80 @@ func (c serverConfig) withDefaults() serverConfig {
 	if c.MaxMSASequences == 0 {
 		c.MaxMSASequences = 64
 	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
 	return c
 }
 
-// newServer builds the HTTP handler tree.
-func newServer(cfg serverConfig) http.Handler {
+// server is the handler tree plus the job engine every request routes
+// through — synchronous endpoints for admission control and cancellation on
+// client disconnect, asynchronous ones for the job lifecycle.
+type server struct {
+	http.Handler
+	cfg serverConfig
+	eng *fastlsa.Engine
+}
+
+// newServer builds the HTTP handler tree backed by a fresh job engine.
+func newServer(cfg serverConfig) *server {
 	cfg = cfg.withDefaults()
+	s := &server{
+		cfg: cfg,
+		eng: fastlsa.NewEngine(fastlsa.EngineConfig{
+			Workers:     cfg.EngineWorkers,
+			QueueDepth:  cfg.QueueDepth,
+			MaxRetained: cfg.MaxRetained,
+		}),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /v1/matrices", handleMatrices)
-	mux.HandleFunc("POST /v1/align", withLimits(cfg, handleAlign(cfg)))
-	mux.HandleFunc("POST /v1/msa", withLimits(cfg, handleMSA(cfg)))
-	mux.HandleFunc("POST /v1/search", withLimits(cfg, handleSearch(cfg)))
-	return mux
+	mux.HandleFunc("POST /v1/align", withLimits(cfg, s.handleAlign))
+	mux.HandleFunc("POST /v1/msa", withLimits(cfg, s.handleMSA))
+	mux.HandleFunc("POST /v1/search", withLimits(cfg, s.handleSearch))
+	mux.HandleFunc("POST /v1/jobs", withLimits(cfg, s.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("POST /v1/batch", withLimits(cfg, s.handleBatch))
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.Handler = mux
+	return s
+}
+
+// shutdown drains the engine (used by main on SIGINT/SIGTERM).
+func (s *server) shutdown(ctx context.Context) error { return s.eng.Shutdown(ctx) }
+
+// runSync executes task through the engine so the synchronous endpoints get
+// the same admission control and cancellation semantics as async jobs: the
+// job's context derives from the request, so a client disconnect or a
+// TimeoutHandler expiry abandons the computation.
+func (s *server) runSync(r *http.Request, kind string, task func(ctx context.Context) (any, error)) (any, error) {
+	j, err := s.eng.SubmitFunc(kind, task, fastlsa.JobOptions{
+		Context: r.Context(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait(r.Context())
+}
+
+// errStatus maps an execution error to an HTTP status.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, fastlsa.ErrQueueFull), errors.Is(err, fastlsa.ErrEngineClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client is gone; the status is mostly for logs.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
 }
 
 func withLimits(cfg serverConfig, h http.HandlerFunc) http.HandlerFunc {
@@ -119,26 +189,46 @@ type localSpan struct {
 	EndB   int `json:"endB"`
 }
 
-func handleAlign(cfg serverConfig) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		var req alignRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
-			return
-		}
-		opt, a, b, err := buildOptions(cfg, req)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
-			return
-		}
+func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	var req alignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	task, err := alignTask(s.cfg, req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	kind := "align"
+	if req.Local {
+		kind = "align-local"
+	}
+	resp, err := s.runSync(r, kind, task)
+	if err != nil {
+		writeErr(w, errStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// alignTask validates req up front (so bad input is a 400, not a job
+// failure) and returns the engine task that computes the response.
+func alignTask(cfg serverConfig, req alignRequest) (func(ctx context.Context) (any, error), error) {
+	opt, a, b, err := buildOptions(cfg, req)
+	if err != nil {
+		return nil, err
+	}
+	return func(ctx context.Context) (any, error) {
+		o := opt
+		o.Context = ctx
 		var counters fastlsa.Counters
-		opt.Counters = &counters
+		o.Counters = &counters
 
 		if req.Local {
-			loc, err := fastlsa.AlignLocal(a, b, opt)
+			loc, err := fastlsa.AlignLocal(a, b, o)
 			if err != nil {
-				writeErr(w, http.StatusUnprocessableEntity, "%v", err)
-				return
+				return nil, err
 			}
 			resp := alignResponse{
 				Score:      loc.Score,
@@ -155,14 +245,12 @@ func handleAlign(cfg serverConfig) http.HandlerFunc {
 					resp.RowA, resp.RowB = sub.Rows()
 				}
 			}
-			writeJSON(w, http.StatusOK, resp)
-			return
+			return resp, nil
 		}
 
-		al, err := fastlsa.Align(a, b, opt)
+		al, err := fastlsa.Align(a, b, o)
 		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
-			return
+			return nil, err
 		}
 		st := al.Stats()
 		resp := alignResponse{
@@ -175,8 +263,8 @@ func handleAlign(cfg serverConfig) http.HandlerFunc {
 		if req.IncludeRows {
 			resp.RowA, resp.RowB = al.Rows()
 		}
-		writeJSON(w, http.StatusOK, resp)
-	}
+		return resp, nil
+	}, nil
 }
 
 func buildOptions(cfg serverConfig, req alignRequest) (fastlsa.Options, *fastlsa.Sequence, *fastlsa.Sequence, error) {
@@ -256,73 +344,82 @@ type msaResponse struct {
 	Tree       string   `json:"tree"`
 }
 
-func handleMSA(cfg serverConfig) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		var req msaRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
-			return
+func (s *server) handleMSA(w http.ResponseWriter, r *http.Request) {
+	var req msaRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	task, err := msaTask(s.cfg, req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp, err := s.runSync(r, "msa", task)
+	if err != nil {
+		writeErr(w, errStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// msaTask validates req and returns the engine task computing the response.
+func msaTask(cfg serverConfig, req msaRequest) (func(ctx context.Context) (any, error), error) {
+	if len(req.Sequences) < 2 {
+		return nil, fmt.Errorf("need at least two sequences (got %d)", len(req.Sequences))
+	}
+	if len(req.Sequences) > cfg.MaxMSASequences {
+		return nil, fmt.Errorf("family exceeds the %d-sequence limit", cfg.MaxMSASequences)
+	}
+	matrixName := req.Matrix
+	if matrixName == "" {
+		matrixName = "blosum62"
+	}
+	matrix, err := fastlsa.MatrixByName(matrixName)
+	if err != nil {
+		return nil, err
+	}
+	alphabet := matrix.Alphabet
+	if req.Alphabet != "" {
+		if alphabet, err = fastlsa.ParseAlphabet(req.Alphabet); err != nil {
+			return nil, err
 		}
-		if len(req.Sequences) < 2 {
-			writeErr(w, http.StatusBadRequest, "need at least two sequences (got %d)", len(req.Sequences))
-			return
+	}
+	seqs := make([]*fastlsa.Sequence, 0, len(req.Sequences))
+	ids := make([]string, 0, len(req.Sequences))
+	for i, rs := range req.Sequences {
+		if len(rs.Letters) > cfg.MaxSequenceLen {
+			return nil, fmt.Errorf("sequence %d exceeds the %d-residue limit", i, cfg.MaxSequenceLen)
 		}
-		if len(req.Sequences) > cfg.MaxMSASequences {
-			writeErr(w, http.StatusBadRequest, "family exceeds the %d-sequence limit", cfg.MaxMSASequences)
-			return
-		}
-		matrixName := req.Matrix
-		if matrixName == "" {
-			matrixName = "blosum62"
-		}
-		matrix, err := fastlsa.MatrixByName(matrixName)
+		sq, err := fastlsa.NewSequence(orDefault(rs.ID, fmt.Sprintf("seq%d", i+1)), rs.Letters, alphabet)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
-			return
+			return nil, err
 		}
-		alphabet := matrix.Alphabet
-		if req.Alphabet != "" {
-			if alphabet, err = fastlsa.ParseAlphabet(req.Alphabet); err != nil {
-				writeErr(w, http.StatusBadRequest, "%v", err)
-				return
-			}
-		}
-		seqs := make([]*fastlsa.Sequence, 0, len(req.Sequences))
-		ids := make([]string, 0, len(req.Sequences))
-		for i, rs := range req.Sequences {
-			if len(rs.Letters) > cfg.MaxSequenceLen {
-				writeErr(w, http.StatusBadRequest, "sequence %d exceeds the %d-residue limit", i, cfg.MaxSequenceLen)
-				return
-			}
-			s, err := fastlsa.NewSequence(orDefault(rs.ID, fmt.Sprintf("seq%d", i+1)), rs.Letters, alphabet)
-			if err != nil {
-				writeErr(w, http.StatusBadRequest, "%v", err)
-				return
-			}
-			seqs = append(seqs, s)
-			ids = append(ids, s.ID)
-		}
-		workers := req.Workers
-		if workers == 0 {
-			workers = cfg.DefaultWorkers
-		}
+		seqs = append(seqs, sq)
+		ids = append(ids, sq.ID)
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = cfg.DefaultWorkers
+	}
+	return func(ctx context.Context) (any, error) {
 		res, err := fastlsa.AlignMSA(seqs, fastlsa.Options{
 			Matrix:  matrix,
 			Gap:     req.Gap.toGap(),
 			Workers: workers,
+			Context: ctx,
 		})
 		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
-			return
+			return nil, err
 		}
-		writeJSON(w, http.StatusOK, msaResponse{
+		return msaResponse{
 			Rows:       res.Rows,
 			IDs:        ids,
 			Columns:    res.Columns,
 			SumOfPairs: res.SumOfPairs,
 			Tree:       res.Tree,
-		})
-	}
+		}, nil
+	}, nil
 }
 
 // matrixInfo describes one scoring matrix for GET /v1/matrices.
@@ -393,72 +490,80 @@ type statsInfo struct {
 	K      float64 `json:"k"`
 }
 
-func handleSearch(cfg serverConfig) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		var req searchRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
-			return
-		}
-		if len(req.Database) == 0 {
-			writeErr(w, http.StatusBadRequest, "empty database")
-			return
-		}
-		matrixName := req.Matrix
-		if matrixName == "" {
-			matrixName = "blosum62"
-		}
-		matrix, err := fastlsa.MatrixByName(matrixName)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		alphabet := matrix.Alphabet
-		if req.Alphabet != "" {
-			if alphabet, err = fastlsa.ParseAlphabet(req.Alphabet); err != nil {
-				writeErr(w, http.StatusBadRequest, "%v", err)
-				return
-			}
-		}
-		if len(req.Query) > cfg.MaxSequenceLen {
-			writeErr(w, http.StatusBadRequest, "query exceeds the %d-residue limit", cfg.MaxSequenceLen)
-			return
-		}
-		query, err := fastlsa.NewSequence(orDefault(req.QueryID, "query"), req.Query, alphabet)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		if query.Len() == 0 {
-			writeErr(w, http.StatusBadRequest, "empty query")
-			return
-		}
-		db := make([]*fastlsa.Sequence, 0, len(req.Database))
-		for i, rs := range req.Database {
-			if len(rs.Letters) > cfg.MaxSequenceLen {
-				writeErr(w, http.StatusBadRequest, "database entry %d exceeds the %d-residue limit", i, cfg.MaxSequenceLen)
-				return
-			}
-			s, err := fastlsa.NewSequence(orDefault(rs.ID, fmt.Sprintf("db%d", i)), rs.Letters, alphabet)
-			if err != nil {
-				writeErr(w, http.StatusBadRequest, "database entry %d: %v", i, err)
-				return
-			}
-			db = append(db, s)
-		}
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	task, err := searchTask(s.cfg, req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp, err := s.runSync(r, "search", task)
+	if err != nil {
+		writeErr(w, errStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
 
-		gap := fastlsa.Linear(-12)
-		if req.Gap != (gapSpec{}) {
-			if req.Gap.Open != 0 {
-				writeErr(w, http.StatusBadRequest, "search supports linear gaps only")
-				return
-			}
-			gap = fastlsa.Linear(req.Gap.Extend)
+// searchTask validates req and returns the engine task computing the
+// response. The statistics fit (when requested) runs inside the task so it
+// is cancellable along with the search itself.
+func searchTask(cfg serverConfig, req searchRequest) (func(ctx context.Context) (any, error), error) {
+	if len(req.Database) == 0 {
+		return nil, fmt.Errorf("empty database")
+	}
+	matrixName := req.Matrix
+	if matrixName == "" {
+		matrixName = "blosum62"
+	}
+	matrix, err := fastlsa.MatrixByName(matrixName)
+	if err != nil {
+		return nil, err
+	}
+	alphabet := matrix.Alphabet
+	if req.Alphabet != "" {
+		if alphabet, err = fastlsa.ParseAlphabet(req.Alphabet); err != nil {
+			return nil, err
 		}
-		workers := req.Workers
-		if workers == 0 {
-			workers = cfg.DefaultWorkers
+	}
+	if len(req.Query) > cfg.MaxSequenceLen {
+		return nil, fmt.Errorf("query exceeds the %d-residue limit", cfg.MaxSequenceLen)
+	}
+	query, err := fastlsa.NewSequence(orDefault(req.QueryID, "query"), req.Query, alphabet)
+	if err != nil {
+		return nil, err
+	}
+	if query.Len() == 0 {
+		return nil, fmt.Errorf("empty query")
+	}
+	db := make([]*fastlsa.Sequence, 0, len(req.Database))
+	for i, rs := range req.Database {
+		if len(rs.Letters) > cfg.MaxSequenceLen {
+			return nil, fmt.Errorf("database entry %d exceeds the %d-residue limit", i, cfg.MaxSequenceLen)
 		}
+		sq, err := fastlsa.NewSequence(orDefault(rs.ID, fmt.Sprintf("db%d", i)), rs.Letters, alphabet)
+		if err != nil {
+			return nil, fmt.Errorf("database entry %d: %v", i, err)
+		}
+		db = append(db, sq)
+	}
+
+	gap := fastlsa.Linear(-12)
+	if req.Gap != (gapSpec{}) {
+		if req.Gap.Open != 0 {
+			return nil, fmt.Errorf("search supports linear gaps only")
+		}
+		gap = fastlsa.Linear(req.Gap.Extend)
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = cfg.DefaultWorkers
+	}
+	return func(ctx context.Context) (any, error) {
 		opt := fastlsa.SearchOptions{
 			Matrix:    matrix,
 			Gap:       gap,
@@ -466,13 +571,13 @@ func handleSearch(cfg serverConfig) http.HandlerFunc {
 			MinScore:  req.MinScore,
 			MaxEValue: req.MaxEValue,
 			Workers:   workers,
+			Context:   ctx,
 		}
 		var resp searchResponse
 		if req.FitStats || req.MaxEValue > 0 {
 			params, err := fastlsa.EstimateStatistics(matrix, gap, 0, 0, req.StatsSeed)
 			if err != nil {
-				writeErr(w, http.StatusUnprocessableEntity, "statistics fit: %v", err)
-				return
+				return nil, fmt.Errorf("statistics fit: %v", err)
 			}
 			opt.Stats = &params
 			resp.Stats = &statsInfo{Lambda: params.Lambda, K: params.K}
@@ -480,8 +585,7 @@ func handleSearch(cfg serverConfig) http.HandlerFunc {
 
 		hits, err := fastlsa.Search(query, db, opt)
 		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
-			return
+			return nil, err
 		}
 		resp.Hits = make([]searchHit, 0, len(hits))
 		for _, h := range hits {
@@ -496,6 +600,6 @@ func handleSearch(cfg serverConfig) http.HandlerFunc {
 			}
 			resp.Hits = append(resp.Hits, sh)
 		}
-		writeJSON(w, http.StatusOK, resp)
-	}
+		return resp, nil
+	}, nil
 }

@@ -1,0 +1,188 @@
+package fastlsa
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fastlsa/internal/engine"
+)
+
+// Engine-facing aliases and errors: the scheduler lives in internal/engine;
+// these make it part of the public API surface.
+type (
+	// EngineConfig tunes the worker pool, queue bound and retention.
+	EngineConfig = engine.Config
+	// EngineStats is a snapshot of the scheduler counters.
+	EngineStats = engine.Stats
+	// Job is a handle on one submitted job.
+	Job = engine.Job
+	// JobInfo is a point-in-time public view of a job.
+	JobInfo = engine.Info
+	// JobState is a job lifecycle stage.
+	JobState = engine.State
+	// Batch is a handle on a batch submission.
+	Batch = engine.Batch
+	// BatchResult is one batch unit's outcome.
+	BatchResult = engine.BatchResult
+)
+
+// Job lifecycle stages.
+const (
+	JobQueued    = engine.Queued
+	JobRunning   = engine.Running
+	JobSucceeded = engine.Succeeded
+	JobFailed    = engine.Failed
+	JobCancelled = engine.Cancelled
+)
+
+// Engine error sentinels (test with errors.Is).
+var (
+	// ErrQueueFull rejects a submission when the queue is at capacity.
+	ErrQueueFull = engine.ErrQueueFull
+	// ErrEngineClosed rejects submissions after Shutdown.
+	ErrEngineClosed = engine.ErrClosed
+	// ErrJobNotFound reports an unknown job id.
+	ErrJobNotFound = engine.ErrNotFound
+)
+
+// JobOptions tunes one submission to an Engine.
+type JobOptions struct {
+	// Priority orders the queue (higher first; FIFO among equals).
+	Priority int
+	// Timeout, when > 0, bounds the job's total lifetime (queue wait plus
+	// execution).
+	Timeout time.Duration
+	// Context, when non-nil, parents the job's context — pass an HTTP
+	// request context so a client disconnect cancels the job.
+	Context context.Context
+}
+
+func (jo JobOptions) submission(kind string, task engine.Task) engine.Submission {
+	return engine.Submission{
+		Kind:     kind,
+		Priority: jo.Priority,
+		Timeout:  jo.Timeout,
+		Parent:   jo.Context,
+		Task:     task,
+	}
+}
+
+// Engine schedules alignment work over a bounded queue and a fixed worker
+// pool, with per-job priorities, deadlines and cancellation. Each job runs
+// with a context derived from its submission; cancelling it (Job.Cancel, a
+// parent-context cancellation, deadline expiry, or Shutdown) makes the DP
+// kernels abort promptly, so abandoned work stops consuming CPU.
+type Engine struct {
+	e *engine.Engine
+}
+
+// NewEngine starts an engine. The zero config selects GOMAXPROCS workers, a
+// queue of 4x that, and retention of the last 256 finished jobs.
+func NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{e: engine.New(cfg)}
+}
+
+// SubmitFunc submits an arbitrary task under the given kind label.
+func (en *Engine) SubmitFunc(kind string, task func(ctx context.Context) (any, error), jo JobOptions) (*Job, error) {
+	return en.e.Submit(jo.submission(kind, task))
+}
+
+// SubmitAlign queues a pairwise alignment; the job's result is *Alignment.
+// opt.Context is overridden with the job's own context.
+func (en *Engine) SubmitAlign(a, b *Sequence, opt Options, jo JobOptions) (*Job, error) {
+	return en.e.Submit(jo.submission("align", func(ctx context.Context) (any, error) {
+		o := opt
+		o.Context = ctx
+		return Align(a, b, o)
+	}))
+}
+
+// SubmitAlignLocal queues a local alignment; the result is *LocalAlignment.
+func (en *Engine) SubmitAlignLocal(a, b *Sequence, opt Options, jo JobOptions) (*Job, error) {
+	return en.e.Submit(jo.submission("align-local", func(ctx context.Context) (any, error) {
+		o := opt
+		o.Context = ctx
+		return AlignLocal(a, b, o)
+	}))
+}
+
+// SubmitMSA queues a progressive multiple alignment; the result is *MSA.
+func (en *Engine) SubmitMSA(seqs []*Sequence, opt Options, jo JobOptions) (*Job, error) {
+	return en.e.Submit(jo.submission("msa", func(ctx context.Context) (any, error) {
+		o := opt
+		o.Context = ctx
+		return AlignMSA(seqs, o)
+	}))
+}
+
+// SubmitSearch queues a homology search; the result is []SearchHit.
+func (en *Engine) SubmitSearch(query *Sequence, db []*Sequence, opt SearchOptions, jo JobOptions) (*Job, error) {
+	return en.e.Submit(jo.submission("search", func(ctx context.Context) (any, error) {
+		o := opt
+		o.Context = ctx
+		return Search(query, db, o)
+	}))
+}
+
+// SequencePair is one unit of an alignment batch.
+type SequencePair struct {
+	A, B *Sequence
+}
+
+// SubmitAlignBatch queues one alignment per pair as a single batch: all
+// units are admitted atomically (ErrQueueFull when the queue cannot take
+// them all) and their results stream on Batch.Results as each pair finishes.
+// Each unit's result is *Alignment.
+func (en *Engine) SubmitAlignBatch(pairs []SequencePair, opt Options, jo JobOptions) (*Batch, error) {
+	tasks := make([]engine.Task, len(pairs))
+	for i, p := range pairs {
+		if p.A == nil || p.B == nil {
+			return nil, fmt.Errorf("fastlsa: batch pair %d has a nil sequence", i)
+		}
+		a, b := p.A, p.B
+		tasks[i] = func(ctx context.Context) (any, error) {
+			o := opt
+			o.Context = ctx
+			return Align(a, b, o)
+		}
+	}
+	return en.e.SubmitBatch(engine.BatchSubmission{
+		Kind:     "batch-align",
+		Priority: jo.Priority,
+		Timeout:  jo.Timeout,
+		Parent:   jo.Context,
+		Tasks:    tasks,
+	})
+}
+
+// SubmitBatchFunc submits arbitrary tasks as one atomically-admitted batch.
+func (en *Engine) SubmitBatchFunc(kind string, tasks []func(ctx context.Context) (any, error), jo JobOptions) (*Batch, error) {
+	ts := make([]engine.Task, len(tasks))
+	for i, t := range tasks {
+		ts[i] = t
+	}
+	return en.e.SubmitBatch(engine.BatchSubmission{
+		Kind:     kind,
+		Priority: jo.Priority,
+		Timeout:  jo.Timeout,
+		Parent:   jo.Context,
+		Tasks:    ts,
+	})
+}
+
+// Job looks up a job by id (ErrJobNotFound when unknown or evicted).
+func (en *Engine) Job(id string) (*Job, error) { return en.e.Job(id) }
+
+// Cancel cancels a job by id.
+func (en *Engine) Cancel(id string) error { return en.e.Cancel(id) }
+
+// List snapshots all retained jobs, newest first.
+func (en *Engine) List() []JobInfo { return en.e.List() }
+
+// Stats snapshots the engine counters.
+func (en *Engine) Stats() EngineStats { return en.e.Stats() }
+
+// Shutdown stops admissions and drains until ctx is cancelled, then cancels
+// whatever is still running and waits for the workers to exit.
+func (en *Engine) Shutdown(ctx context.Context) error { return en.e.Shutdown(ctx) }

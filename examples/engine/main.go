@@ -1,0 +1,78 @@
+// Engine tour: schedule alignment work through fastlsa.Engine — submit a
+// batch of pairs that streams results as they finish, submit a large
+// alignment job and cancel it mid-flight (showing it stops consuming CPU
+// promptly), then print the scheduler's counters.
+//
+// Run: go run ./examples/engine
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"fastlsa"
+)
+
+func main() {
+	eng := fastlsa.NewEngine(fastlsa.EngineConfig{Workers: 2, QueueDepth: 16})
+	defer eng.Shutdown(context.Background())
+
+	opt := fastlsa.Options{
+		Matrix:  fastlsa.DNASimple,
+		Gap:     fastlsa.Linear(-4),
+		Workers: 1, // parallelism comes from the engine's pool here
+	}
+
+	// 1. A batch of homologous pairs, admitted atomically, results streaming
+	// in completion order.
+	pairs := make([]fastlsa.SequencePair, 6)
+	for i := range pairs {
+		a, b, err := fastlsa.HomologousPair(2000, fastlsa.DNA, fastlsa.DefaultHomology, int64(i+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		pairs[i] = fastlsa.SequencePair{A: a, B: b}
+	}
+	batch, err := eng.SubmitAlignBatch(pairs, opt, fastlsa.JobOptions{Priority: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch %s: %d pairs over 2 workers\n", batch.ID(), batch.Size())
+	for r := range batch.Results() {
+		al := r.Result.(*fastlsa.Alignment)
+		fmt.Printf("  pair %d done: score %d, %d columns\n", r.Index, al.Score, al.Path.Len())
+	}
+
+	// 2. A job big enough to run for a while — cancel it mid-flight and
+	// watch it abort promptly instead of burning CPU to completion.
+	big1 := fastlsa.RandomSequence("x", 30000, fastlsa.DNA, 7)
+	big2 := fastlsa.RandomSequence("y", 30000, fastlsa.DNA, 8)
+	job, err := eng.SubmitAlign(big1, big2, opt, fastlsa.JobOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let it get well into the fill
+	start := time.Now()
+	job.Cancel()
+	if _, err := job.Wait(context.Background()); errors.Is(err, context.Canceled) {
+		fmt.Printf("job %s cancelled mid-flight, aborted in %v\n", job.ID(), time.Since(start).Round(time.Microsecond))
+	} else {
+		fmt.Printf("job %s: unexpected outcome: %v\n", job.ID(), err)
+	}
+
+	// 3. A job with a deadline it cannot meet.
+	job2, err := eng.SubmitAlign(big1, big2, opt, fastlsa.JobOptions{Timeout: 30 * time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := job2.Wait(context.Background()); errors.Is(err, context.DeadlineExceeded) {
+		fmt.Printf("job %s expired at its 30ms deadline: %v\n", job2.ID(), job2.Info().State)
+	}
+
+	st := eng.Stats()
+	fmt.Printf("\nengine stats: submitted=%d succeeded=%d cancelled=%d rejected=%d (workers=%d queue=%d)\n",
+		st.Submitted, st.Succeeded, st.Cancelled, st.Rejected, st.Workers, st.QueueDepth)
+}

@@ -1,6 +1,7 @@
 package fastlsa
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -254,6 +255,12 @@ type Options struct {
 	K, BaseCells int
 	// Counters, when non-nil, collects instrumentation.
 	Counters *Counters
+	// Context, when non-nil, bounds the run: cancelling it (or passing its
+	// deadline) makes the fill kernels abort promptly with an error wrapping
+	// context.Canceled / context.DeadlineExceeded. The signal rides on the
+	// run's Counters (one is allocated when none was set), so a Counters
+	// value must not be shared by concurrent runs with different contexts.
+	Context context.Context
 }
 
 func (o Options) normalise() (Options, error) {
@@ -268,6 +275,17 @@ func (o Options) normalise() (Options, error) {
 	}
 	if o.MemoryBudget < 0 {
 		return o, fmt.Errorf("fastlsa: negative MemoryBudget %d", o.MemoryBudget)
+	}
+	if o.Context != nil {
+		if err := o.Context.Err(); err != nil {
+			return o, fmt.Errorf("fastlsa: run abandoned before start: %w", err)
+		}
+		if o.Context.Done() != nil {
+			if o.Counters == nil {
+				o.Counters = new(Counters)
+			}
+			o.Counters.AttachContext(o.Context)
+		}
 	}
 	return o, nil
 }
@@ -518,6 +536,9 @@ type SearchOptions struct {
 	Workers int
 	// Counters, when non-nil, accumulates the scan's DP work.
 	Counters *Counters
+	// Context, when non-nil, bounds the search the same way Options.Context
+	// bounds an alignment run.
+	Context context.Context
 }
 
 // Search ranks database sequences by optimal local alignment score against
@@ -525,6 +546,17 @@ type SearchOptions struct {
 // motivates). The scan uses the O(min) score-only kernel; the top hits'
 // alignments are reconstructed in FastLSA-bounded space.
 func Search(query *Sequence, db []*Sequence, opt SearchOptions) ([]SearchHit, error) {
+	if opt.Context != nil {
+		if err := opt.Context.Err(); err != nil {
+			return nil, fmt.Errorf("fastlsa: search abandoned before start: %w", err)
+		}
+		if opt.Context.Done() != nil {
+			if opt.Counters == nil {
+				opt.Counters = new(Counters)
+			}
+			opt.Counters.AttachContext(opt.Context)
+		}
+	}
 	return search.Query(query, db, search.Options{
 		Matrix:     opt.Matrix,
 		Gap:        opt.Gap,

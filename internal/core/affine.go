@@ -101,6 +101,9 @@ func (s *affineSolver) run(gap scoring.Gap) (Result, error) {
 // solve is the affine general/base dispatch, the counterpart of
 // solver.solve with (node, state) heads.
 func (s *affineSolver) solve(t rect, topH, topE, leftH, leftF []int64, state int) (exitR, exitC, exitState int, err error) {
+	if err := s.c.Cancelled(); err != nil {
+		return 0, 0, 0, err
+	}
 	rows, cols := t.rows(), t.cols()
 	if rows == 0 || cols == 0 {
 		return t.r1, t.c1, state, nil
@@ -208,7 +211,9 @@ func (s *affineSolver) baseCase(t rect, topH, topE, leftH, leftF []int64, state 
 	}
 
 	ra, rb := s.a[t.r0:t.r1], s.b[t.c0:t.c1]
-	fillRectAffine(ra, rb, s.m, s.open, s.ext, topH, topE, leftH, leftF, H, E, F, s.c)
+	if err := fillRectAffine(ra, rb, s.m, s.open, s.ext, topH, topE, leftH, leftF, H, E, F, s.c); err != nil {
+		return 0, 0, 0, err
+	}
 	lr, lc, st := fm.TracebackAffine(ra, rb, s.m, s.open, s.ext, H, E, F, s.bld, rows, cols, state, s.c)
 	return t.r0 + lr, t.c0 + lc, st, nil
 }
@@ -218,7 +223,7 @@ func (s *affineSolver) baseCase(t rect, topH, topE, leftH, leftF []int64, state 
 // are seeded NegInf; they are never read by the recurrences or by a
 // traceback that terminates at the boundary.
 func fillRectAffine(a, b []byte, m *scoring.Matrix, open, ext int64,
-	topH, topE, leftH, leftF []int64, H, E, F []int64, c *stats.Counters) {
+	topH, topE, leftH, leftF []int64, H, E, F []int64, c *stats.Counters) error {
 
 	n := len(b)
 	cols := n + 1
@@ -233,7 +238,13 @@ func fillRectAffine(a, b []byte, m *scoring.Matrix, open, ext int64,
 		F[base] = leftF[r]
 		E[base] = lastrow.NegInf
 	}
+	stride := stats.PollStride(n)
 	for r := 1; r <= len(a); r++ {
+		if r%stride == 0 {
+			if err := c.Cancelled(); err != nil {
+				return err
+			}
+		}
 		base := r * cols
 		prev := base - cols
 		srow := m.Row(a[r-1])
@@ -259,6 +270,7 @@ func fillRectAffine(a, b []byte, m *scoring.Matrix, open, ext int64,
 		}
 	}
 	c.AddCells(int64(len(a)) * int64(n))
+	return nil
 }
 
 // fillGridCacheParallel is the affine counterpart of the wavefront Fill

@@ -114,6 +114,9 @@ func (s *solver) run() (Result, error) {
 // in trace (backward) order — the Builder equivalent of the paper's
 // "prepend to flsaPath".
 func (s *solver) solve(t rect, top, left []int64) (exitR, exitC int, err error) {
+	if err := s.c.Cancelled(); err != nil {
+		return 0, 0, err
+	}
 	rows, cols := t.rows(), t.cols()
 
 	// Degenerate strips: the path is forced along the boundary.
@@ -246,7 +249,9 @@ func (s *solver) baseCase(t rect, top, left []int64) (exitR, exitC int, err erro
 			return 0, 0, err
 		}
 	} else {
-		fm.FillRect(ra, rb, s.m, s.g, top, left, buf, s.c)
+		if err := fm.FillRect(ra, rb, s.m, s.g, top, left, buf, s.c); err != nil {
+			return 0, 0, err
+		}
 	}
 	lr, lc := fm.TracebackRect(ra, rb, s.m, s.g, buf, s.bld, rows, cols, s.c)
 	return t.r0 + lr, t.c0 + lc, nil

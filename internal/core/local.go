@@ -30,7 +30,10 @@ func AlignLocal(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, opt Opti
 	g := int64(gap.Extend)
 	c := opt.Counters
 
-	best, endR, endC := swScan(a.Residues, b.Residues, m, g, c)
+	best, endR, endC, err := swScan(a.Residues, b.Residues, m, g, c)
+	if err != nil {
+		return fm.LocalResult{}, err
+	}
 	if best == 0 {
 		return fm.LocalResult{}, nil
 	}
@@ -40,7 +43,10 @@ func AlignLocal(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, opt Opti
 	// the same score.
 	ra := reverseBytes(a.Residues[:endR])
 	rb := reverseBytes(b.Residues[:endC])
-	rbest, rR, rC := swScan(ra, rb, m, g, c)
+	rbest, rR, rC, err := swScan(ra, rb, m, g, c)
+	if err != nil {
+		return fm.LocalResult{}, err
+	}
 	if rbest != best {
 		return fm.LocalResult{}, fmt.Errorf("core: AlignLocal: reverse scan found %d, forward %d (internal invariant)", rbest, best)
 	}
@@ -66,10 +72,16 @@ func AlignLocal(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, opt Opti
 // swScan is the score-only Smith-Waterman pass: one row of DP values,
 // returning the maximum cell value and its position (first maximum in
 // row-major order, matching fm.AlignLocal's tie-break).
-func swScan(a, b []byte, m *scoring.Matrix, g int64, c *stats.Counters) (best int64, bestR, bestC int) {
+func swScan(a, b []byte, m *scoring.Matrix, g int64, c *stats.Counters) (best int64, bestR, bestC int, err error) {
 	n := len(b)
 	row := make([]int64, n+1)
+	stride := stats.PollStride(n)
 	for r := 1; r <= len(a); r++ {
+		if r%stride == 0 {
+			if cerr := c.Cancelled(); cerr != nil {
+				return 0, 0, 0, cerr
+			}
+		}
 		srow := m.Row(a[r-1])
 		diag := row[0]
 		rv := int64(0)
@@ -96,7 +108,7 @@ func swScan(a, b []byte, m *scoring.Matrix, g int64, c *stats.Counters) (best in
 		}
 	}
 	c.AddCells(int64(len(a)) * int64(n))
-	return best, bestR, bestC
+	return best, bestR, bestC, nil
 }
 
 func reverseBytes(s []byte) []byte {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fastlsa/internal/lastrow"
+	"fastlsa/internal/stats"
 	"fastlsa/internal/wavefront"
 )
 
@@ -156,7 +157,9 @@ func (s *solver) fillRectParallel(ra, rb []byte, top, left []int64, buf []int64)
 		Cols:    C,
 		Workers: s.opt.workers,
 		Exec: func(ti, tj int) error {
-			s.fillBufRegion(ra, rb, buf, stride, trs[ti], trs[ti+1], tcs[tj], tcs[tj+1])
+			if err := s.fillBufRegion(ra, rb, buf, stride, trs[ti], trs[ti+1], tcs[tj], tcs[tj+1]); err != nil {
+				return err
+			}
 			s.c.AddFillTile()
 			return nil
 		},
@@ -166,8 +169,14 @@ func (s *solver) fillRectParallel(ra, rb []byte, top, left []int64, buf []int64)
 
 // fillBufRegion computes cells (r0+1..r1) x (c0+1..c1) of the stored matrix
 // in place, reading the already-computed row above and column to the left.
-func (s *solver) fillBufRegion(ra, rb []byte, buf []int64, stride, r0, r1, c0, c1 int) {
+func (s *solver) fillBufRegion(ra, rb []byte, buf []int64, stride, r0, r1, c0, c1 int) error {
+	poll := stats.PollStride(c1 - c0)
 	for r := r0 + 1; r <= r1; r++ {
+		if (r-r0)%poll == 0 {
+			if err := s.c.Cancelled(); err != nil {
+				return err
+			}
+		}
 		base := r * stride
 		prev := base - stride
 		srow := s.m.Row(ra[r-1])
@@ -185,6 +194,7 @@ func (s *solver) fillBufRegion(ra, rb []byte, buf []int64, stride, r0, r1, c0, c
 		}
 	}
 	s.c.AddCells(int64(r1-r0) * int64(c1-c0))
+	return nil
 }
 
 // clampSub limits a per-block tile subdivision to the smallest block extent

@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BatchResult is one unit's outcome, delivered on Batch.Results as soon as
+// the unit finishes (streaming completion — consumers need not wait for the
+// whole batch).
+type BatchResult struct {
+	// Index is the unit's position in the submitted task slice.
+	Index int
+	// Result and Err are the unit's outcome (Err wraps context.Canceled /
+	// context.DeadlineExceeded for cancelled units).
+	Result any
+	Err    error
+}
+
+// Batch is a handle on one batch submission: N units admitted atomically
+// (all or nothing against the queue bound), fanned out over the worker pool.
+type Batch struct {
+	id   string
+	jobs []*Job
+
+	results chan BatchResult
+	once    sync.Once
+	cancel  context.CancelFunc
+}
+
+// ID returns the engine-assigned batch id.
+func (b *Batch) ID() string { return b.id }
+
+// Size returns the number of units.
+func (b *Batch) Size() int { return len(b.jobs) }
+
+// Results streams unit outcomes in completion order. The channel is closed
+// once all units have finished; it is buffered to the batch size, so the
+// engine never blocks on a slow consumer.
+func (b *Batch) Results() <-chan BatchResult { return b.results }
+
+// Cancel cancels every unfinished unit.
+func (b *Batch) Cancel() {
+	b.cancel()
+	for _, j := range b.jobs {
+		j.Cancel()
+	}
+}
+
+// Wait collects all outcomes, indexed by unit, blocking until the batch
+// finishes or ctx is cancelled.
+func (b *Batch) Wait(ctx context.Context) ([]BatchResult, error) {
+	out := make([]BatchResult, len(b.jobs))
+	seen := 0
+	for seen < len(b.jobs) {
+		select {
+		case r, ok := <-b.results:
+			if !ok {
+				return out, fmt.Errorf("engine: batch %s results channel closed after %d of %d units", b.id, seen, len(b.jobs))
+			}
+			out[r.Index] = r
+			seen++
+		case <-ctx.Done():
+			return out, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+// BatchSubmission describes a batch: shared Kind/Priority/Timeout/Parent
+// applied to every unit.
+type BatchSubmission struct {
+	// Kind labels every unit ("batch-align", ...).
+	Kind string
+	// Priority applies to every unit.
+	Priority int
+	// Timeout, when > 0, bounds each unit's lifetime individually.
+	Timeout time.Duration
+	// Parent, when non-nil, parents every unit's context (cancelling it
+	// cancels the whole batch).
+	Parent context.Context
+	// Tasks are the units (at least one required).
+	Tasks []Task
+}
+
+// SubmitBatch admits all units atomically: if the queue cannot take every
+// unit the whole batch is rejected with ErrQueueFull and nothing runs.
+// Units are scheduled like ordinary jobs (same priority rules) but are not
+// individually visible in Job/List; track them through the returned Batch.
+func (e *Engine) SubmitBatch(sub BatchSubmission) (*Batch, error) {
+	n := len(sub.Tasks)
+	if n == 0 {
+		return nil, fmt.Errorf("engine: BatchSubmission.Tasks is empty")
+	}
+	for i, t := range sub.Tasks {
+		if t == nil {
+			return nil, fmt.Errorf("engine: BatchSubmission.Tasks[%d] is nil", i)
+		}
+	}
+	parent := sub.Parent
+	if parent == nil {
+		parent = context.Background()
+	}
+	bctx, bcancel := context.WithCancel(parent)
+
+	e.mu.Lock()
+	if err := e.admitLocked(n); err != nil {
+		e.mu.Unlock()
+		bcancel()
+		return nil, err
+	}
+	e.nextID++
+	b := &Batch{
+		id:      fmt.Sprintf("batch-%d", e.nextID),
+		jobs:    make([]*Job, n),
+		results: make(chan BatchResult, n),
+		cancel:  bcancel,
+	}
+	for i, t := range sub.Tasks {
+		b.jobs[i] = e.enqueueLocked(Submission{
+			Kind:     sub.Kind,
+			Priority: sub.Priority,
+			Timeout:  sub.Timeout,
+			Parent:   bctx,
+			Task:     t,
+		}, b.id, false)
+	}
+	e.mu.Unlock()
+
+	for _, j := range b.jobs {
+		go e.watch(j)
+	}
+	e.cond.Broadcast()
+
+	// Stream each unit's outcome as it lands; close the channel when the
+	// last one does.
+	var wg sync.WaitGroup
+	for i, j := range b.jobs {
+		wg.Add(1)
+		go func(i int, j *Job) {
+			defer wg.Done()
+			<-j.Done()
+			result, err, _ := j.Result()
+			b.results <- BatchResult{Index: i, Result: result, Err: err}
+		}(i, j)
+	}
+	go func() {
+		wg.Wait()
+		close(b.results)
+		bcancel()
+	}()
+	return b, nil
+}

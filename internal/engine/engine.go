@@ -1,0 +1,602 @@
+// Package engine is the job-scheduling subsystem of the alignment service:
+// a bounded submission queue with admission control, a fixed pool of workers
+// sized against GOMAXPROCS, per-job priorities and deadlines, batch
+// submissions that fan out over many pairs with streaming completion, and
+// first-class cancellation wired into the DP kernels through the run's
+// context (see internal/stats).
+//
+// The engine deliberately knows nothing about alignment: a job is any
+// Task func(ctx) (any, error). The public fastlsa.Engine facade and the
+// server's async job API are thin layers over this package.
+package engine
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Task is the unit of work a job runs: it must honour ctx — the engine
+// cancels it on Job.Cancel, on deadline expiry, and on Shutdown.
+type Task func(ctx context.Context) (any, error)
+
+// State is a job's lifecycle stage.
+type State int
+
+const (
+	// Queued: admitted, waiting for a worker.
+	Queued State = iota
+	// Running: executing on a worker.
+	Running
+	// Succeeded: finished with a nil error.
+	Succeeded
+	// Failed: finished with a non-cancellation error.
+	Failed
+	// Cancelled: cancelled (before or during execution) or deadline-expired.
+	Cancelled
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Succeeded:
+		return "succeeded"
+	case Failed:
+		return "failed"
+	case Cancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Succeeded || s == Failed || s == Cancelled }
+
+var (
+	// ErrQueueFull rejects a submission when the queue is at capacity
+	// (admission control: the caller should shed load or retry later).
+	ErrQueueFull = errors.New("engine: submission queue full")
+	// ErrClosed rejects submissions after Shutdown has begun.
+	ErrClosed = errors.New("engine: engine is shut down")
+	// ErrNotFound reports an unknown job id.
+	ErrNotFound = errors.New("engine: no such job")
+)
+
+// Config tunes an Engine. The zero value is usable: GOMAXPROCS workers, a
+// queue of 4x that, and retention of the last 256 finished jobs.
+type Config struct {
+	// Workers is the fixed worker-pool size (<= 0 selects GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds how many jobs may wait for a worker; submissions
+	// beyond it fail with ErrQueueFull (<= 0 selects 4*Workers).
+	QueueDepth int
+	// MaxRetained bounds how many finished jobs stay queryable; the oldest
+	// are evicted first (<= 0 selects 256).
+	MaxRetained int
+}
+
+// Submission describes one job.
+type Submission struct {
+	// Kind is a caller-defined label ("align", "msa", ...), echoed in Info.
+	Kind string
+	// Priority orders the queue: higher runs first; ties run in submission
+	// order.
+	Priority int
+	// Timeout, when > 0, bounds the job's total lifetime (queue wait plus
+	// execution); expiry cancels it with context.DeadlineExceeded.
+	Timeout time.Duration
+	// Parent, when non-nil, is the context the job's context derives from —
+	// typically an HTTP request context, so a client disconnect cancels the
+	// job. Nil selects context.Background().
+	Parent context.Context
+	// Task is the work to run (required).
+	Task Task
+}
+
+// Info is a point-in-time public view of a job.
+type Info struct {
+	ID       string
+	Kind     string
+	Priority int
+	State    State
+	// Submitted, Started, Finished are lifecycle timestamps (zero when the
+	// stage has not been reached).
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	// Err is the failure or cancellation reason ("" while unfinished or on
+	// success).
+	Err string
+	// Batch is the owning batch id ("" for singleton jobs).
+	Batch string
+}
+
+// Job is a handle on a submitted job.
+type Job struct {
+	id       string
+	kind     string
+	priority int
+	batch    string
+	seq      uint64
+	task     Task
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    any
+	err       error
+	done      chan struct{}
+
+	// index is the heap slot while queued (-1 once popped or abandoned).
+	index int
+}
+
+// ID returns the engine-assigned job id.
+func (j *Job) ID() string { return j.id }
+
+// Info snapshots the job's public view.
+func (j *Job) Info() Info {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := Info{
+		ID:        j.id,
+		Kind:      j.kind,
+		Priority:  j.priority,
+		State:     j.state,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+		Batch:     j.batch,
+	}
+	if j.err != nil {
+		info.Err = j.err.Error()
+	}
+	return info
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes or ctx is cancelled. It returns the
+// job's result and error; the error wraps context.Canceled when the job was
+// cancelled (so errors.Is works through the chain).
+func (j *Job) Wait(ctx context.Context) (any, error) {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Result returns the job's result and error without blocking; ok is false
+// while the job is unfinished.
+func (j *Job) Result() (result any, err error, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		return nil, nil, false
+	}
+	return j.result, j.err, true
+}
+
+// Cancel requests cancellation: a queued job finishes immediately as
+// Cancelled; a running job's context is cancelled and the kernels abort at
+// their next poll. Idempotent; a no-op on finished jobs.
+func (j *Job) Cancel() { j.cancel() }
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	// Workers and QueueDepth echo the effective configuration.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	// Submitted counts admitted jobs (including batch units); Rejected
+	// counts submissions refused by admission control or after shutdown.
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	// Queued and Running are current occupancy; BusyWorkers == Running.
+	Queued      int `json:"queued"`
+	Running     int `json:"running"`
+	BusyWorkers int `json:"busy_workers"`
+	// Succeeded, Failed, Cancelled count finished jobs by outcome.
+	Succeeded int64 `json:"succeeded"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+}
+
+// Engine is the scheduler: a bounded priority queue drained by a fixed pool
+// of workers.
+type Engine struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    jobHeap
+	jobs     map[string]*Job // public registry (excludes batch units)
+	order    []string        // registry in submission order, for List/eviction
+	closed   bool
+	nextID   uint64
+	nextSeq  uint64
+	running  int
+	submits  int64
+	rejects  int64
+	succ     int64
+	failed   int64
+	cancels  int64
+	retained int
+
+	wg sync.WaitGroup
+}
+
+// New starts an engine with cfg's worker pool.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.MaxRetained <= 0 {
+		cfg.MaxRetained = 256
+	}
+	e := &Engine{
+		cfg:  cfg,
+		jobs: make(map[string]*Job),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Submit admits one job, returning its handle, or ErrQueueFull / ErrClosed.
+func (e *Engine) Submit(sub Submission) (*Job, error) {
+	return e.submit(sub, "", true)
+}
+
+func (e *Engine) submit(sub Submission, batch string, register bool) (*Job, error) {
+	if sub.Task == nil {
+		return nil, fmt.Errorf("engine: Submission.Task is required")
+	}
+
+	e.mu.Lock()
+	if err := e.admitLocked(1); err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	j := e.enqueueLocked(sub, batch, register)
+	e.mu.Unlock()
+
+	// Reap the job the moment its context dies while it still queues, so a
+	// cancelled or deadline-expired job never occupies a worker.
+	go e.watch(j)
+
+	e.cond.Signal()
+	return j, nil
+}
+
+// admitLocked is the admission check for n new jobs. Callers hold e.mu.
+func (e *Engine) admitLocked(n int) error {
+	if e.closed {
+		e.rejects += int64(n)
+		return ErrClosed
+	}
+	if e.queue.Len()+n > e.cfg.QueueDepth {
+		e.rejects += int64(n)
+		return ErrQueueFull
+	}
+	return nil
+}
+
+// enqueueLocked creates and queues one admitted job. Callers hold e.mu.
+func (e *Engine) enqueueLocked(sub Submission, batch string, register bool) *Job {
+	parent := sub.Parent
+	if parent == nil {
+		parent = context.Background()
+	}
+	e.nextID++
+	e.nextSeq++
+	j := &Job{
+		id:        fmt.Sprintf("job-%d", e.nextID),
+		kind:      sub.Kind,
+		priority:  sub.Priority,
+		batch:     batch,
+		seq:       e.nextSeq,
+		task:      sub.Task,
+		state:     Queued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+		index:     -1,
+	}
+	if sub.Timeout > 0 {
+		j.ctx, j.cancel = context.WithTimeout(parent, sub.Timeout)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(parent)
+	}
+	heap.Push(&e.queue, j)
+	e.submits++
+	if register {
+		e.jobs[j.id] = j
+		e.order = append(e.order, j.id)
+	}
+	return j
+}
+
+// watch finishes a job as Cancelled if its context dies before a worker
+// starts it (the worker checks again before running).
+func (e *Engine) watch(j *Job) {
+	select {
+	case <-j.ctx.Done():
+		e.mu.Lock()
+		if j.state == Queued {
+			if j.index >= 0 {
+				heap.Remove(&e.queue, j.index)
+			}
+			e.finishLocked(j, nil, j.ctx.Err())
+		}
+		e.mu.Unlock()
+	case <-j.done:
+	}
+}
+
+// worker is the pool loop: pop the best queued job, run it, repeat.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for e.queue.Len() == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if e.queue.Len() == 0 && e.closed {
+			e.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&e.queue).(*Job)
+		if err := j.ctx.Err(); err != nil {
+			// Died while queued (watch may not have run yet).
+			e.finishLocked(j, nil, err)
+			e.mu.Unlock()
+			continue
+		}
+		j.mu.Lock()
+		j.state = Running
+		j.started = time.Now()
+		j.mu.Unlock()
+		e.running++
+		e.mu.Unlock()
+
+		result, err := e.runTask(j)
+
+		e.mu.Lock()
+		e.running--
+		e.finishLocked(j, result, err)
+		e.mu.Unlock()
+	}
+}
+
+// runTask executes the task, converting panics into errors so one bad job
+// cannot take down the pool.
+func (e *Engine) runTask(j *Job) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result, err = nil, fmt.Errorf("engine: job %s panicked: %v", j.id, r)
+		}
+	}()
+	return j.task(j.ctx)
+}
+
+// finishLocked moves a job to its terminal state. Callers hold e.mu; job
+// fields are additionally written under j.mu so lock-free-of-e readers
+// (Job.Info, Job.Result) stay consistent. Lock order is always e.mu → j.mu.
+func (e *Engine) finishLocked(j *Job, result any, err error) {
+	if j.state.Terminal() {
+		return
+	}
+	// Prefer the context's verdict: a task that returns a garbled error (or
+	// nil) after its context died still counts as cancelled.
+	if cerr := j.ctx.Err(); cerr != nil && (err == nil || !isCancellation(err)) {
+		if err == nil {
+			err = cerr
+		} else {
+			err = fmt.Errorf("%v (run abandoned: %w)", err, cerr)
+		}
+	}
+	j.mu.Lock()
+	j.result = result
+	j.err = err
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = Succeeded
+		e.succ++
+	case isCancellation(err):
+		j.state = Cancelled
+		e.cancels++
+	default:
+		j.state = Failed
+		e.failed++
+	}
+	j.mu.Unlock()
+	j.cancel() // release the context's timer/goroutine
+	close(j.done)
+	if j.batch == "" {
+		e.evictLocked()
+	}
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// evictLocked drops the oldest finished registered jobs beyond MaxRetained.
+func (e *Engine) evictLocked() {
+	finished := 0
+	for _, id := range e.order {
+		if j := e.jobs[id]; j != nil && j.state.Terminal() {
+			finished++
+		}
+	}
+	if finished <= e.cfg.MaxRetained {
+		return
+	}
+	keep := e.order[:0]
+	for _, id := range e.order {
+		j := e.jobs[id]
+		if j != nil && j.state.Terminal() && finished > e.cfg.MaxRetained {
+			delete(e.jobs, id)
+			finished--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	e.order = keep
+}
+
+// Job looks up a registered job by id.
+func (e *Engine) Job(id string) (*Job, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return j, nil
+}
+
+// Cancel cancels a registered job by id.
+func (e *Engine) Cancel(id string) error {
+	j, err := e.Job(id)
+	if err != nil {
+		return err
+	}
+	j.Cancel()
+	return nil
+}
+
+// List snapshots every registered job, newest first.
+func (e *Engine) List() []Info {
+	e.mu.Lock()
+	jobs := make([]*Job, 0, len(e.order))
+	for _, id := range e.order {
+		if j := e.jobs[id]; j != nil {
+			jobs = append(jobs, j)
+		}
+	}
+	e.mu.Unlock()
+	infos := make([]Info, len(jobs))
+	for i, j := range jobs {
+		infos[len(jobs)-1-i] = j.Info()
+	}
+	return infos
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Workers:     e.cfg.Workers,
+		QueueDepth:  e.cfg.QueueDepth,
+		Submitted:   e.submits,
+		Rejected:    e.rejects,
+		Queued:      e.queue.Len(),
+		Running:     e.running,
+		BusyWorkers: e.running,
+		Succeeded:   e.succ,
+		Failed:      e.failed,
+		Cancelled:   e.cancels,
+	}
+}
+
+// Shutdown stops admissions, then drains: queued and running jobs may finish
+// until ctx is cancelled, at which point every remaining job is cancelled.
+// It returns once all workers have exited (nil if the drain completed, ctx's
+// error if jobs had to be cancelled).
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.cond.Broadcast()
+
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+
+	// Drain deadline passed: cancel everything still live and wait for the
+	// workers to notice.
+	e.mu.Lock()
+	pending := make([]*Job, 0, e.queue.Len())
+	pending = append(pending, e.queue...)
+	for _, j := range e.jobs {
+		if !j.state.Terminal() {
+			pending = append(pending, j)
+		}
+	}
+	e.mu.Unlock()
+	for _, j := range pending {
+		j.cancel()
+	}
+	<-done
+	return ctx.Err()
+}
+
+// jobHeap orders by priority desc, then submission sequence asc (FIFO among
+// equals).
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, k int) bool {
+	if h[i].priority != h[k].priority {
+		return h[i].priority > h[k].priority
+	}
+	return h[i].seq < h[k].seq
+}
+func (h jobHeap) Swap(i, k int) {
+	h[i], h[k] = h[k], h[i]
+	h[i].index = i
+	h[k].index = k
+}
+func (h *jobHeap) Push(x any) {
+	j := x.(*Job)
+	j.index = len(*h)
+	*h = append(*h, j)
+}
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.index = -1
+	*h = old[:n-1]
+	return j
+}

@@ -55,7 +55,13 @@ func AlignAffine(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, budget 
 		F[base] = NegInf
 	}
 
+	stride := stats.PollStride(len(rb))
 	for r := 1; r < rows; r++ {
+		if r%stride == 0 {
+			if err := c.Cancelled(); err != nil {
+				return Result{}, err
+			}
+		}
 		base := r * cols
 		prev := base - cols
 		srow := m.Row(ra[r-1])

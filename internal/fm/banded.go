@@ -68,7 +68,13 @@ func AlignBanded(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, band in
 		buf[idx(0, j)] = int64(j) * g
 	}
 	cells := int64(0)
+	stride := stats.PollStride(width)
 	for i := 1; i <= mlen; i++ {
+		if i%stride == 0 {
+			if err := c.Cancelled(); err != nil {
+				return Result{}, err
+			}
+		}
 		srow := m.Row(ra[i-1])
 		jLo := i + lo
 		if jLo < 0 {

@@ -46,7 +46,10 @@ func AlignCompact(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, budget
 	}
 	defer budget.Release(charged)
 
-	dirs, row := fillDirs(ra, rb, m, int64(gap.Extend), c)
+	dirs, row, err := fillDirs(ra, rb, m, int64(gap.Extend), c)
+	if err != nil {
+		return Result{}, err
+	}
 
 	bld := align.NewBuilder(len(ra) + len(rb))
 	r, cc := len(ra), len(rb)
@@ -90,7 +93,10 @@ func CountOptimalPaths(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, l
 	ra, rb := a.Residues, b.Residues
 	rows, cols := len(ra)+1, len(rb)+1
 
-	dirs, _ := fillDirs(ra, rb, m, int64(gap.Extend), c)
+	dirs, _, err := fillDirs(ra, rb, m, int64(gap.Extend), c)
+	if err != nil {
+		return 0, err
+	}
 
 	// Count paths backwards from (m, n): one row of counts suffices.
 	cnt := make([]int64, cols)
@@ -135,7 +141,7 @@ func CountOptimalPaths(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, l
 
 // fillDirs computes the direction-bit matrix and the final score row with a
 // single live score row.
-func fillDirs(ra, rb []byte, m *scoring.Matrix, g int64, c *stats.Counters) (dirs []byte, row []int64) {
+func fillDirs(ra, rb []byte, m *scoring.Matrix, g int64, c *stats.Counters) (dirs []byte, row []int64, err error) {
 	rows, cols := len(ra)+1, len(rb)+1
 	dirs = make([]byte, rows*cols)
 	row = lastrow.Boundary(nil, len(rb), 0, g)
@@ -148,7 +154,13 @@ func fillDirs(ra, rb []byte, m *scoring.Matrix, g int64, c *stats.Counters) (dir
 		dirs[r*cols] = dirUp
 	}
 
+	stride := stats.PollStride(len(rb))
 	for r := 1; r < rows; r++ {
+		if r%stride == 0 {
+			if err := c.Cancelled(); err != nil {
+				return nil, nil, err
+			}
+		}
 		srow := m.Row(ra[r-1])
 		diag := row[0]
 		rv := int64(r) * g
@@ -183,7 +195,7 @@ func fillDirs(ra, rb []byte, m *scoring.Matrix, g int64, c *stats.Counters) (dir
 		}
 	}
 	c.AddCells(int64(len(ra)) * int64(len(rb)))
-	return dirs, row
+	return dirs, row, nil
 }
 
 func dirAt(dirs []byte, cols, rows, r, j int) byte {

@@ -49,10 +49,12 @@ func Align(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, budget *memor
 
 	g := int64(gap.Extend)
 	buf := make([]int64, entries)
-	FillRect(ra, rb, m, g,
+	if err := FillRect(ra, rb, m, g,
 		lastrow.Boundary(buf[:cols], len(rb), 0, g),
 		boundaryCol(buf, rows, cols, 0, g),
-		buf, c)
+		buf, c); err != nil {
+		return Result{}, err
+	}
 
 	bld := align.NewBuilder(len(ra) + len(rb))
 	r, cc := TracebackRect(ra, rb, m, g, buf, bld, len(ra), len(rb), c)
@@ -83,12 +85,19 @@ func boundaryCol(buf []int64, rows, cols int, corner, g int64) []int64 {
 // FillRect fills the full DPM of a rectangle into buf (row-major,
 // (len(a)+1) x (len(b)+1) entries) from its top row and left column boundary
 // values. top (len n+1) and left (len m+1) must agree on the corner. buf row
-// 0 and column 0 are set from the boundaries.
-func FillRect(a, b []byte, m *scoring.Matrix, gap int64, top, left []int64, buf []int64, c *stats.Counters) {
+// 0 and column 0 are set from the boundaries. The fill aborts with the
+// context error when the run attached to c is cancelled.
+func FillRect(a, b []byte, m *scoring.Matrix, gap int64, top, left []int64, buf []int64, c *stats.Counters) error {
 	n := len(b)
 	cols := n + 1
 	copy(buf[:cols], top)
+	stride := stats.PollStride(n)
 	for r := 1; r <= len(a); r++ {
+		if r%stride == 0 {
+			if err := c.Cancelled(); err != nil {
+				return err
+			}
+		}
 		base := r * cols
 		buf[base] = left[r]
 		srow := m.Row(a[r-1])
@@ -107,6 +116,7 @@ func FillRect(a, b []byte, m *scoring.Matrix, gap int64, top, left []int64, buf 
 		}
 	}
 	c.AddCells(int64(len(a)) * int64(n))
+	return nil
 }
 
 // TracebackRect traces the optimal path backwards from node (fromR, fromC)

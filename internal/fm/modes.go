@@ -44,7 +44,9 @@ func AlignMode(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, md align.
 	for r := 0; r < rows; r++ {
 		buf[r*cols] = left[r]
 	}
-	FillRect(ra, rb, m, g, top, left, buf, c)
+	if err := FillRect(ra, rb, m, g, top, left, buf, c); err != nil {
+		return Result{}, err
+	}
 
 	endR, endC, score := ModeEnd(buf, rows, cols, md)
 

@@ -53,7 +53,13 @@ func alignModeAffine(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, md 
 		F[base] = NegInf
 	}
 
+	stride := stats.PollStride(len(rb))
 	for r := 1; r < rows; r++ {
+		if r%stride == 0 {
+			if err := c.Cancelled(); err != nil {
+				return Result{}, err
+			}
+		}
 		base := r * cols
 		prev := base - cols
 		srow := m.Row(ra[r-1])

@@ -61,7 +61,9 @@ func AlignParallel(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, worke
 			Cols:    C,
 			Workers: workers,
 			Exec: func(ti, tj int) error {
-				fillRegion(ra, rb, m, g, buf, stride, trs[ti], trs[ti+1], tcs[tj], tcs[tj+1])
+				if err := fillRegion(ra, rb, m, g, buf, stride, trs[ti], trs[ti+1], tcs[tj], tcs[tj+1], c); err != nil {
+					return err
+				}
 				c.AddFillTile()
 				return nil
 			},
@@ -88,8 +90,14 @@ func AlignParallel(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, worke
 }
 
 // fillRegion computes cells (r0+1..r1) x (c0+1..c1) of the stored matrix.
-func fillRegion(a, b []byte, m *scoring.Matrix, g int64, buf []int64, stride, r0, r1, c0, c1 int) {
+func fillRegion(a, b []byte, m *scoring.Matrix, g int64, buf []int64, stride, r0, r1, c0, c1 int, c *stats.Counters) error {
+	poll := stats.PollStride(c1 - c0)
 	for r := r0 + 1; r <= r1; r++ {
+		if (r-r0)%poll == 0 {
+			if err := c.Cancelled(); err != nil {
+				return err
+			}
+		}
 		base := r * stride
 		prev := base - stride
 		srow := m.Row(a[r-1])
@@ -106,6 +114,7 @@ func fillRegion(a, b []byte, m *scoring.Matrix, g int64, buf []int64, stride, r0
 			rv = best
 		}
 	}
+	return nil
 }
 
 // tileBounds splits [0, n] into t near-equal segments.

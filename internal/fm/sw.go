@@ -47,7 +47,13 @@ func AlignLocal(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, budget *
 	buf := make([]int64, entries) // row 0 and column 0 stay 0
 	bestScore := int64(0)
 	bestR, bestC := 0, 0
+	stride := stats.PollStride(len(rb))
 	for r := 1; r < rows; r++ {
+		if r%stride == 0 {
+			if err := c.Cancelled(); err != nil {
+				return LocalResult{}, err
+			}
+		}
 		base := r * cols
 		prev := base - cols
 		srow := m.Row(ra[r-1])
@@ -122,7 +128,13 @@ func ScoreLocal(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, c *stats
 	g := int64(gap.Extend)
 	n := len(rb)
 	row := make([]int64, n+1)
+	stride := stats.PollStride(n)
 	for r := 1; r <= len(ra); r++ {
+		if r%stride == 0 {
+			if cerr := c.Cancelled(); cerr != nil {
+				return 0, 0, 0, cerr
+			}
+		}
 		srow := m.Row(ra[r-1])
 		diag := row[0]
 		rv := int64(0)

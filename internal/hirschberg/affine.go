@@ -32,6 +32,9 @@ func AlignAffine(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, opt Opt
 	s := &affineSolver{m: m, open: open, ext: ext, c: c}
 	s.moves = make([]align.Move, 0, a.Len()+b.Len())
 	s.diff(a.Residues, b.Residues, open, open)
+	if s.err != nil {
+		return fm.Result{}, s.err
+	}
 	path := align.NewPath(s.moves)
 	if err := path.Validate(a.Len(), b.Len()); err != nil {
 		return fm.Result{}, fmt.Errorf("hirschberg: affine path invalid: %w", err)
@@ -50,6 +53,9 @@ func scoreAffine(ra, rb []byte, m *scoring.Matrix, open, ext int64, c *stats.Cou
 		return open + int64(len(rb))*ext, nil
 	}
 	cc, _ := forwardAffine(ra, rb, m, open, ext, open, c)
+	if err := c.Cancelled(); err != nil {
+		return 0, err
+	}
 	return cc[len(rb)], nil
 }
 
@@ -59,6 +65,9 @@ type affineSolver struct {
 	ext   int64
 	c     *stats.Counters
 	moves []align.Move
+	// err latches the first cancellation noticed by the recursion; once set,
+	// diff returns immediately at every level and AlignAffine reports it.
+	err error
 }
 
 func (s *affineSolver) emit(mv align.Move, n int) {
@@ -78,6 +87,13 @@ func (s *affineSolver) gapScore(n int) int64 {
 // diff emits the optimal path for aligning ra against rb given the boundary
 // discounts tb and te (each either s.open or 0).
 func (s *affineSolver) diff(ra, rb []byte, tb, te int64) {
+	if s.err != nil {
+		return
+	}
+	if err := s.c.Cancelled(); err != nil {
+		s.err = err
+		return
+	}
 	M, N := len(ra), len(rb)
 	switch {
 	case M == 0:
@@ -174,7 +190,16 @@ func forwardAffine(ra, rb []byte, m *scoring.Matrix, open, ext, tb int64, c *sta
 	}
 	dd[0] = fm.NegInf
 	t = tb
+	stride := stats.PollStride(N)
 	for i := 1; i <= len(ra); i++ {
+		// A cancelled run bails with partial vectors; callers notice via
+		// their own Cancelled polls before using the scores for anything
+		// load-bearing.
+		if i%stride == 0 {
+			if c.Cancelled() != nil {
+				break
+			}
+		}
 		srow := m.Row(ra[i-1])
 		sdiag := cc[0]
 		t += ext

@@ -137,7 +137,9 @@ func (h *solver) solveFull(ra, rb []byte) error {
 	buf := make([]int64, (len(ra)+1)*cols)
 	top := lastrow.Boundary(buf[:cols], len(rb), 0, h.g)
 	left := lastrow.Boundary(nil, len(ra), 0, h.g)
-	fm.FillRect(ra, rb, h.m, h.g, top, left, buf, h.c)
+	if err := fm.FillRect(ra, rb, h.m, h.g, top, left, buf, h.c); err != nil {
+		return err
+	}
 	bld := align.NewBuilder(len(ra) + len(rb))
 	r, cc := fm.TracebackRect(ra, rb, h.m, h.g, buf, bld, len(ra), len(rb), h.c)
 	for ; r > 0; r-- {

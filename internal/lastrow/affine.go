@@ -104,7 +104,13 @@ func ForwardAffine(a, b []byte, m *scoring.Matrix, open, ext int64,
 		return nil
 	}
 
+	stride := stats.PollStride(n)
 	for r := 0; r < rows; r++ {
+		if r%stride == 0 {
+			if err := c.Cancelled(); err != nil {
+				return err
+			}
+		}
 		srow := m.Row(a[r])
 		diagH := rowH[0]
 		h := leftH[r+1]

@@ -92,7 +92,13 @@ func Forward(a, b []byte, m *scoring.Matrix, gap int64, top, left []int64, outRo
 		return nil
 	}
 
+	stride := stats.PollStride(n)
 	for r := 0; r < rows; r++ {
+		if r%stride == 0 {
+			if err := c.Cancelled(); err != nil {
+				return err
+			}
+		}
 		srow := m.Row(a[r])
 		diag := row[0]
 		rv := left[r+1]
@@ -159,7 +165,13 @@ func Backward(a, b []byte, m *scoring.Matrix, gap int64, bottom, right []int64, 
 		return nil
 	}
 
+	stride := stats.PollStride(n)
 	for r := rows - 1; r >= 0; r-- {
+		if r%stride == 0 {
+			if err := c.Cancelled(); err != nil {
+				return err
+			}
+		}
 		srow := m.Row(a[r])
 		diag := row[n]
 		rv := right[r]

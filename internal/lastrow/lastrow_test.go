@@ -15,7 +15,9 @@ import (
 // fullMatrix computes the reference DPM with fm.FillRect for comparison.
 func fullMatrix(a, b []byte, m *scoring.Matrix, g int64, top, left []int64) []int64 {
 	buf := make([]int64, (len(a)+1)*(len(b)+1))
-	fm.FillRect(a, b, m, g, top, left, buf, nil)
+	if err := fm.FillRect(a, b, m, g, top, left, buf, nil); err != nil {
+		panic(err)
+	}
 	return buf
 }
 

@@ -97,7 +97,7 @@ func Align(seqs []*seq.Sequence, opt Options) (*Result, error) {
 	tree := upgma(dist, seqs)
 
 	// 3. Post-order profile merge.
-	prof, err := buildProfile(tree, seqs, opt.Matrix, gap)
+	prof, err := buildProfile(tree, seqs, opt.Matrix, gap, opt.Pairwise.Counters)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"fastlsa/internal/scoring"
 	"fastlsa/internal/seq"
+	"fastlsa/internal/stats"
 )
 
 // profile is a partial alignment: a set of gapped rows of equal length,
@@ -84,21 +85,24 @@ func gapColScore(c *colCount, otherRows int, ext int64) int64 {
 }
 
 // buildProfile walks the guide tree post-order, merging children.
-func buildProfile(n *node, seqs []*seq.Sequence, m *scoring.Matrix, gap scoring.Gap) (*profile, error) {
+func buildProfile(n *node, seqs []*seq.Sequence, m *scoring.Matrix, gap scoring.Gap, c *stats.Counters) (*profile, error) {
+	if err := c.Cancelled(); err != nil {
+		return nil, err
+	}
 	if n.leaf() {
 		row := make([]byte, seqs[n.seqIdx].Len())
 		copy(row, seqs[n.seqIdx].Residues)
 		return &profile{members: []int{n.seqIdx}, rows: [][]byte{row}}, nil
 	}
-	left, err := buildProfile(n.left, seqs, m, gap)
+	left, err := buildProfile(n.left, seqs, m, gap, c)
 	if err != nil {
 		return nil, err
 	}
-	right, err := buildProfile(n.right, seqs, m, gap)
+	right, err := buildProfile(n.right, seqs, m, gap, c)
 	if err != nil {
 		return nil, err
 	}
-	return mergeProfiles(left, right, m, gap)
+	return mergeProfiles(left, right, m, gap, c)
 }
 
 // Direction bits of the profile DP traceback.
@@ -111,7 +115,7 @@ const (
 // mergeProfiles aligns two profiles with a sum-of-pairs Needleman-Wunsch
 // over their columns (linear gaps) and merges the rows along the optimal
 // column path. Tie-break diag > up > left, matching the pairwise engines.
-func mergeProfiles(L, R *profile, m *scoring.Matrix, gap scoring.Gap) (*profile, error) {
+func mergeProfiles(L, R *profile, m *scoring.Matrix, gap scoring.Gap, c *stats.Counters) (*profile, error) {
 	ext := int64(gap.Extend)
 	lc := columnCounts(L)
 	rc := columnCounts(R)
@@ -138,7 +142,13 @@ func mergeProfiles(L, R *profile, m *scoring.Matrix, gap scoring.Gap) (*profile,
 		score[i*cols] = score[(i-1)*cols] + gl[i-1]
 		dirs[i*cols] = pUp
 	}
+	stride := stats.PollStride(lq)
 	for i := 1; i <= lp; i++ {
+		if i%stride == 0 {
+			if err := c.Cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		base := i * cols
 		prev := base - cols
 		for j := 1; j <= lq; j++ {

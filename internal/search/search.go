@@ -166,7 +166,15 @@ func Query(query *seq.Sequence, db []*seq.Sequence, opt Options) ([]Hit, error) 
 	if popt.Workers == 0 {
 		popt.Workers = 1
 	}
+	if popt.Counters == nil {
+		// Reconstruction runs inherit the scan's counters — and with them the
+		// run's cancellation signal.
+		popt.Counters = opt.Counters
+	}
 	for i := 0; i < nAlign; i++ {
+		if err := opt.Counters.Cancelled(); err != nil {
+			return nil, err
+		}
 		loc, err := core.AlignLocal(query, db[hits[i].Index], opt.Matrix, gap, popt)
 		if err != nil {
 			return nil, fmt.Errorf("search: reconstructing hit %d (db %d): %w", i, hits[i].Index, err)

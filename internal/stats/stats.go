@@ -1,11 +1,14 @@
-// Package stats provides the instrumentation shared by every algorithm in
-// the repository: DP-cell counters, wall-clock phase timers, and derived
-// quantities such as the recomputation factor that Theorems 1-4 of the paper
-// bound analytically. All counters are safe for concurrent use and all
-// methods are nil-receiver safe, so uninstrumented runs pay (almost) nothing.
+// Package stats provides the per-run instrumentation and run control shared
+// by every algorithm in the repository: DP-cell counters, wall-clock phase
+// timers, derived quantities such as the recomputation factor that Theorems
+// 1-4 of the paper bound analytically, and a cheap cancellation poll that the
+// fill kernels consult between row sweeps so an abandoned run stops
+// computing. All counters are safe for concurrent use and all methods are
+// nil-receiver safe, so uninstrumented runs pay (almost) nothing.
 package stats
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -31,6 +34,59 @@ type Counters struct {
 	// the three phases of Figure 13 (ramp-up diagonals with < P tiles,
 	// saturated middle, ramp-down).
 	Phase1Tiles, Phase2Tiles, Phase3Tiles atomic.Int64
+
+	// cancelDone and cancelCtx carry the run's cancellation signal
+	// (AttachContext). The kernels poll Cancelled between row sweeps; a nil
+	// channel means the run can never be cancelled.
+	cancelDone <-chan struct{}
+	cancelCtx  context.Context
+}
+
+// AttachContext registers ctx's cancellation signal with the counters, so
+// every fill kernel the counters are threaded through aborts promptly (with
+// ctx.Err()) once ctx is cancelled or its deadline passes. Attach before the
+// run starts; a Counters value must not be shared by concurrent runs with
+// different contexts. A nil ctx, or one that can never be cancelled,
+// detaches.
+func (c *Counters) AttachContext(ctx context.Context) {
+	if c == nil {
+		return
+	}
+	if ctx == nil || ctx.Done() == nil {
+		c.cancelDone, c.cancelCtx = nil, nil
+		return
+	}
+	c.cancelDone, c.cancelCtx = ctx.Done(), ctx
+}
+
+// Cancelled reports whether the attached context has been cancelled,
+// returning its error (context.Canceled or context.DeadlineExceeded) if so.
+// It is a single non-blocking channel poll — cheap enough for once-per-row
+// use in the DP kernels — and nil-receiver safe.
+func (c *Counters) Cancelled() error {
+	if c == nil || c.cancelDone == nil {
+		return nil
+	}
+	select {
+	case <-c.cancelDone:
+		return c.cancelCtx.Err()
+	default:
+		return nil
+	}
+}
+
+// PollStride returns how many outer-loop iterations of rowLen cells each
+// should pass between Cancelled polls, targeting one poll per ~8Ki cells so
+// short rows do not pay a per-row select.
+func PollStride(rowLen int) int {
+	const targetCells = 8192
+	if rowLen >= targetCells {
+		return 1
+	}
+	if rowLen < 1 {
+		rowLen = 1
+	}
+	return targetCells / rowLen
 }
 
 // AddCells records n DP entries computed.
