@@ -3,6 +3,7 @@ package fastlsa_test
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -120,6 +121,88 @@ func TestDeadlineExceededPropagates(t *testing.T) {
 	_, err := fastlsa.Align(a, b, fastlsa.Options{Matrix: fastlsa.DNASimple, Workers: 1, Context: ctx})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+}
+
+// TestSharedCountersConcurrentRuns reuses ONE Options value — and thus one
+// *Counters — across concurrent runs with different contexts, the shape every
+// engine batch produces. The cancellation signal must stay per-run: cancelling
+// half the runs mid-fill must not disturb their siblings, the shared Counters
+// must not be written unsynchronized (run under -race), and it must still
+// accumulate every run's work.
+func TestSharedCountersConcurrentRuns(t *testing.T) {
+	n := 8000
+	a := fastlsa.RandomSequence("a", n, fastlsa.DNA, 7)
+	b := fastlsa.RandomSequence("b", n, fastlsa.DNA, 8)
+	var counters fastlsa.Counters
+	opt := fastlsa.Options{Matrix: fastlsa.DNASimple, Workers: 1, Counters: &counters}
+
+	const runs = 6
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			if i%2 == 1 {
+				go func() {
+					time.Sleep(cancelDelay)
+					cancel()
+				}()
+			}
+			o := opt // shared Counters pointer rides along
+			o.Context = ctx
+			_, errs[i] = fastlsa.Align(a, b, o)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if i%2 == 1 {
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("cancelled run %d: error %v does not wrap context.Canceled", i, err)
+			}
+		} else if err != nil {
+			t.Errorf("run %d spuriously failed: %v (sibling's cancellation leaked?)", i, err)
+		}
+	}
+	if counters.Cells.Load() == 0 {
+		t.Fatal("shared counters collected no work from the runs")
+	}
+}
+
+// TestBatchSharedOptions runs an engine batch whose units all share one
+// Options (and one *Counters): every unit must succeed independently and the
+// shared counters must aggregate the whole batch (run under -race).
+func TestBatchSharedOptions(t *testing.T) {
+	eng := fastlsa.NewEngine(fastlsa.EngineConfig{Workers: 4, QueueDepth: 16})
+	defer eng.Shutdown(context.Background())
+
+	pairs := make([]fastlsa.SequencePair, 6)
+	for i := range pairs {
+		pairs[i] = fastlsa.SequencePair{
+			A: fastlsa.RandomSequence("a", 1500, fastlsa.DNA, int64(2*i)),
+			B: fastlsa.RandomSequence("b", 1500, fastlsa.DNA, int64(2*i+1)),
+		}
+	}
+	var counters fastlsa.Counters
+	opt := fastlsa.Options{Matrix: fastlsa.DNASimple, Workers: 1, Counters: &counters}
+	batch, err := eng.SubmitAlignBatch(pairs, opt, fastlsa.JobOptions{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := batch.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Errorf("unit %d failed: %v", i, r.Err)
+		}
+	}
+	if counters.Cells.Load() == 0 {
+		t.Fatal("shared counters collected no work from the batch")
 	}
 }
 

@@ -54,19 +54,21 @@ func main() {
 		timeoutSec = flag.Int("timeout", 300, "per-request timeout in seconds")
 		engWorkers = flag.Int("engine-workers", 0, "job engine worker pool size (0 = all CPUs)")
 		queueDepth = flag.Int("queue-depth", 0, "job queue bound; full queues reject with 503 (0 = 4x workers)")
+		maxResults = flag.Int("max-results", 0, "retained jobs that keep their full result payload (0 = 64)")
 		maxBatch   = flag.Int("max-batch", 64, "maximum pairs per batch request")
 		drainSec   = flag.Int("drain", 30, "shutdown drain deadline in seconds")
 	)
 	flag.Parse()
 
 	app := newServer(serverConfig{
-		MaxSequenceLen:  *maxLen,
-		MaxBodyBytes:    *maxBody,
-		MaxMSASequences: *maxFamily,
-		DefaultWorkers:  *workers,
-		EngineWorkers:   *engWorkers,
-		QueueDepth:      *queueDepth,
-		MaxBatch:        *maxBatch,
+		MaxSequenceLen:     *maxLen,
+		MaxBodyBytes:       *maxBody,
+		MaxMSASequences:    *maxFamily,
+		DefaultWorkers:     *workers,
+		EngineWorkers:      *engWorkers,
+		QueueDepth:         *queueDepth,
+		MaxRetainedResults: *maxResults,
+		MaxBatch:           *maxBatch,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -28,6 +28,9 @@ type serverConfig struct {
 	QueueDepth int
 	// MaxRetained bounds how many finished jobs stay queryable (0 = 256).
 	MaxRetained int
+	// MaxRetainedResults bounds how many retained jobs keep their full
+	// result payload in memory (0 = 64).
+	MaxRetainedResults int
 	// MaxBatch caps the units of one POST /v1/batch request (0 selects 64).
 	MaxBatch int
 }
@@ -63,9 +66,10 @@ func newServer(cfg serverConfig) *server {
 	s := &server{
 		cfg: cfg,
 		eng: fastlsa.NewEngine(fastlsa.EngineConfig{
-			Workers:     cfg.EngineWorkers,
-			QueueDepth:  cfg.QueueDepth,
-			MaxRetained: cfg.MaxRetained,
+			Workers:            cfg.EngineWorkers,
+			QueueDepth:         cfg.QueueDepth,
+			MaxRetained:        cfg.MaxRetained,
+			MaxRetainedResults: cfg.MaxRetainedResults,
 		}),
 	}
 	mux := http.NewServeMux()
@@ -103,7 +107,11 @@ func (s *server) runSync(r *http.Request, kind string, task func(ctx context.Con
 	return j.Wait(r.Context())
 }
 
-// errStatus maps an execution error to an HTTP status.
+// errStatus maps an execution error to an HTTP status: 422 is reserved for
+// known bad-input failures (an option combination the engines reject, or a
+// client-chosen memory budget the run could not fit); anything unrecognized
+// is an internal failure — e.g. a kernel invariant violation — and reports
+// as 500 rather than being blamed on the client.
 func errStatus(err error) int {
 	switch {
 	case errors.Is(err, fastlsa.ErrQueueFull), errors.Is(err, fastlsa.ErrEngineClosed):
@@ -113,8 +121,10 @@ func errStatus(err error) int {
 	case errors.Is(err, context.Canceled):
 		// The client is gone; the status is mostly for logs.
 		return http.StatusServiceUnavailable
-	default:
+	case errors.Is(err, fastlsa.ErrInvalidInput), errors.Is(err, fastlsa.ErrBudgetExceeded):
 		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
 	}
 }
 
@@ -577,7 +587,7 @@ func searchTask(cfg serverConfig, req searchRequest) (func(ctx context.Context) 
 		if req.FitStats || req.MaxEValue > 0 {
 			params, err := fastlsa.EstimateStatistics(matrix, gap, 0, 0, req.StatsSeed)
 			if err != nil {
-				return nil, fmt.Errorf("statistics fit: %v", err)
+				return nil, fmt.Errorf("statistics fit: %w", err)
 			}
 			opt.Stats = &params
 			resp.Stats = &statsInfo{Lambda: params.Lambda, K: params.K}

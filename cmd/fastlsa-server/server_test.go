@@ -1,11 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"fastlsa"
 )
 
 func testServer(t *testing.T) *httptest.Server {
@@ -122,12 +127,39 @@ func TestAlignValidation(t *testing.T) {
 		{`{"a":"ACGT","b":"ACGT","matrix":"dna","mode":"x"}`, http.StatusBadRequest},
 		{`{"a":"ACGT","b":"ACGT","matrix":"dna","algorithm":"x"}`, http.StatusBadRequest},
 		{`{"a":"ACGT","b":"ACGT","matrix":"dna","gap":{"extend":4}}`, http.StatusUnprocessableEntity},
+		// A client-chosen memory budget the run cannot fit is the client's
+		// problem (422), not a server bug.
+		{`{"a":"ACGTACGTACGTACGTACGT","b":"ACGTACGTACGTACGTACGT","matrix":"dna","gap":{"extend":-4},"algorithm":"fm","memoryBudget":4}`, http.StatusUnprocessableEntity},
 		{`{"a":"ACGT","b":"ACGT","matrix":"dna","gap":{"extend":-4},"local":true,"mode":"overlap"}`, http.StatusOK},
 	}
 	for _, tc := range cases {
 		resp, out := postJSON(t, srv.URL+"/v1/align", tc.body)
 		if resp.StatusCode != tc.want {
 			t.Fatalf("body %q -> status %d (want %d): %v", tc.body, resp.StatusCode, tc.want, out)
+		}
+	}
+}
+
+// TestErrStatusClassification pins the error→status mapping: 422 only for
+// known bad-input failures, 500 for anything unrecognized (an internal
+// invariant failure must not be reported as the client's fault).
+func TestErrStatusClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{fastlsa.ErrQueueFull, http.StatusServiceUnavailable},
+		{fastlsa.ErrEngineClosed, http.StatusServiceUnavailable},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, http.StatusServiceUnavailable},
+		{fastlsa.ErrInvalidInput, http.StatusUnprocessableEntity},
+		{fmt.Errorf("wrapped: %w", fastlsa.ErrInvalidInput), http.StatusUnprocessableEntity},
+		{fastlsa.ErrBudgetExceeded, http.StatusUnprocessableEntity},
+		{errors.New("core: reverse scan found 3, forward 5"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := errStatus(tc.err); got != tc.want {
+			t.Errorf("errStatus(%v) = %d, want %d", tc.err, got, tc.want)
 		}
 	}
 }

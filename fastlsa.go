@@ -2,6 +2,7 @@ package fastlsa
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -227,8 +228,26 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 	case "compact", "fm-bits", "traceback-bits":
 		return AlgoCompact, nil
 	default:
-		return 0, fmt.Errorf("fastlsa: unknown algorithm %q", name)
+		return 0, badInput("unknown algorithm %q", name)
 	}
+}
+
+// Input-classification sentinels (test with errors.Is). They let callers —
+// the HTTP server in particular — distinguish bad requests from internal
+// failures.
+var (
+	// ErrInvalidInput tags failures caused by invalid caller input: a missing
+	// matrix, a malformed gap model, an unsupported mode/algorithm/gap
+	// combination, or an unusable statistics scoring system.
+	ErrInvalidInput = errors.New("fastlsa: invalid input")
+	// ErrBudgetExceeded reports a run that could not fit the caller's
+	// Options.MemoryBudget.
+	ErrBudgetExceeded = memory.ErrExceeded
+)
+
+// badInput wraps a validation failure with ErrInvalidInput.
+func badInput(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidInput, fmt.Sprintf(format, args...))
 }
 
 // Options configures Align / AlignLocal / Score. The zero value (plus a
@@ -257,34 +276,36 @@ type Options struct {
 	Counters *Counters
 	// Context, when non-nil, bounds the run: cancelling it (or passing its
 	// deadline) makes the fill kernels abort promptly with an error wrapping
-	// context.Canceled / context.DeadlineExceeded. The signal rides on the
-	// run's Counters (one is allocated when none was set), so a Counters
-	// value must not be shared by concurrent runs with different contexts.
+	// context.Canceled / context.DeadlineExceeded. The signal rides on a
+	// per-run child of Counters, so both this Options value and its Counters
+	// may safely be shared by concurrent runs with different contexts; the
+	// shared Counters still accumulates every run's work.
 	Context context.Context
 }
 
 func (o Options) normalise() (Options, error) {
 	if o.Matrix == nil {
-		return o, fmt.Errorf("fastlsa: Options.Matrix is required")
+		return o, badInput("Options.Matrix is required")
 	}
 	if o.Gap == (Gap{}) {
 		o.Gap = PaperGap
 	}
 	if err := o.Gap.Validate(); err != nil {
-		return o, err
+		return o, fmt.Errorf("%w: %w", ErrInvalidInput, err)
 	}
 	if o.MemoryBudget < 0 {
-		return o, fmt.Errorf("fastlsa: negative MemoryBudget %d", o.MemoryBudget)
+		return o, badInput("negative MemoryBudget %d", o.MemoryBudget)
 	}
 	if o.Context != nil {
 		if err := o.Context.Err(); err != nil {
 			return o, fmt.Errorf("fastlsa: run abandoned before start: %w", err)
 		}
 		if o.Context.Done() != nil {
-			if o.Counters == nil {
-				o.Counters = new(Counters)
-			}
-			o.Counters.AttachContext(o.Context)
+			// The cancellation signal rides on a per-run child of the caller's
+			// Counters (Derive), never on the shared value itself: an Options
+			// (and its Counters) may be reused across concurrent runs — e.g.
+			// every unit of an Engine batch — each with its own context.
+			o.Counters = o.Counters.Derive(o.Context)
 		}
 	}
 	return o, nil
@@ -358,12 +379,12 @@ func Align(a, b *Sequence, opt Options) (*Alignment, error) {
 		}
 	case AlgoHirschberg:
 		if !opt.Mode.IsGlobal() {
-			return nil, fmt.Errorf("fastlsa: ends-free modes support the auto, fastlsa and fm engines (got %v)", opt.Algorithm)
+			return nil, badInput("ends-free modes support the auto, fastlsa and fm engines (got %v)", opt.Algorithm)
 		}
 		res, err = hirschberg.Align(a, b, opt.Matrix, opt.Gap, hirschberg.Options{BaseCells: opt.BaseCells}, opt.Counters)
 	case AlgoCompact:
 		if !opt.Mode.IsGlobal() {
-			return nil, fmt.Errorf("fastlsa: ends-free modes support the auto, fastlsa and fm engines (got %v)", opt.Algorithm)
+			return nil, badInput("ends-free modes support the auto, fastlsa and fm engines (got %v)", opt.Algorithm)
 		}
 		budget, berr := opt.budget()
 		if berr != nil {
@@ -371,7 +392,7 @@ func Align(a, b *Sequence, opt Options) (*Alignment, error) {
 		}
 		res, err = fm.AlignCompact(a, b, opt.Matrix, opt.Gap, budget, opt.Counters)
 	default:
-		return nil, fmt.Errorf("fastlsa: unknown algorithm %v", opt.Algorithm)
+		return nil, badInput("unknown algorithm %v", opt.Algorithm)
 	}
 	if err != nil {
 		return nil, err
@@ -447,7 +468,7 @@ func AlignLocal(a, b *Sequence, opt Options) (*LocalAlignment, error) {
 		}
 		return &res, nil
 	default:
-		return nil, fmt.Errorf("fastlsa: local alignment supports auto, fastlsa and fm engines (got %v)", opt.Algorithm)
+		return nil, badInput("local alignment supports auto, fastlsa and fm engines (got %v)", opt.Algorithm)
 	}
 }
 
@@ -461,7 +482,7 @@ func AlignMSA(seqs []*Sequence, opt Options) (*MSA, error) {
 		return nil, err
 	}
 	if !opt.Gap.IsLinear() {
-		return nil, fmt.Errorf("fastlsa: AlignMSA requires a linear gap model")
+		return nil, badInput("AlignMSA requires a linear gap model")
 	}
 	copt, err := opt.coreOptions(0, 0)
 	if err != nil {
@@ -514,7 +535,13 @@ func EstimateStatistics(matrix *Matrix, gap Gap, sampleLen, samples int, seed in
 	if samples > 0 {
 		opt.Samples = samples
 	}
-	return significance.Estimate(matrix, gap, opt)
+	params, err := significance.Estimate(matrix, gap, opt)
+	if err != nil {
+		// Every failure mode here is input-shaped: the caller's scoring
+		// system or sampling parameters are unusable for a Gumbel fit.
+		return GumbelParams{}, fmt.Errorf("%w: %w", ErrInvalidInput, err)
+	}
+	return params, nil
 }
 
 // SearchOptions configures Search.
@@ -551,10 +578,9 @@ func Search(query *Sequence, db []*Sequence, opt SearchOptions) ([]SearchHit, er
 			return nil, fmt.Errorf("fastlsa: search abandoned before start: %w", err)
 		}
 		if opt.Context.Done() != nil {
-			if opt.Counters == nil {
-				opt.Counters = new(Counters)
-			}
-			opt.Counters.AttachContext(opt.Context)
+			// Per-run child, as in Options.normalise: the caller's Counters
+			// may be shared across concurrent searches.
+			opt.Counters = opt.Counters.Derive(opt.Context)
 		}
 	}
 	return search.Query(query, db, search.Options{

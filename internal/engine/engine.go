@@ -82,6 +82,12 @@ type Config struct {
 	// MaxRetained bounds how many finished jobs stay queryable; the oldest
 	// are evicted first (<= 0 selects 256).
 	MaxRetained int
+	// MaxRetainedResults bounds how many of the retained finished jobs keep
+	// their result payload; older ones stay queryable (state, timestamps,
+	// error) but their result is dropped, so a long-lived server does not pin
+	// hundreds of full alignment responses in memory (<= 0 selects 64; set
+	// >= MaxRetained to keep every retained result).
+	MaxRetainedResults int
 }
 
 // Submission describes one job.
@@ -186,7 +192,9 @@ func (j *Job) Wait(ctx context.Context) (any, error) {
 }
 
 // Result returns the job's result and error without blocking; ok is false
-// while the job is unfinished.
+// while the job is unfinished. The result may be nil even on success once
+// the job has aged past Config.MaxRetainedResults (the payload is dropped to
+// bound memory; the job itself stays queryable).
 func (j *Job) Result() (result any, err error, ok bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -225,21 +233,21 @@ type Stats struct {
 type Engine struct {
 	cfg Config
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    jobHeap
-	jobs     map[string]*Job // public registry (excludes batch units)
-	order    []string        // registry in submission order, for List/eviction
-	closed   bool
-	nextID   uint64
-	nextSeq  uint64
-	running  int
-	submits  int64
-	rejects  int64
-	succ     int64
-	failed   int64
-	cancels  int64
-	retained int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   jobHeap
+	jobs    map[string]*Job   // public registry (excludes batch units)
+	order   []string          // registry in submission order, for List/eviction
+	live    map[*Job]struct{} // every non-terminal job, batch units included
+	closed  bool
+	nextID  uint64
+	nextSeq uint64
+	running int
+	submits int64
+	rejects int64
+	succ    int64
+	failed  int64
+	cancels int64
 
 	wg sync.WaitGroup
 }
@@ -255,9 +263,13 @@ func New(cfg Config) *Engine {
 	if cfg.MaxRetained <= 0 {
 		cfg.MaxRetained = 256
 	}
+	if cfg.MaxRetainedResults <= 0 {
+		cfg.MaxRetainedResults = 64
+	}
 	e := &Engine{
 		cfg:  cfg,
 		jobs: make(map[string]*Job),
+		live: make(map[*Job]struct{}),
 	}
 	e.cond = sync.NewCond(&e.mu)
 	for i := 0; i < cfg.Workers; i++ {
@@ -332,6 +344,7 @@ func (e *Engine) enqueueLocked(sub Submission, batch string, register bool) *Job
 		j.ctx, j.cancel = context.WithCancel(parent)
 	}
 	heap.Push(&e.queue, j)
+	e.live[j] = struct{}{}
 	e.submits++
 	if register {
 		e.jobs[j.id] = j
@@ -435,6 +448,7 @@ func (e *Engine) finishLocked(j *Job, result any, err error) {
 		e.failed++
 	}
 	j.mu.Unlock()
+	delete(e.live, j)
 	j.cancel() // release the context's timer/goroutine
 	close(j.done)
 	if j.batch == "" {
@@ -446,7 +460,11 @@ func isCancellation(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// evictLocked drops the oldest finished registered jobs beyond MaxRetained.
+// evictLocked drops the oldest finished registered jobs beyond MaxRetained,
+// and drops the result payloads of all but the newest MaxRetainedResults
+// finished jobs: a retained job's metadata is tiny, but its result can be an
+// entire alignment response, and 256 of those pin real memory on a
+// long-lived server.
 func (e *Engine) evictLocked() {
 	finished := 0
 	for _, id := range e.order {
@@ -454,20 +472,37 @@ func (e *Engine) evictLocked() {
 			finished++
 		}
 	}
-	if finished <= e.cfg.MaxRetained {
+	if finished > e.cfg.MaxRetained {
+		keep := e.order[:0]
+		for _, id := range e.order {
+			j := e.jobs[id]
+			if j != nil && j.state.Terminal() && finished > e.cfg.MaxRetained {
+				delete(e.jobs, id)
+				finished--
+				continue
+			}
+			keep = append(keep, id)
+		}
+		e.order = keep
+	}
+
+	if finished <= e.cfg.MaxRetainedResults {
 		return
 	}
-	keep := e.order[:0]
-	for _, id := range e.order {
-		j := e.jobs[id]
-		if j != nil && j.state.Terminal() && finished > e.cfg.MaxRetained {
-			delete(e.jobs, id)
-			finished--
+	withResult := 0
+	for i := len(e.order) - 1; i >= 0; i-- {
+		j := e.jobs[e.order[i]]
+		if j == nil || !j.state.Terminal() {
 			continue
 		}
-		keep = append(keep, id)
+		if withResult < e.cfg.MaxRetainedResults {
+			withResult++
+			continue
+		}
+		j.mu.Lock()
+		j.result = nil
+		j.mu.Unlock()
 	}
-	e.order = keep
 }
 
 // Job looks up a registered job by id.
@@ -552,15 +587,12 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 	}
 
-	// Drain deadline passed: cancel everything still live and wait for the
-	// workers to notice.
+	// Drain deadline passed: cancel everything still live — queued or
+	// running, batch units included — and wait for the workers to notice.
 	e.mu.Lock()
-	pending := make([]*Job, 0, e.queue.Len())
-	pending = append(pending, e.queue...)
-	for _, j := range e.jobs {
-		if !j.state.Terminal() {
-			pending = append(pending, j)
-		}
+	pending := make([]*Job, 0, len(e.live))
+	for j := range e.live {
+		pending = append(pending, j)
 	}
 	e.mu.Unlock()
 	for _, j := range pending {

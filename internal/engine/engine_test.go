@@ -401,6 +401,39 @@ func TestRetentionEviction(t *testing.T) {
 	}
 }
 
+func TestResultRetentionBound(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 8, MaxRetained: 8, MaxRetainedResults: 2})
+	defer shutdownNow(t, e)
+
+	jobs := make([]*Job, 0, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		j, err := e.Submit(Submission{Task: func(ctx context.Context) (any, error) { return i, nil }})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		j.Wait(context.Background())
+		jobs = append(jobs, j)
+	}
+	for i, j := range jobs {
+		res, err, ok := j.Result()
+		if !ok || err != nil {
+			t.Fatalf("job %d = (%v, %v, %v), want finished ok", i, res, err, ok)
+		}
+		if i < 3 {
+			// Aged past MaxRetainedResults: payload dropped, job queryable.
+			if res != nil {
+				t.Fatalf("job %d result = %v, want dropped (nil)", i, res)
+			}
+			if _, lerr := e.Job(j.ID()); lerr != nil {
+				t.Fatalf("job %d no longer queryable: %v", i, lerr)
+			}
+		} else if res != i {
+			t.Fatalf("job %d result = %v, want %d", i, res, i)
+		}
+	}
+}
+
 func TestShutdownDrains(t *testing.T) {
 	e := New(Config{Workers: 2, QueueDepth: 8})
 	var done atomic.Int32
@@ -448,6 +481,45 @@ func TestShutdownCancelsAfterDrainDeadline(t *testing.T) {
 	}
 	if st := j.Info().State; st != Cancelled {
 		t.Fatalf("undrainable job state = %v, want cancelled", st)
+	}
+}
+
+// TestShutdownCancelsBatchUnitsAfterDrainDeadline is the regression test for
+// a hang: batch units are not in the public job registry, so the forced
+// cancel pass after the drain deadline used to miss them and Shutdown blocked
+// forever on a mid-computation unit.
+func TestShutdownCancelsBatchUnitsAfterDrainDeadline(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 8})
+	started := make(chan struct{}, 1)
+	b, err := e.SubmitBatch(BatchSubmission{Tasks: []Task{
+		blockerTask(started, nil),
+		blockerTask(nil, nil),
+	}})
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	<-started // the first unit is running, the second queued
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- e.Shutdown(ctx) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Shutdown error = %v, want DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown hung on a running batch unit past the drain deadline")
+	}
+	results, err := b.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("Batch.Wait: %v", err)
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("unit %d error = %v, want context.Canceled", i, r.Err)
+		}
 	}
 }
 

@@ -40,13 +40,31 @@ type Counters struct {
 	// channel means the run can never be cancelled.
 	cancelDone <-chan struct{}
 	cancelCtx  context.Context
+
+	// parent, when non-nil, receives a copy of every count recorded here
+	// (Derive). It never carries a cancellation signal for this run, so a
+	// Counters shared by concurrent runs stays race-free.
+	parent *Counters
+}
+
+// Derive returns a per-run child of c bound to ctx's cancellation signal.
+// Counts recorded on the child also accumulate into c (atomically, so c may
+// be shared by many concurrent runs), but the cancellation signal stays
+// private to the child: concurrent runs sharing c never observe each other's
+// contexts, and c itself is never written. A nil receiver yields a free-
+// standing child, counting only for itself.
+func (c *Counters) Derive(ctx context.Context) *Counters {
+	child := &Counters{parent: c}
+	child.AttachContext(ctx)
+	return child
 }
 
 // AttachContext registers ctx's cancellation signal with the counters, so
 // every fill kernel the counters are threaded through aborts promptly (with
-// ctx.Err()) once ctx is cancelled or its deadline passes. Attach before the
-// run starts; a Counters value must not be shared by concurrent runs with
-// different contexts. A nil ctx, or one that can never be cancelled,
+// ctx.Err()) once ctx is cancelled or its deadline passes. It is an
+// unsynchronized write: attach before the run starts, and never to a
+// Counters shared with concurrent runs — for those, attach to a per-run
+// child from Derive instead. A nil ctx, or one that can never be cancelled,
 // detaches.
 func (c *Counters) AttachContext(ctx context.Context) {
 	if c == nil {
@@ -91,63 +109,61 @@ func PollStride(rowLen int) int {
 
 // AddCells records n DP entries computed.
 func (c *Counters) AddCells(n int64) {
-	if c != nil {
+	for ; c != nil; c = c.parent {
 		c.Cells.Add(n)
 	}
 }
 
 // AddTraceback records n traceback steps.
 func (c *Counters) AddTraceback(n int64) {
-	if c != nil {
+	for ; c != nil; c = c.parent {
 		c.TracebackSteps.Add(n)
 	}
 }
 
 // AddBaseCase records a FastLSA base-case solve.
 func (c *Counters) AddBaseCase() {
-	if c != nil {
+	for ; c != nil; c = c.parent {
 		c.BaseCases.Add(1)
 	}
 }
 
 // AddGeneralCase records a FastLSA general-case split.
 func (c *Counters) AddGeneralCase() {
-	if c != nil {
+	for ; c != nil; c = c.parent {
 		c.GeneralCases.Add(1)
 	}
 }
 
 // AddFillTile records one executed wavefront tile.
 func (c *Counters) AddFillTile() {
-	if c != nil {
+	for ; c != nil; c = c.parent {
 		c.FillTiles.Add(1)
 	}
 }
 
 // AddPhaseTiles classifies cnt tiles into wavefront phase p (1, 2 or 3).
 func (c *Counters) AddPhaseTiles(p int, cnt int64) {
-	if c == nil {
-		return
-	}
-	switch p {
-	case 1:
-		c.Phase1Tiles.Add(cnt)
-	case 2:
-		c.Phase2Tiles.Add(cnt)
-	case 3:
-		c.Phase3Tiles.Add(cnt)
+	for ; c != nil; c = c.parent {
+		switch p {
+		case 1:
+			c.Phase1Tiles.Add(cnt)
+		case 2:
+			c.Phase2Tiles.Add(cnt)
+		case 3:
+			c.Phase3Tiles.Add(cnt)
+		}
 	}
 }
 
 // ObserveGridEntries raises the peak grid-entry watermark to n if larger.
 func (c *Counters) ObserveGridEntries(n int64) {
-	if c == nil {
-		return
-	}
-	for {
-		cur := c.PeakGridEntries.Load()
-		if n <= cur || c.PeakGridEntries.CompareAndSwap(cur, n) {
-			return
+	for ; c != nil; c = c.parent {
+		for {
+			cur := c.PeakGridEntries.Load()
+			if n <= cur || c.PeakGridEntries.CompareAndSwap(cur, n) {
+				break
+			}
 		}
 	}
 }
