@@ -10,7 +10,7 @@ import (
 	"fastlsa/internal/core"
 	"fastlsa/internal/fm"
 	"fastlsa/internal/hirschberg"
-	"fastlsa/internal/lastrow"
+	"fastlsa/internal/kernel"
 	"fastlsa/internal/memory"
 	"fastlsa/internal/msa"
 	"fastlsa/internal/scoring"
@@ -259,7 +259,7 @@ type Options struct {
 	// Gap is the gap model (zero value selects the paper's -10 linear gap).
 	Gap Gap
 	// Mode selects ends-free alignment (zero value = global). Non-global
-	// modes require a linear gap model and the auto, fastlsa or fm engines.
+	// modes require the auto, fastlsa or fm engines; both gap models work.
 	Mode Mode
 	// Algorithm selects the engine (default AlgoAuto).
 	Algorithm Algorithm
@@ -401,8 +401,8 @@ func Align(a, b *Sequence, opt Options) (*Alignment, error) {
 }
 
 // Score computes only the optimal alignment score, in linear space
-// regardless of the selected algorithm. Ends-free modes are supported for
-// linear gap models.
+// regardless of the selected algorithm. Ends-free modes and both gap models
+// are supported.
 func Score(a, b *Sequence, opt Options) (int64, error) {
 	opt, err := opt.normalise()
 	if err != nil {
@@ -414,33 +414,31 @@ func Score(a, b *Sequence, opt Options) (int64, error) {
 	return hirschberg.Score(a, b, opt.Matrix, opt.Gap, opt.Counters)
 }
 
-// modeScore computes the ends-free score with one LastRow sweep (linear or
-// affine).
+// rowPool recycles the boundary and output vectors of score-only sweeps.
+var rowPool = memory.NewRowPool()
+
+// modeScore computes the ends-free score with one kernel sweep (the gap
+// model selects one linear plane or the three affine planes).
 func modeScore(a, b *Sequence, opt Options) (int64, error) {
-	lastRow := make([]int64, b.Len()+1)
-	lastCol := make([]int64, a.Len()+1)
-	if opt.Gap.IsLinear() {
-		g := int64(opt.Gap.Extend)
-		top := fm.ModeTopBoundary(nil, b.Len(), g, opt.Mode)
-		left := fm.ModeLeftBoundary(nil, a.Len(), g, opt.Mode)
-		if err := lastrow.Forward(a.Residues, b.Residues, opt.Matrix, g, top, left, lastRow, lastCol, opt.Counters); err != nil {
-			return 0, err
-		}
-	} else {
-		open, ext := int64(opt.Gap.Open), int64(opt.Gap.Extend)
-		topH, topE, leftH, leftF := fm.AffineModeBoundaries(a.Len(), b.Len(), open, ext, opt.Mode)
-		if err := lastrow.ForwardAffine(a.Residues, b.Residues, opt.Matrix, open, ext,
-			topH, topE, leftH, leftF, lastRow, nil, lastCol, nil, opt.Counters); err != nil {
-			return 0, err
-		}
+	k := kernel.New(opt.Matrix, kernel.FromGap(opt.Gap), rowPool, opt.Counters)
+	top := k.ModeEdge(b.Len(), opt.Mode.FreeStartB)
+	left := k.ModeEdge(a.Len(), opt.Mode.FreeStartA)
+	outRow := k.NewEdge(b.Len())
+	outCol := k.NewEdge(a.Len())
+	defer k.PutEdge(top)
+	defer k.PutEdge(left)
+	defer k.PutEdge(outRow)
+	defer k.PutEdge(outCol)
+	if err := k.Forward(a.Residues, b.Residues, top, left, outRow, outCol); err != nil {
+		return 0, err
 	}
-	_, _, score := fm.ModeEndFromEdges(lastRow, lastCol, opt.Mode)
+	_, _, score := fm.ModeEndFromEdges(outRow.H, outCol.H, opt.Mode)
 	return score, nil
 }
 
-// AlignLocal computes the optimal Smith-Waterman local alignment. AlgoAuto
-// and AlgoFastLSA run in FastLSA-bounded space; AlgoFullMatrix stores the
-// complete matrix. Linear gap models only.
+// AlignLocal computes the optimal Smith-Waterman local alignment under
+// either gap model. AlgoAuto and AlgoFastLSA run in FastLSA-bounded space;
+// AlgoFullMatrix stores the complete matrix.
 func AlignLocal(a, b *Sequence, opt Options) (*LocalAlignment, error) {
 	opt, err := opt.normalise()
 	if err != nil {

@@ -21,6 +21,7 @@ func BenchmarkAlignEngines(b *testing.B) {
 	m := scoring.DNASimple
 
 	b.Run("fastlsa", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.Align(x, y, m, gap, core.Options{Workers: 1}); err != nil {
 				b.Fatal(err)
@@ -28,6 +29,7 @@ func BenchmarkAlignEngines(b *testing.B) {
 		}
 	})
 	b.Run("fm", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := fm.Align(x, y, m, gap, nil, nil); err != nil {
 				b.Fatal(err)
@@ -35,6 +37,7 @@ func BenchmarkAlignEngines(b *testing.B) {
 		}
 	})
 	b.Run("fm-compact", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := fm.AlignCompact(x, y, m, gap, nil, nil); err != nil {
 				b.Fatal(err)
@@ -42,6 +45,7 @@ func BenchmarkAlignEngines(b *testing.B) {
 		}
 	})
 	b.Run("hirschberg", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := hirschberg.Align(x, y, m, gap, hirschberg.Options{}, nil); err != nil {
 				b.Fatal(err)
@@ -58,6 +62,7 @@ func BenchmarkAlignAffineEngines(b *testing.B) {
 	m := scoring.BLOSUM62
 
 	b.Run("fastlsa", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.Align(x, y, m, gap, core.Options{Workers: 1}); err != nil {
 				b.Fatal(err)
@@ -65,6 +70,7 @@ func BenchmarkAlignAffineEngines(b *testing.B) {
 		}
 	})
 	b.Run("gotoh-fm", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := fm.AlignAffine(x, y, m, gap, nil, nil); err != nil {
 				b.Fatal(err)
@@ -72,6 +78,7 @@ func BenchmarkAlignAffineEngines(b *testing.B) {
 		}
 	})
 	b.Run("myers-miller", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := hirschberg.AlignAffine(x, y, m, gap, hirschberg.Options{}, nil); err != nil {
 				b.Fatal(err)
@@ -87,6 +94,7 @@ func BenchmarkBaseCellsAblation(b *testing.B) {
 	x, y := testutil.HomologousPair(n, seq.DNA, 102)
 	for _, bm := range []int{64, 1024, 16384, 262144} {
 		b.Run(fmt.Sprintf("bm%d", bm), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Align(x, y, scoring.DNASimple, scoring.Linear(-4), core.Options{
 					K: 8, BaseCells: bm, Workers: 1,
@@ -105,6 +113,7 @@ func BenchmarkAlignLocalEngines(b *testing.B) {
 	x, y := testutil.HomologousPair(n, seq.DNA, 103)
 	gap := scoring.Linear(-6)
 	b.Run("sw-full", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := fm.AlignLocal(x, y, scoring.DNASimple, gap, nil, nil); err != nil {
 				b.Fatal(err)
@@ -112,6 +121,7 @@ func BenchmarkAlignLocalEngines(b *testing.B) {
 		}
 	})
 	b.Run("linear-space", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.AlignLocal(x, y, scoring.DNASimple, gap, core.Options{Workers: 1}); err != nil {
 				b.Fatal(err)

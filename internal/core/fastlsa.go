@@ -5,8 +5,7 @@ import (
 
 	"fastlsa/internal/align"
 	"fastlsa/internal/fm"
-	"fastlsa/internal/lastrow"
-	"fastlsa/internal/memory"
+	"fastlsa/internal/kernel"
 	"fastlsa/internal/scoring"
 	"fastlsa/internal/seq"
 	"fastlsa/internal/stats"
@@ -18,22 +17,31 @@ import (
 // differ — paper §2.1).
 type Result = fm.Result
 
-// Align computes the optimal global alignment of a and b with FastLSA.
-// Workers > 1 selects Parallel FastLSA (§5); otherwise the sequential
-// algorithm (§3) runs. The path is byte-identical to fm.Align's for the same
-// inputs (shared diagonal > up > left tie-breaking).
+// Align computes the optimal global alignment of a and b with FastLSA, under
+// either gap model. Workers > 1 selects Parallel FastLSA (§5); otherwise the
+// sequential algorithm (§3) runs. The path is byte-identical to fm.Align's
+// for the same inputs (the tie-breaking rules live in the shared kernel).
 func Align(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, opt Options) (Result, error) {
+	return alignModel(a, b, m, gap, kernel.FromGap(gap), opt)
+}
+
+// AlignAffine is Align forced onto the three-plane affine kernel even when
+// gap.Open == 0. Results are byte-identical to Align's for such degenerate
+// gaps (the equivalence the kernel package pins); the entry point is retained
+// for callers and benchmarks that want the affine recurrence unconditionally.
+func AlignAffine(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, opt Options) (Result, error) {
+	return alignModel(a, b, m, gap, kernel.Affine(int64(gap.Open), int64(gap.Extend)), opt)
+}
+
+func alignModel(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, mod kernel.Model, opt Options) (Result, error) {
 	if err := gap.Validate(); err != nil {
 		return Result{}, err
-	}
-	if !gap.IsLinear() {
-		return AlignAffine(a, b, m, gap, opt)
 	}
 	r, err := opt.resolve()
 	if err != nil {
 		return Result{}, err
 	}
-	s, err := newSolver(a, b, m, int64(gap.Extend), r)
+	s, err := newSolver(a, b, m, gap, mod, r)
 	if err != nil {
 		return Result{}, err
 	}
@@ -41,41 +49,57 @@ func Align(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, opt Options) 
 	return s.run()
 }
 
-// solver carries the shared state of one FastLSA run.
+// solver carries the shared state of one FastLSA run, for either gap model:
+// the model lives in the kernel, which supplies every fill, sweep and
+// traceback; the solver owns the recursion, the grid caches and the Base
+// Case buffer.
 type solver struct {
 	a, b []byte
 	m    *scoring.Matrix
-	g    int64
+	gap  scoring.Gap
+	k    *kernel.Kernel
 	opt  resolved
 	c    *stats.Counters
 	bld  *align.Builder
 
-	// baseBuf is the pre-reserved Base Case buffer of BM entries (paper §3:
-	// "Prior to running FastLSA, BM units of memory are reserved").
-	baseBuf []int64
-	pool    *memory.RowPool
+	// baseRect is the pre-reserved Base Case plane set of BM entries per live
+	// plane (paper §3: "Prior to running FastLSA, BM units of memory are
+	// reserved"), drawn from the row pool and recycled on close.
+	baseRect   kernel.Rect
+	baseCharge int64
 }
 
-func newSolver(a, b *seq.Sequence, m *scoring.Matrix, g int64, opt resolved) (*solver, error) {
-	if err := opt.budget.Reserve(int64(opt.baseCells)); err != nil {
-		return nil, fmt.Errorf("core: base case buffer of %d entries: %w", opt.baseCells, err)
+func newSolver(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, mod kernel.Model, opt resolved) (*solver, error) {
+	charge := int64(mod.Planes()) * int64(opt.baseCells)
+	if err := opt.budget.Reserve(charge); err != nil {
+		return nil, fmt.Errorf("core: base case buffer of %d entries: %w", charge, err)
+	}
+	k := kernel.New(m, mod, opt.pool, opt.c)
+	rt := kernel.Rect{H: opt.pool.GetFull(opt.baseCells)}
+	if mod.IsAffine() {
+		rt.E = opt.pool.GetFull(opt.baseCells)
+		rt.F = opt.pool.GetFull(opt.baseCells)
 	}
 	return &solver{
-		a:       a.Residues,
-		b:       b.Residues,
-		m:       m,
-		g:       g,
-		opt:     opt,
-		c:       opt.c,
-		bld:     align.NewBuilder(a.Len() + b.Len()),
-		baseBuf: make([]int64, opt.baseCells),
-		pool:    memory.NewRowPool(),
+		a:          a.Residues,
+		b:          b.Residues,
+		m:          m,
+		gap:        gap,
+		k:          k,
+		opt:        opt,
+		c:          opt.c,
+		bld:        align.NewBuilder(a.Len() + b.Len()),
+		baseRect:   rt,
+		baseCharge: charge,
 	}, nil
 }
 
 func (s *solver) close() {
-	s.opt.budget.Release(int64(s.opt.baseCells))
-	s.baseBuf = nil
+	s.opt.budget.Release(s.baseCharge)
+	s.opt.pool.Put(s.baseRect.H)
+	s.opt.pool.Put(s.baseRect.E)
+	s.opt.pool.Put(s.baseRect.F)
+	s.baseRect = kernel.Rect{}
 }
 
 // run solves the whole problem: build the initial boundaries, recurse, then
@@ -83,10 +107,12 @@ func (s *solver) close() {
 // optimal path can then be extended to the top-left entry").
 func (s *solver) run() (Result, error) {
 	mlen, nlen := len(s.a), len(s.b)
-	top := lastrow.Boundary(nil, nlen, 0, s.g)
-	left := lastrow.Boundary(nil, mlen, 0, s.g)
+	top := s.k.LeadEdge(nlen, 0)
+	left := s.k.LeadEdge(mlen, 0)
+	defer s.k.PutEdge(top)
+	defer s.k.PutEdge(left)
 
-	er, ec, err := s.solve(rect{0, 0, mlen, nlen}, top, left)
+	er, ec, _, err := s.solve(rect{0, 0, mlen, nlen}, top, left, kernel.StateH)
 	if err != nil {
 		return Result{}, err
 	}
@@ -103,25 +129,28 @@ func (s *solver) run() (Result, error) {
 	score := align.ScorePath(
 		&seq.Sequence{Residues: s.a},
 		&seq.Sequence{Residues: s.b},
-		path, s.m, scoring.Linear(int(s.g)))
+		path, s.m, s.gap)
 	return Result{Score: score, Path: path}, nil
 }
 
 // solve extends the optimal path from the bottom-right node of t backwards
 // until the path head reaches node row t.r0 or node column t.c0, returning
-// the exit node. top and left hold the boundary values of node row t.r0
-// (len cols+1) and node column t.c0 (len rows+1). Moves are pushed on s.bld
-// in trace (backward) order — the Builder equivalent of the paper's
-// "prepend to flsaPath".
-func (s *solver) solve(t rect, top, left []int64) (exitR, exitC int, err error) {
+// the exit node and the traceback state there. top and left hold the boundary
+// edges of node row t.r0 (lanes of len cols+1) and node column t.c0 (len
+// rows+1). The state threads affine gaps across subproblem boundaries — a gap
+// can span several blocks, and the traceback must resume inside it; linear
+// runs stay in kernel.StateH throughout. Moves are pushed on s.bld in trace
+// (backward) order — the Builder equivalent of the paper's "prepend to
+// flsaPath".
+func (s *solver) solve(t rect, top, left kernel.Edge, state int) (exitR, exitC, exitState int, err error) {
 	if err := s.c.Cancelled(); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	rows, cols := t.rows(), t.cols()
 
 	// Degenerate strips: the path is forced along the boundary.
 	if rows == 0 || cols == 0 {
-		return t.r1, t.c1, nil
+		return t.r1, t.c1, state, nil
 	}
 
 	// BASE CASE (Figure 2 lines 1-2): the subproblem's DPM fits in the Base
@@ -130,7 +159,7 @@ func (s *solver) solve(t rect, top, left []int64) (exitR, exitC int, err error) 
 	// line, so treating them as base cases costs linear memory but avoids a
 	// degenerate k-way split.
 	if (rows+1)*(cols+1) <= s.opt.baseCells || rows == 1 || cols == 1 {
-		return s.baseCase(t, top, left)
+		return s.baseCase(t, top, left, state)
 	}
 
 	// GENERAL CASE (Figure 2 lines 3-15).
@@ -143,15 +172,15 @@ func (s *solver) solve(t rect, top, left []int64) (exitR, exitC int, err error) 
 		k = cols
 	}
 
-	grid, err := newGrid(t, k, top, left, s.opt.budget)
+	grid, err := newGrid(t, k, top, left, s.k.Mod.IsAffine(), s.opt.budget)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	defer grid.free()
 	s.c.ObserveGridEntries(s.opt.budget.Used())
 
 	if err := s.fillGridCache(grid); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 
 	// Walk the path through the blocks, bottom-right to top-left. The first
@@ -161,12 +190,12 @@ func (s *solver) solve(t rect, top, left []int64) (exitR, exitC int, err error) 
 	for hr > t.r0 && hc > t.c0 {
 		u, v := grid.blockOf(hr, hc)
 		sub := rect{r0: grid.rs[u], c0: grid.cs[v], r1: hr, c1: hc}
-		hr, hc, err = s.solve(sub, grid.inputRow(u, v, hc), grid.inputCol(u, v, hr))
+		hr, hc, state, err = s.solve(sub, grid.inputRow(u, v, hc), grid.inputCol(u, v, hr), state)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 	}
-	return hr, hc, nil
+	return hr, hc, state, nil
 }
 
 // fillGridCache computes every block of the grid except the bottom-right
@@ -192,10 +221,10 @@ func (s *solver) fillGridCache(grid *gridCache) error {
 	return nil
 }
 
-// fillBlock computes block (u, v) with the LastRow kernel and stores its
-// bottom row into grid.rows[u+1] and right column into grid.cols[v+1]
-// (segments owned by this block: left/top endpoints excluded, they belong to
-// the neighbouring blocks).
+// fillBlock computes block (u, v) with a kernel sweep and stores its bottom
+// row into grid.rows[u+1] and right column into grid.cols[v+1] (segments
+// owned by this block: left/top endpoints excluded, they belong to the
+// neighbouring blocks).
 func (s *solver) fillBlock(grid *gridCache, u, v int) error {
 	t, k := grid.t, grid.k
 	br := grid.blockRect(u, v)
@@ -203,56 +232,60 @@ func (s *solver) fillBlock(grid *gridCache, u, v int) error {
 	left := grid.inputCol(u, v, br.r1)
 
 	segCols, segRows := br.cols(), br.rows()
-	outRow := s.pool.GetFull(segCols + 1)
-	outCol := s.pool.GetFull(segRows + 1)
-	defer s.pool.Put(outRow)
-	defer s.pool.Put(outCol)
+	outRow := s.k.NewEdge(segCols)
+	outCol := s.k.NewEdge(segRows)
+	defer s.k.PutEdge(outRow)
+	defer s.k.PutEdge(outCol)
 
-	if err := lastrow.Forward(s.a[br.r0:br.r1], s.b[br.c0:br.c1], s.m, s.g,
-		top, left, outRow, outCol, s.c); err != nil {
+	if err := s.k.Forward(s.a[br.r0:br.r1], s.b[br.c0:br.c1], top, left, outRow, outCol); err != nil {
 		return err
 	}
 	if u+1 < k {
-		dst := grid.rows[u+1][br.c0-t.c0:]
-		copy(dst[1:segCols+1], outRow[1:])
+		off := br.c0 - t.c0
+		copy(grid.rows[u+1].H[off+1:off+segCols+1], outRow.H[1:])
+		if outRow.G != nil {
+			copy(grid.rows[u+1].G[off+1:off+segCols+1], outRow.G[1:])
+		}
 	}
 	if v+1 < k {
-		dst := grid.cols[v+1][br.r0-t.r0:]
-		copy(dst[1:segRows+1], outCol[1:])
+		off := br.r0 - t.r0
+		copy(grid.cols[v+1].H[off+1:off+segRows+1], outCol.H[1:])
+		if outCol.G != nil {
+			copy(grid.cols[v+1].G[off+1:off+segRows+1], outCol.G[1:])
+		}
 	}
 	return nil
 }
 
 // baseCase solves subproblem t with the full-matrix algorithm using the
-// pre-reserved buffer (Figure 3(a)/(b)) and traces the path from the
+// pre-reserved planes (Figure 3(a)/(b)) and traces the path from the
 // bottom-right corner to the top or left boundary. Oversized thin strips
 // fall back to a dedicated budget reservation.
-func (s *solver) baseCase(t rect, top, left []int64) (exitR, exitC int, err error) {
+func (s *solver) baseCase(t rect, top, left kernel.Edge, state int) (exitR, exitC, exitState int, err error) {
 	s.c.AddBaseCase()
 	rows, cols := t.rows(), t.cols()
 	entries := (rows + 1) * (cols + 1)
 
-	buf := s.baseBuf
-	if entries > len(buf) {
-		if err := s.opt.budget.Reserve(int64(entries)); err != nil {
-			return 0, 0, fmt.Errorf("core: thin-strip base case %s: %w", t, err)
+	rt := s.baseRect
+	if entries > len(rt.H) {
+		charge := int64(s.k.Mod.Planes()) * int64(entries)
+		if err := s.opt.budget.Reserve(charge); err != nil {
+			return 0, 0, 0, fmt.Errorf("core: thin-strip base case %s: %w", t, err)
 		}
-		defer s.opt.budget.Release(int64(entries))
-		buf = make([]int64, entries)
+		defer s.opt.budget.Release(charge)
+		rt = s.k.MakeRect(entries)
 	} else {
-		buf = buf[:entries]
+		rt = rt.SliceRect(entries)
 	}
 
 	ra, rb := s.a[t.r0:t.r1], s.b[t.c0:t.c1]
 	if s.opt.workers > 1 && rows*cols >= s.opt.parMinArea {
-		if err := s.fillRectParallel(ra, rb, top, left, buf); err != nil {
-			return 0, 0, err
+		if err := s.fillRectParallel(ra, rb, top, left, rt); err != nil {
+			return 0, 0, 0, err
 		}
-	} else {
-		if err := fm.FillRect(ra, rb, s.m, s.g, top, left, buf, s.c); err != nil {
-			return 0, 0, err
-		}
+	} else if err := s.k.FillRect(ra, rb, top, left, rt); err != nil {
+		return 0, 0, 0, err
 	}
-	lr, lc := fm.TracebackRect(ra, rb, s.m, s.g, buf, s.bld, rows, cols, s.c)
-	return t.r0 + lr, t.c0 + lc, nil
+	lr, lc, st := s.k.Traceback(ra, rb, rt, s.bld, rows, cols, state)
+	return t.r0 + lr, t.c0 + lc, st, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"fastlsa/internal/kernel"
 	"fastlsa/internal/memory"
 )
 
@@ -24,16 +25,21 @@ func (t rect) String() string {
 }
 
 // gridCache holds the cached DPM lines of one general-case invocation
-// (Figure 3(c)/(d)): the k block-boundary row lines rs[0..k-1] and column
-// lines cs[0..k-1] of the subproblem. Line 0 of each direction is a copy of
-// the input cache; lines rs[k] == r1 and cs[k] == c1 are never stored (the
-// paper's grid stores k lines per dimension, not k+1).
+// (Figure 3(c)/(d)): the k block-boundary row lines rows[0..k-1] and column
+// lines cols[0..k-1] of the subproblem. Line 0 of each direction is a copy
+// of the input cache; lines at rs[k] == r1 and cs[k] == c1 are never stored
+// (the paper's grid stores k lines per dimension, not k+1).
+//
+// The line type is kernel.Edge, so the same grid serves both gap models:
+// linear lines carry only the H lane; affine row lines carry (H, E) and
+// column lines (H, F) — a gap can cross a grid line and the traceback must
+// be able to resume inside it — doubling the footprint.
 type gridCache struct {
 	t      rect
 	k      int
-	rs, cs []int     // k+1 absolute node boundaries per dimension
-	rows   [][]int64 // k lines; rows[i][j] = DPM value at node (rs[i], c0+j)
-	cols   [][]int64 // k lines; cols[j][i] = DPM value at node (r0+i, cs[j])
+	rs, cs []int         // k+1 absolute node boundaries per dimension
+	rows   []kernel.Edge // k lines; rows[i].H[j] = value at node (rs[i], c0+j)
+	cols   []kernel.Edge // k lines; cols[j].H[i] = value at node (r0+i, cs[j])
 
 	entries int64 // budget charge
 	budget  *memory.Budget
@@ -52,10 +58,11 @@ func splitBoundaries(lo, hi, k int) []int {
 }
 
 // newGrid allocates and initialises the grid cache for the general case of
-// subproblem t (allocateGrid + initializeGrid of Figure 2). cacheRow spans
-// node row r0 (len cols+1), cacheCol node column c0 (len rows+1). The
-// allocation is charged to the budget and must be returned with free.
-func newGrid(t rect, k int, cacheRow, cacheCol []int64, budget *memory.Budget) (*gridCache, error) {
+// subproblem t (allocateGrid + initializeGrid of Figure 2). top spans node
+// row r0 (lanes of len cols+1), left node column c0 (len rows+1); affine
+// selects two lanes per line. The allocation is charged to the budget and
+// must be returned with free.
+func newGrid(t rect, k int, top, left kernel.Edge, affine bool, budget *memory.Budget) (*gridCache, error) {
 	rows, cols := t.rows(), t.cols()
 	g := &gridCache{
 		t:      t,
@@ -64,28 +71,48 @@ func newGrid(t rect, k int, cacheRow, cacheCol []int64, budget *memory.Budget) (
 		cs:     splitBoundaries(t.c0, t.c1, k),
 		budget: budget,
 	}
-	g.entries = int64(k)*int64(cols+1) + int64(k)*int64(rows+1)
+	lanes := int64(1)
+	if affine {
+		lanes = 2
+	}
+	g.entries = lanes * (int64(k)*int64(cols+1) + int64(k)*int64(rows+1))
 	if err := budget.Reserve(g.entries); err != nil {
 		return nil, fmt.Errorf("core: grid cache for %s (k=%d, %d entries): %w", t, k, g.entries, err)
 	}
 	// One backing array per direction keeps the allocation count flat.
-	rowBack := make([]int64, k*(cols+1))
-	colBack := make([]int64, k*(rows+1))
-	g.rows = make([][]int64, k)
-	g.cols = make([][]int64, k)
+	rowBack := make([]int64, int(lanes)*k*(cols+1))
+	colBack := make([]int64, int(lanes)*k*(rows+1))
+	g.rows = make([]kernel.Edge, k)
+	g.cols = make([]kernel.Edge, k)
 	for i := 0; i < k; i++ {
-		g.rows[i], rowBack = rowBack[:cols+1:cols+1], rowBack[cols+1:]
-		g.cols[i], colBack = colBack[:rows+1:rows+1], colBack[rows+1:]
+		g.rows[i].H, rowBack = rowBack[:cols+1:cols+1], rowBack[cols+1:]
+		g.cols[i].H, colBack = colBack[:rows+1:rows+1], colBack[rows+1:]
+		if affine {
+			g.rows[i].G, rowBack = rowBack[:cols+1:cols+1], rowBack[cols+1:]
+			g.cols[i].G, colBack = colBack[:rows+1:rows+1], colBack[rows+1:]
+		}
 	}
-	copy(g.rows[0], cacheRow)
-	copy(g.cols[0], cacheCol)
+	copy(g.rows[0].H, top.H)
+	copy(g.cols[0].H, left.H)
+	if affine {
+		copy(g.rows[0].G, top.G)
+		copy(g.cols[0].G, left.G)
+	}
 	// Left endpoints of deeper row lines sit on the subproblem's left
-	// boundary; top endpoints of deeper column lines on its top boundary.
+	// boundary; top endpoints of deeper column lines on its top boundary. The
+	// crossing gap lane is dead there (an E lane cannot be live on a column
+	// boundary, nor F on a row boundary).
 	for i := 1; i < k; i++ {
-		g.rows[i][0] = cacheCol[g.rs[i]-t.r0]
+		g.rows[i].H[0] = left.H[g.rs[i]-t.r0]
+		if affine {
+			g.rows[i].G[0] = kernel.NegInf
+		}
 	}
 	for j := 1; j < k; j++ {
-		g.cols[j][0] = cacheRow[g.cs[j]-t.c0]
+		g.cols[j].H[0] = top.H[g.cs[j]-t.c0]
+		if affine {
+			g.cols[j].G[0] = kernel.NegInf
+		}
 	}
 	return g, nil
 }
@@ -121,17 +148,35 @@ func findSegment(bs []int, x int) int {
 	return lo
 }
 
+// sliceEdge re-slices every live lane of e to n+1 entries.
+func sliceEdge(e kernel.Edge, n int) kernel.Edge {
+	out := kernel.Edge{H: e.H[:n+1]}
+	if e.G != nil {
+		out.G = e.G[:n+1]
+	}
+	return out
+}
+
+// offsetEdge re-slices every live lane of e to [lo..hi].
+func offsetEdge(e kernel.Edge, lo, hi int) kernel.Edge {
+	out := kernel.Edge{H: e.H[lo : hi+1]}
+	if e.G != nil {
+		out.G = e.G[lo : hi+1]
+	}
+	return out
+}
+
 // inputRow returns the cached top-boundary row for the subproblem with
 // top-left block corner (u, v) and bottom-right node (r, c): node row rs[u]
 // over columns cs[v]..c.
-func (g *gridCache) inputRow(u, v, c int) []int64 {
-	return g.rows[u][g.cs[v]-g.t.c0 : c-g.t.c0+1]
+func (g *gridCache) inputRow(u, v, c int) kernel.Edge {
+	return offsetEdge(g.rows[u], g.cs[v]-g.t.c0, c-g.t.c0)
 }
 
 // inputCol returns the cached left-boundary column: node column cs[v] over
 // rows rs[u]..r.
-func (g *gridCache) inputCol(u, v, r int) []int64 {
-	return g.cols[v][g.rs[u]-g.t.r0 : r-g.t.r0+1]
+func (g *gridCache) inputCol(u, v, r int) kernel.Edge {
+	return offsetEdge(g.cols[v], g.rs[u]-g.t.r0, r-g.t.r0)
 }
 
 // blockRect returns block (u, v) as a rect.

@@ -4,7 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"fastlsa/internal/lastrow"
+	"fastlsa/internal/kernel"
 	"fastlsa/internal/memory"
 )
 
@@ -109,13 +109,13 @@ func TestClampSubAndMinSegment(t *testing.T) {
 
 func TestGridCacheLayout(t *testing.T) {
 	tr := rect{r0: 10, c0: 20, r1: 30, c1: 60}
-	top := lastrow.Boundary(nil, tr.cols(), 5, -1)  // arbitrary values
-	left := lastrow.Boundary(nil, tr.rows(), 5, -2) // corner matches top[0]
+	top := kernel.Edge{H: kernel.Boundary(nil, tr.cols(), 5, -1)}  // arbitrary values
+	left := kernel.Edge{H: kernel.Boundary(nil, tr.rows(), 5, -2)} // corner matches top[0]
 	budget, err := memory.NewBudget(1 << 20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, err := newGrid(tr, 4, top, left, budget)
+	g, err := newGrid(tr, 4, top, left, false, budget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,22 +124,26 @@ func TestGridCacheLayout(t *testing.T) {
 		t.Fatalf("boundaries rs=%v cs=%v", g.rs, g.cs)
 	}
 	// Row 0 / col 0 are copies of the inputs.
-	for i := range top {
-		if g.rows[0][i] != top[i] {
+	for i := range top.H {
+		if g.rows[0].H[i] != top.H[i] {
 			t.Fatal("rows[0] not initialised from cacheRow")
 		}
 	}
-	for i := range left {
-		if g.cols[0][i] != left[i] {
+	for i := range left.H {
+		if g.cols[0].H[i] != left.H[i] {
 			t.Fatal("cols[0] not initialised from cacheColumn")
 		}
 	}
+	// Linear grids carry no gap lanes.
+	if g.rows[0].G != nil || g.cols[0].G != nil {
+		t.Fatal("linear grid allocated gap lanes")
+	}
 	// Deeper lines carry the boundary intersections at position 0.
 	for i := 1; i < 4; i++ {
-		if g.rows[i][0] != left[g.rs[i]-tr.r0] {
-			t.Fatalf("rows[%d][0] = %d, want %d", i, g.rows[i][0], left[g.rs[i]-tr.r0])
+		if g.rows[i].H[0] != left.H[g.rs[i]-tr.r0] {
+			t.Fatalf("rows[%d][0] = %d, want %d", i, g.rows[i].H[0], left.H[g.rs[i]-tr.r0])
 		}
-		if g.cols[i][0] != top[g.cs[i]-tr.c0] {
+		if g.cols[i].H[0] != top.H[g.cs[i]-tr.c0] {
 			t.Fatalf("cols[%d][0] mismatch", i)
 		}
 	}
@@ -153,7 +157,7 @@ func TestGridCacheLayout(t *testing.T) {
 		t.Fatalf("grid free leaked %d", budget.Used())
 	}
 	// blockOf / blockRect / input slices are consistent.
-	g2, err := newGrid(tr, 4, top, left, nil)
+	g2, err := newGrid(tr, 4, top, left, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,24 +170,66 @@ func TestGridCacheLayout(t *testing.T) {
 		t.Fatalf("blockRect = %v", br)
 	}
 	row := g2.inputRow(0, 0, g2.cs[1])
-	if len(row) != g2.cs[1]-tr.c0+1 {
-		t.Fatalf("inputRow len = %d", len(row))
+	if len(row.H) != g2.cs[1]-tr.c0+1 {
+		t.Fatalf("inputRow len = %d", len(row.H))
 	}
 	col := g2.inputCol(0, 0, g2.rs[1])
-	if len(col) != g2.rs[1]-tr.r0+1 {
-		t.Fatalf("inputCol len = %d", len(col))
+	if len(col.H) != g2.rs[1]-tr.r0+1 {
+		t.Fatalf("inputCol len = %d", len(col.H))
+	}
+}
+
+// TestGridCacheLayoutAffine pins the two-lane layout: doubled budget charge,
+// G lanes copied from the inputs on line 0, and dead (NegInf) gap lanes at
+// the crossing endpoints of deeper lines.
+func TestGridCacheLayoutAffine(t *testing.T) {
+	tr := rect{r0: 0, c0: 0, r1: 12, c1: 16}
+	top := kernel.Edge{
+		H: kernel.Boundary(nil, tr.cols(), 0, -2),
+		G: kernel.Boundary(nil, tr.cols(), -7, -2),
+	}
+	left := kernel.Edge{
+		H: kernel.Boundary(nil, tr.rows(), 0, -3),
+		G: kernel.Boundary(nil, tr.rows(), -7, -3),
+	}
+	budget, err := memory.NewBudget(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := newGrid(tr, 4, top, left, true, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.free()
+	wantEntries := int64(2 * (4*(tr.cols()+1) + 4*(tr.rows()+1)))
+	if g.entries != wantEntries || budget.Used() != wantEntries {
+		t.Fatalf("affine entries = %d (budget %d), want %d", g.entries, budget.Used(), wantEntries)
+	}
+	for i := range top.G {
+		if g.rows[0].G[i] != top.G[i] {
+			t.Fatal("rows[0].G not initialised from the input edge")
+		}
+	}
+	for i := 1; i < 4; i++ {
+		if g.rows[i].G[0] != kernel.NegInf || g.cols[i].G[0] != kernel.NegInf {
+			t.Fatalf("deeper line %d: crossing gap lane not dead", i)
+		}
+	}
+	row := g.inputRow(1, 1, g.cs[2])
+	if len(row.G) != len(row.H) {
+		t.Fatalf("affine inputRow lanes disagree: %d vs %d", len(row.G), len(row.H))
 	}
 }
 
 func TestGridBudgetRejection(t *testing.T) {
 	tr := rect{r0: 0, c0: 0, r1: 100, c1: 100}
-	top := lastrow.Boundary(nil, 100, 0, -1)
-	left := lastrow.Boundary(nil, 100, 0, -1)
+	top := kernel.Edge{H: kernel.Boundary(nil, 100, 0, -1)}
+	left := kernel.Edge{H: kernel.Boundary(nil, 100, 0, -1)}
 	budget, err := memory.NewBudget(10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := newGrid(tr, 8, top, left, budget); err == nil {
+	if _, err := newGrid(tr, 8, top, left, false, budget); err == nil {
 		t.Fatal("grid must be rejected by a 10-entry budget")
 	}
 	if budget.Used() != 0 {

@@ -4,33 +4,34 @@ import (
 	"fmt"
 
 	"fastlsa/internal/fm"
+	"fastlsa/internal/kernel"
 	"fastlsa/internal/scoring"
 	"fastlsa/internal/seq"
-	"fastlsa/internal/stats"
 )
 
 // AlignLocal computes an optimal Smith-Waterman local alignment in
 // FastLSA-bounded space (an extension exercising FastLSA as a subroutine,
 // in the style of Huang's linear-space local alignment):
 //
-//  1. a score-only Smith-Waterman row scan locates the optimal end cell,
+//  1. a score-only Smith-Waterman scan locates the optimal end cell,
 //  2. a second score-only scan over the reversed prefixes locates the start,
 //  3. FastLSA globally aligns the two delimited substrings (the optimal
 //     local alignment is a global alignment of them).
 //
-// Only the two O(min(m,n)) scan rows plus FastLSA's own footprint are live;
-// the full Smith-Waterman matrix is never stored. Linear gap models only.
+// Only the O(min(m,n)) scan rows plus FastLSA's own footprint are live; the
+// full Smith-Waterman matrix is never stored. Both gap models are supported
+// (the scans and the global solve share the gap-generic kernel).
 func AlignLocal(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, opt Options) (fm.LocalResult, error) {
 	if err := gap.Validate(); err != nil {
 		return fm.LocalResult{}, err
 	}
-	if !gap.IsLinear() {
-		return fm.LocalResult{}, fmt.Errorf("core: AlignLocal: affine gaps not supported by the local variant (use linear)")
+	r, err := opt.resolve()
+	if err != nil {
+		return fm.LocalResult{}, err
 	}
-	g := int64(gap.Extend)
-	c := opt.Counters
+	k := kernel.New(m, kernel.FromGap(gap), r.pool, r.c)
 
-	best, endR, endC, err := swScan(a.Residues, b.Residues, m, g, c)
+	best, endR, endC, err := k.LocalScore(a.Residues, b.Residues)
 	if err != nil {
 		return fm.LocalResult{}, err
 	}
@@ -40,10 +41,10 @@ func AlignLocal(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, opt Opti
 
 	// Reverse scan over the prefixes ending at the end cell. The best cell of
 	// the reversed problem is the start of the local alignment; it must reach
-	// the same score.
+	// the same score (gap costs are reversal-invariant under both models).
 	ra := reverseBytes(a.Residues[:endR])
 	rb := reverseBytes(b.Residues[:endC])
-	rbest, rR, rC, err := swScan(ra, rb, m, g, c)
+	rbest, rR, rC, err := k.LocalScore(ra, rb)
 	if err != nil {
 		return fm.LocalResult{}, err
 	}
@@ -67,48 +68,6 @@ func AlignLocal(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, opt Opti
 		StartA: startR, EndA: endR,
 		StartB: startC, EndB: endC,
 	}, nil
-}
-
-// swScan is the score-only Smith-Waterman pass: one row of DP values,
-// returning the maximum cell value and its position (first maximum in
-// row-major order, matching fm.AlignLocal's tie-break).
-func swScan(a, b []byte, m *scoring.Matrix, g int64, c *stats.Counters) (best int64, bestR, bestC int, err error) {
-	n := len(b)
-	row := make([]int64, n+1)
-	stride := stats.PollStride(n)
-	for r := 1; r <= len(a); r++ {
-		if r%stride == 0 {
-			if cerr := c.Cancelled(); cerr != nil {
-				return 0, 0, 0, cerr
-			}
-		}
-		srow := m.Row(a[r-1])
-		diag := row[0]
-		rv := int64(0)
-		row[0] = 0
-		for j := 1; j <= n; j++ {
-			up := row[j]
-			v := diag + int64(srow[b[j-1]])
-			if x := up + g; x > v {
-				v = x
-			}
-			if x := rv + g; x > v {
-				v = x
-			}
-			if v < 0 {
-				v = 0
-			}
-			row[j] = v
-			rv = v
-			diag = up
-			if v > best {
-				best = v
-				bestR, bestC = r, j
-			}
-		}
-	}
-	c.AddCells(int64(len(a)) * int64(n))
-	return best, bestR, bestC, nil
 }
 
 func reverseBytes(s []byte) []byte {

@@ -76,10 +76,27 @@ func TestAlignLocalNoPositive(t *testing.T) {
 	}
 }
 
-func TestAlignLocalRejectsAffine(t *testing.T) {
-	a, b := testutil.RandomPair(5, 5, seq.DNA, 1)
-	if _, err := core.AlignLocal(a, b, scoring.DNASimple, scoring.Affine(-5, -1), core.Options{}); err == nil {
-		t.Fatal("affine local must be rejected")
+// TestAlignLocalAffineMatchesFM: the affine local path agrees with the
+// full-matrix Smith-Waterman-Gotoh reference on score and endpoints.
+func TestAlignLocalAffineMatchesFM(t *testing.T) {
+	gap := scoring.Affine(-5, -1)
+	for seed := int64(0); seed < 6; seed++ {
+		a, b := testutil.RandomPair(int(seed*11%70)+1, int(seed*17%65)+1, seq.DNA, seed+77)
+		m := testutil.RandomMatrix(seq.DNA, seed+77)
+		want, err := fm.AlignLocal(a, b, m, gap, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := core.AlignLocal(a, b, m, gap, core.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != want.Score {
+			t.Fatalf("seed %d: affine local score %d, fm %d", seed, got.Score, want.Score)
+		}
+		if got.Score > 0 && (got.EndA != want.EndA || got.EndB != want.EndB) {
+			t.Fatalf("seed %d: end (%d,%d), fm end (%d,%d)", seed, got.EndA, got.EndB, want.EndA, want.EndB)
+		}
 	}
 }
 

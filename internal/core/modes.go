@@ -5,18 +5,18 @@ import (
 
 	"fastlsa/internal/align"
 	"fastlsa/internal/fm"
-	"fastlsa/internal/lastrow"
+	"fastlsa/internal/kernel"
 	"fastlsa/internal/scoring"
 	"fastlsa/internal/seq"
 )
 
 // AlignMode computes an optimal ends-free alignment (align.Mode) in
-// FastLSA-bounded space. The end node cannot be read off a stored matrix,
-// so the engine first runs one score-only LastRow sweep to obtain the last
-// row and column (O(m+n) space), picks the mode's best end node from them,
-// and then lets the FastLSA recursion recover the path through the clipped
-// rectangle — the same "locate, then solve the sub-rectangle with FastLSA"
-// pattern as AlignLocal. Linear and affine gap models are supported.
+// FastLSA-bounded space, under either gap model. The end node cannot be read
+// off a stored matrix, so the engine first runs one score-only kernel sweep
+// to obtain the last row and column (O(m+n) space), picks the mode's best end
+// node from them, and then lets the FastLSA recursion recover the path
+// through the clipped rectangle — the same "locate, then solve the
+// sub-rectangle with FastLSA" pattern as AlignLocal.
 //
 // Total work is ~(1 + recomputation factor) * m*n cells: one sweep plus the
 // FastLSA solve.
@@ -27,34 +27,33 @@ func AlignMode(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, md align.
 	if md.IsGlobal() {
 		return Align(a, b, m, gap, opt)
 	}
-	if !gap.IsLinear() {
-		return alignModeAffine(a, b, m, gap, md, opt)
-	}
 	r, err := opt.resolve()
 	if err != nil {
 		return Result{}, err
 	}
-	g := int64(gap.Extend)
-	mlen, nlen := a.Len(), b.Len()
-
-	top := fm.ModeTopBoundary(nil, nlen, g, md)
-	left := fm.ModeLeftBoundary(nil, mlen, g, md)
-
-	// Sweep 1: last row and last column under the mode boundaries.
-	lastRow := make([]int64, nlen+1)
-	lastCol := make([]int64, mlen+1)
-	if err := lastrow.Forward(a.Residues, b.Residues, m, g, top, left, lastRow, lastCol, r.c); err != nil {
-		return Result{}, err
-	}
-	endR, endC, score := fm.ModeEndFromEdges(lastRow, lastCol, md)
-
-	// Sweep 2: FastLSA over the clipped rectangle [0..endR] x [0..endC].
-	s, err := newSolver(a, b, m, g, r)
+	s, err := newSolver(a, b, m, gap, kernel.FromGap(gap), r)
 	if err != nil {
 		return Result{}, err
 	}
 	defer s.close()
+	mlen, nlen := a.Len(), b.Len()
 
+	top := s.k.ModeEdge(nlen, md.FreeStartB)
+	left := s.k.ModeEdge(mlen, md.FreeStartA)
+	defer s.k.PutEdge(top)
+	defer s.k.PutEdge(left)
+
+	// Sweep 1: last row and last column under the mode boundaries.
+	lastRow := s.k.NewEdge(nlen)
+	lastCol := s.k.NewEdge(mlen)
+	defer s.k.PutEdge(lastRow)
+	defer s.k.PutEdge(lastCol)
+	if err := s.k.Forward(a.Residues, b.Residues, top, left, lastRow, lastCol); err != nil {
+		return Result{}, err
+	}
+	endR, endC, score := fm.ModeEndFromEdges(lastRow.H, lastCol.H, md)
+
+	// Sweep 2: FastLSA over the clipped rectangle [0..endR] x [0..endC].
 	// Free trailing moves lie after the path head; push them first.
 	for i := mlen; i > endR; i-- {
 		s.bld.Push(align.Up)
@@ -62,7 +61,8 @@ func AlignMode(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, md align.
 	for j := nlen; j > endC; j-- {
 		s.bld.Push(align.Left)
 	}
-	er, ec, err := s.solve(rect{0, 0, endR, endC}, top[:endC+1], left[:endR+1])
+	er, ec, _, err := s.solve(rect{0, 0, endR, endC},
+		sliceEdge(top, endC), sliceEdge(left, endR), kernel.StateH)
 	if err != nil {
 		return Result{}, err
 	}
@@ -76,61 +76,8 @@ func AlignMode(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, md align.
 	if err := path.Validate(mlen, nlen); err != nil {
 		return Result{}, fmt.Errorf("core: mode path is inconsistent: %w", err)
 	}
-	if got := align.ScorePathMode(a, b, path, m, scoring.Linear(int(g)), md); got != score {
-		return Result{}, fmt.Errorf("core: mode path rescoring %d != DP score %d (internal invariant)", got, score)
-	}
-	return Result{Score: score, Path: path}, nil
-}
-
-// alignModeAffine is the affine counterpart: an affine LastRow sweep with
-// mode boundaries locates the end node, then the affine FastLSA solver
-// recovers the path through the clipped rectangle.
-func alignModeAffine(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, md align.Mode, opt Options) (Result, error) {
-	r, err := opt.resolve()
-	if err != nil {
-		return Result{}, err
-	}
-	open, ext := int64(gap.Open), int64(gap.Extend)
-	mlen, nlen := a.Len(), b.Len()
-
-	topH, topE, leftH, leftF := fm.AffineModeBoundaries(mlen, nlen, open, ext, md)
-	lastRowH := make([]int64, nlen+1)
-	lastColH := make([]int64, mlen+1)
-	if err := lastrow.ForwardAffine(a.Residues, b.Residues, m, open, ext,
-		topH, topE, leftH, leftF, lastRowH, nil, lastColH, nil, r.c); err != nil {
-		return Result{}, err
-	}
-	endR, endC, score := fm.ModeEndFromEdges(lastRowH, lastColH, md)
-
-	s, err := newAffineSolver(a, b, m, open, ext, r)
-	if err != nil {
-		return Result{}, err
-	}
-	defer s.close()
-
-	for i := mlen; i > endR; i-- {
-		s.bld.Push(align.Up)
-	}
-	for j := nlen; j > endC; j-- {
-		s.bld.Push(align.Left)
-	}
-	er, ec, _, err := s.solve(rect{0, 0, endR, endC},
-		topH[:endC+1], topE[:endC+1], leftH[:endR+1], leftF[:endR+1], fm.StateH)
-	if err != nil {
-		return Result{}, err
-	}
-	for ; er > 0; er-- {
-		s.bld.Push(align.Up)
-	}
-	for ; ec > 0; ec-- {
-		s.bld.Push(align.Left)
-	}
-	path := s.bld.Path()
-	if err := path.Validate(mlen, nlen); err != nil {
-		return Result{}, fmt.Errorf("core: affine mode path is inconsistent: %w", err)
-	}
 	if got := align.ScorePathMode(a, b, path, m, gap, md); got != score {
-		return Result{}, fmt.Errorf("core: affine mode path rescoring %d != DP score %d (internal invariant)", got, score)
+		return Result{}, fmt.Errorf("core: mode path rescoring %d != DP score %d (internal invariant)", got, score)
 	}
 	return Result{Score: score, Path: path}, nil
 }

@@ -74,9 +74,17 @@ type Options struct {
 	// ParallelFillCells is the minimum subproblem area for a parallel fill
 	// (0 selects DefaultParallelFillCells).
 	ParallelFillCells int
+	// Pool supplies the recycled rows every fill draws its scratch vectors,
+	// boundary edges and base-case planes from (nil selects a process-wide
+	// shared pool). Pass a dedicated pool to isolate a run's allocations.
+	Pool *memory.RowPool
 	// Counters, when non-nil, accumulates instrumentation.
 	Counters *stats.Counters
 }
+
+// sharedPool is the process-wide default row pool used when Options.Pool is
+// nil, so repeated runs recycle scratch rows across calls.
+var sharedPool = memory.NewRowPool()
 
 // resolved is the validated, defaulted form of Options.
 type resolved struct {
@@ -87,6 +95,7 @@ type resolved struct {
 	tileRows   int
 	tileCols   int
 	parMinArea int
+	pool       *memory.RowPool
 	c          *stats.Counters
 }
 
@@ -99,7 +108,11 @@ func (o Options) resolve() (resolved, error) {
 		tileRows:   o.TileRows,
 		tileCols:   o.TileCols,
 		parMinArea: o.ParallelFillCells,
+		pool:       o.Pool,
 		c:          o.Counters,
+	}
+	if r.pool == nil {
+		r.pool = sharedPool
 	}
 	if r.k == 0 {
 		r.k = DefaultK

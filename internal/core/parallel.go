@@ -3,8 +3,7 @@ package core
 import (
 	"fmt"
 
-	"fastlsa/internal/lastrow"
-	"fastlsa/internal/stats"
+	"fastlsa/internal/kernel"
 	"fastlsa/internal/wavefront"
 )
 
@@ -13,11 +12,13 @@ import (
 // aligned with (a refinement of) the grid lines. Tiles are executed by P
 // workers in diagonal-wavefront order; the u x v tiles of the bottom-right
 // block are skipped. Inter-tile boundary values travel through a transient
-// "mesh" of R row lines and C column lines, charged to the budget and
-// released once the aligned lines have been copied into the grid cache.
+// "mesh" of R row lines and C column lines — one lane linear, two affine —
+// charged to the budget and released once the aligned lines have been copied
+// into the grid cache.
 func (s *solver) fillGridCacheParallel(grid *gridCache) error {
 	t, k := grid.t, grid.k
 	rows, cols := t.rows(), t.cols()
+	affine := s.k.Mod.IsAffine()
 
 	// Clamp the per-block subdivision so every tile is non-empty.
 	u := clampSub(s.opt.tileRows, minSegment(grid.rs))
@@ -32,26 +33,38 @@ func (s *solver) fillGridCacheParallel(grid *gridCache) error {
 	// spans node column tcs[j] (full height). Row/column 0 alias the grid's
 	// copies of the input caches; lines at indices >= R (resp. C) are never
 	// produced or consumed.
-	meshEntries := int64(R-1)*int64(cols+1) + int64(C-1)*int64(rows+1)
+	lanes := int64(1)
+	if affine {
+		lanes = 2
+	}
+	meshEntries := lanes * (int64(R-1)*int64(cols+1) + int64(C-1)*int64(rows+1))
 	if err := s.opt.budget.Reserve(meshEntries); err != nil {
 		return fmt.Errorf("core: parallel fill mesh (%dx%d tiles, %d entries): %w", R, C, meshEntries, err)
 	}
 	defer s.opt.budget.Release(meshEntries)
 	s.c.ObserveGridEntries(s.opt.budget.Used())
 
-	meshRows := make([][]int64, R)
-	meshCols := make([][]int64, C)
+	meshRows := make([]kernel.Edge, R)
+	meshCols := make([]kernel.Edge, C)
 	meshRows[0] = grid.rows[0]
 	meshCols[0] = grid.cols[0]
-	rowBack := make([]int64, (R-1)*(cols+1))
-	colBack := make([]int64, (C-1)*(rows+1))
+	rowBack := make([]int64, int(lanes)*(R-1)*(cols+1))
+	colBack := make([]int64, int(lanes)*(C-1)*(rows+1))
 	for i := 1; i < R; i++ {
-		meshRows[i], rowBack = rowBack[:cols+1:cols+1], rowBack[cols+1:]
-		meshRows[i][0] = grid.cols[0][trs[i]-t.r0]
+		meshRows[i].H, rowBack = rowBack[:cols+1:cols+1], rowBack[cols+1:]
+		meshRows[i].H[0] = grid.cols[0].H[trs[i]-t.r0]
+		if affine {
+			meshRows[i].G, rowBack = rowBack[:cols+1:cols+1], rowBack[cols+1:]
+			meshRows[i].G[0] = kernel.NegInf
+		}
 	}
 	for j := 1; j < C; j++ {
-		meshCols[j], colBack = colBack[:rows+1:rows+1], colBack[rows+1:]
-		meshCols[j][0] = grid.rows[0][tcs[j]-t.c0]
+		meshCols[j].H, colBack = colBack[:rows+1:rows+1], colBack[rows+1:]
+		meshCols[j].H[0] = grid.rows[0].H[tcs[j]-t.c0]
+		if affine {
+			meshCols[j].G, colBack = colBack[:rows+1:rows+1], colBack[rows+1:]
+			meshCols[j].G[0] = kernel.NegInf
+		}
 	}
 
 	skip := func(ti, tj int) bool { return ti >= (k-1)*u && tj >= (k-1)*v }
@@ -76,10 +89,16 @@ func (s *solver) fillGridCacheParallel(grid *gridCache) error {
 
 	// Copy the block-aligned mesh lines into the persistent grid cache.
 	for i := 1; i < k; i++ {
-		copy(grid.rows[i], meshRows[i*u])
+		copy(grid.rows[i].H, meshRows[i*u].H)
+		if affine {
+			copy(grid.rows[i].G, meshRows[i*u].G)
+		}
 	}
 	for j := 1; j < k; j++ {
-		copy(grid.cols[j], meshCols[j*v])
+		copy(grid.cols[j].H, meshCols[j*v].H)
+		if affine {
+			copy(grid.cols[j].G, meshCols[j*v].G)
+		}
 	}
 	return nil
 }
@@ -89,40 +108,45 @@ func (s *solver) fillGridCacheParallel(grid *gridCache) error {
 // boundary from meshCols[tj], and publishes its bottom row into
 // meshRows[ti+1] and right column into meshCols[tj+1] (excluding the
 // top/left endpoints, which the up-left neighbours own).
-func (s *solver) fillTile(t rect, trs, tcs []int, meshRows, meshCols [][]int64, ti, tj int) error {
+func (s *solver) fillTile(t rect, trs, tcs []int, meshRows, meshCols []kernel.Edge, ti, tj int) error {
 	r0, r1 := trs[ti], trs[ti+1]
 	c0, c1 := tcs[tj], tcs[tj+1]
 	segRows, segCols := r1-r0, c1-c0
 
-	top := meshRows[ti][c0-t.c0 : c1-t.c0+1]
-	left := meshCols[tj][r0-t.r0 : r1-t.r0+1]
+	top := offsetEdge(meshRows[ti], c0-t.c0, c1-t.c0)
+	left := offsetEdge(meshCols[tj], r0-t.r0, r1-t.r0)
 
-	outRow := s.pool.GetFull(segCols + 1)
-	outCol := s.pool.GetFull(segRows + 1)
-	defer s.pool.Put(outRow)
-	defer s.pool.Put(outCol)
+	outRow := s.k.NewEdge(segCols)
+	outCol := s.k.NewEdge(segRows)
+	defer s.k.PutEdge(outRow)
+	defer s.k.PutEdge(outCol)
 
-	if err := lastrow.Forward(s.a[r0:r1], s.b[c0:c1], s.m, s.g, top, left, outRow, outCol, s.c); err != nil {
+	if err := s.k.Forward(s.a[r0:r1], s.b[c0:c1], top, left, outRow, outCol); err != nil {
 		return err
 	}
 	if ti+1 < len(meshRows) {
-		dst := meshRows[ti+1][c0-t.c0:]
-		copy(dst[1:segCols+1], outRow[1:])
+		off := c0 - t.c0
+		copy(meshRows[ti+1].H[off+1:off+segCols+1], outRow.H[1:])
+		if outRow.G != nil {
+			copy(meshRows[ti+1].G[off+1:off+segCols+1], outRow.G[1:])
+		}
 	}
 	if tj+1 < len(meshCols) {
-		dst := meshCols[tj+1][r0-t.r0:]
-		copy(dst[1:segRows+1], outCol[1:])
+		off := r0 - t.r0
+		copy(meshCols[tj+1].H[off+1:off+segRows+1], outCol.H[1:])
+		if outCol.G != nil {
+			copy(meshCols[tj+1].G[off+1:off+segRows+1], outCol.G[1:])
+		}
 	}
 	s.c.AddFillTile()
 	return nil
 }
 
-// fillRectParallel is the Parallel Base Case of §5.2: the full matrix buf is
-// filled by P workers over an R x C wavefront tiling; the traceback that
+// fillRectParallel is the Parallel Base Case of §5.2: the stored plane set rt
+// is filled by P workers over an R x C wavefront tiling; the traceback that
 // follows is sequential (its cost is linear in the path length).
-func (s *solver) fillRectParallel(ra, rb []byte, top, left []int64, buf []int64) error {
+func (s *solver) fillRectParallel(ra, rb []byte, top, left kernel.Edge, rt kernel.Rect) error {
 	rows, cols := len(ra), len(rb)
-	stride := cols + 1
 
 	// Derive a tiling comparable to the fill-cache one.
 	R := s.opt.workers * 2
@@ -142,9 +166,8 @@ func (s *solver) fillRectParallel(ra, rb []byte, top, left []int64, buf []int64)
 	trs := splitBoundaries(0, rows, R)
 	tcs := splitBoundaries(0, cols, C)
 
-	copy(buf[:stride], top)
-	for r := 0; r <= rows; r++ {
-		buf[r*stride] = left[r]
+	if err := s.k.SeedRect(ra, rb, top, left, rt); err != nil {
+		return err
 	}
 
 	ph := wavefront.ClassifyPhases(R, C, s.opt.workers, nil)
@@ -157,7 +180,7 @@ func (s *solver) fillRectParallel(ra, rb []byte, top, left []int64, buf []int64)
 		Cols:    C,
 		Workers: s.opt.workers,
 		Exec: func(ti, tj int) error {
-			if err := s.fillBufRegion(ra, rb, buf, stride, trs[ti], trs[ti+1], tcs[tj], tcs[tj+1]); err != nil {
+			if err := s.k.FillRegion(ra, rb, rt, trs[ti], trs[ti+1], tcs[tj], tcs[tj+1]); err != nil {
 				return err
 			}
 			s.c.AddFillTile()
@@ -165,36 +188,6 @@ func (s *solver) fillRectParallel(ra, rb []byte, top, left []int64, buf []int64)
 		},
 	}
 	return wf.Run()
-}
-
-// fillBufRegion computes cells (r0+1..r1) x (c0+1..c1) of the stored matrix
-// in place, reading the already-computed row above and column to the left.
-func (s *solver) fillBufRegion(ra, rb []byte, buf []int64, stride, r0, r1, c0, c1 int) error {
-	poll := stats.PollStride(c1 - c0)
-	for r := r0 + 1; r <= r1; r++ {
-		if (r-r0)%poll == 0 {
-			if err := s.c.Cancelled(); err != nil {
-				return err
-			}
-		}
-		base := r * stride
-		prev := base - stride
-		srow := s.m.Row(ra[r-1])
-		rv := buf[base+c0]
-		for j := c0 + 1; j <= c1; j++ {
-			best := buf[prev+j-1] + int64(srow[rb[j-1]])
-			if v := buf[prev+j] + s.g; v > best {
-				best = v
-			}
-			if v := rv + s.g; v > best {
-				best = v
-			}
-			buf[base+j] = best
-			rv = best
-		}
-	}
-	s.c.AddCells(int64(r1-r0) * int64(c1-c0))
-	return nil
 }
 
 // clampSub limits a per-block tile subdivision to the smallest block extent

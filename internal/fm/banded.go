@@ -4,11 +4,16 @@ import (
 	"fmt"
 
 	"fastlsa/internal/align"
+	"fastlsa/internal/kernel"
 	"fastlsa/internal/memory"
 	"fastlsa/internal/scoring"
 	"fastlsa/internal/seq"
 	"fastlsa/internal/stats"
 )
+
+// NegInf marks band cells outside the reachable region. Aliased from the
+// kernel so the band code shares the one sentinel.
+const NegInf = kernel.NegInf
 
 // AlignBanded computes a banded global alignment: only DPM cells whose
 // diagonal j-i lies within [min(0, n-m)-band, max(0, n-m)+band] are
@@ -68,12 +73,10 @@ func AlignBanded(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, band in
 		buf[idx(0, j)] = int64(j) * g
 	}
 	cells := int64(0)
-	stride := stats.PollStride(width)
+	poll := c.StartPoll()
 	for i := 1; i <= mlen; i++ {
-		if i%stride == 0 {
-			if err := c.Cancelled(); err != nil {
-				return Result{}, err
-			}
+		if err := poll.Tick(width); err != nil {
+			return Result{}, err
 		}
 		srow := m.Row(ra[i-1])
 		jLo := i + lo

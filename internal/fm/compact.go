@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"fastlsa/internal/align"
-	"fastlsa/internal/lastrow"
+	"fastlsa/internal/kernel"
 	"fastlsa/internal/memory"
 	"fastlsa/internal/scoring"
 	"fastlsa/internal/seq"
@@ -144,7 +144,7 @@ func CountOptimalPaths(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, l
 func fillDirs(ra, rb []byte, m *scoring.Matrix, g int64, c *stats.Counters) (dirs []byte, row []int64, err error) {
 	rows, cols := len(ra)+1, len(rb)+1
 	dirs = make([]byte, rows*cols)
-	row = lastrow.Boundary(nil, len(rb), 0, g)
+	row = kernel.Boundary(nil, len(rb), 0, g)
 
 	// Row 0: only Left is possible; column 0: only Up.
 	for j := 1; j < cols; j++ {
@@ -154,12 +154,10 @@ func fillDirs(ra, rb []byte, m *scoring.Matrix, g int64, c *stats.Counters) (dir
 		dirs[r*cols] = dirUp
 	}
 
-	stride := stats.PollStride(len(rb))
+	poll := c.StartPoll()
 	for r := 1; r < rows; r++ {
-		if r%stride == 0 {
-			if err := c.Cancelled(); err != nil {
-				return nil, nil, err
-			}
+		if err := poll.Tick(len(rb)); err != nil {
+			return nil, nil, err
 		}
 		srow := m.Row(ra[r-1])
 		diag := row[0]

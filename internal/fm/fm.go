@@ -6,18 +6,26 @@
 // operations (every cell exactly once) at the price of O(m*n) space; they are
 // both the baseline FastLSA is compared against and the solver FastLSA uses
 // for its base case.
+//
+// Both gap models run through the shared internal/kernel layer: linear gaps
+// store one H plane, affine (Gotoh) gaps the three (H, E, F) planes.
 package fm
 
 import (
 	"fmt"
 
 	"fastlsa/internal/align"
-	"fastlsa/internal/lastrow"
+	"fastlsa/internal/kernel"
 	"fastlsa/internal/memory"
 	"fastlsa/internal/scoring"
 	"fastlsa/internal/seq"
 	"fastlsa/internal/stats"
 )
+
+// pool recycles boundary edges and scratch rows across fm calls (the stored
+// planes themselves are allocated per call — they are budget-charged and
+// usually too large to be worth pooling).
+var pool = memory.NewRowPool()
 
 // Result is a scored global alignment path.
 type Result struct {
@@ -29,35 +37,54 @@ type Result struct {
 }
 
 // Align computes the optimal global alignment of a and b with the full-matrix
-// algorithm. The (m+1)*(n+1)-entry DPM is charged against budget (nil budget
-// = unlimited) and released before returning; budget exhaustion surfaces as
-// memory.ErrExceeded.
+// algorithm, selecting the plane count from the gap model (one linear plane,
+// or the three Gotoh planes when gap.Open < 0). The plane set is charged
+// against budget (nil budget = unlimited) and released before returning;
+// budget exhaustion surfaces as memory.ErrExceeded.
 func Align(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, budget *memory.Budget, c *stats.Counters) (Result, error) {
 	if err := gap.Validate(); err != nil {
 		return Result{}, err
 	}
-	if !gap.IsLinear() {
-		return AlignAffine(a, b, m, gap, budget, c)
+	return alignModel(a, b, m, kernel.FromGap(gap), budget, c)
+}
+
+// AlignAffine computes the optimal global alignment under an affine (Gotoh)
+// gap model: a gap of length L costs Open + L*Extend. Unlike Align it always
+// runs the three-plane recurrence, even for Open == 0 — for which it returns
+// byte-identical results to the linear path (the degeneration pinned by the
+// kernel's equivalence property test).
+func AlignAffine(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, budget *memory.Budget, c *stats.Counters) (Result, error) {
+	if err := gap.Validate(); err != nil {
+		return Result{}, err
 	}
+	return alignModel(a, b, m, kernel.Affine(int64(gap.Open), int64(gap.Extend)), budget, c)
+}
+
+// alignModel is the gap-generic full-matrix engine: fill the stored planes
+// from leading-gap boundaries, trace back from (m, n), and extend along the
+// boundary to (0,0).
+func alignModel(a, b *seq.Sequence, m *scoring.Matrix, mod kernel.Model, budget *memory.Budget, c *stats.Counters) (Result, error) {
 	ra, rb := a.Residues, b.Residues
 	rows, cols := len(ra)+1, len(rb)+1
 	entries := int64(rows) * int64(cols)
-	if err := budget.Reserve(entries); err != nil {
-		return Result{}, fmt.Errorf("fm: DPM of %d x %d entries: %w", rows, cols, err)
+	planes := int64(mod.Planes())
+	if err := budget.Reserve(planes * entries); err != nil {
+		return Result{}, fmt.Errorf("fm: DPM of %d x %d x %d entries: %w", planes, rows, cols, err)
 	}
-	defer budget.Release(entries)
+	defer budget.Release(planes * entries)
 
-	g := int64(gap.Extend)
-	buf := make([]int64, entries)
-	if err := FillRect(ra, rb, m, g,
-		lastrow.Boundary(buf[:cols], len(rb), 0, g),
-		boundaryCol(buf, rows, cols, 0, g),
-		buf, c); err != nil {
+	k := kernel.New(m, mod, pool, c)
+	rt := k.MakeRect(rows * cols)
+	top := k.LeadEdge(len(rb), 0)
+	left := k.LeadEdge(len(ra), 0)
+	defer k.PutEdge(top)
+	defer k.PutEdge(left)
+	if err := k.FillRect(ra, rb, top, left, rt); err != nil {
 		return Result{}, err
 	}
 
 	bld := align.NewBuilder(len(ra) + len(rb))
-	r, cc := TracebackRect(ra, rb, m, g, buf, bld, len(ra), len(rb), c)
+	r, cc, _ := k.Traceback(ra, rb, rt, bld, len(ra), len(rb), kernel.StateH)
 	// Finish along the boundary to (0,0).
 	for ; r > 0; r-- {
 		bld.Push(align.Up)
@@ -65,90 +92,7 @@ func Align(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, budget *memor
 	for ; cc > 0; cc-- {
 		bld.Push(align.Left)
 	}
-	c.AddTraceback(int64(bld.Len()))
-	return Result{Score: buf[entries-1], Path: bld.Path()}, nil
-}
-
-// boundaryCol writes the leading-gap column into the matrix and returns a
-// view of it (stride cols). Only used by Align above.
-func boundaryCol(buf []int64, rows, cols int, corner, g int64) []int64 {
-	col := make([]int64, rows)
-	v := corner
-	for r := 0; r < rows; r++ {
-		col[r] = v
-		buf[r*cols] = v
-		v += g
-	}
-	return col
-}
-
-// FillRect fills the full DPM of a rectangle into buf (row-major,
-// (len(a)+1) x (len(b)+1) entries) from its top row and left column boundary
-// values. top (len n+1) and left (len m+1) must agree on the corner. buf row
-// 0 and column 0 are set from the boundaries. The fill aborts with the
-// context error when the run attached to c is cancelled.
-func FillRect(a, b []byte, m *scoring.Matrix, gap int64, top, left []int64, buf []int64, c *stats.Counters) error {
-	n := len(b)
-	cols := n + 1
-	copy(buf[:cols], top)
-	stride := stats.PollStride(n)
-	for r := 1; r <= len(a); r++ {
-		if r%stride == 0 {
-			if err := c.Cancelled(); err != nil {
-				return err
-			}
-		}
-		base := r * cols
-		buf[base] = left[r]
-		srow := m.Row(a[r-1])
-		prev := base - cols
-		rv := buf[base]
-		for j := 1; j <= n; j++ {
-			best := buf[prev+j-1] + int64(srow[b[j-1]])
-			if v := buf[prev+j] + gap; v > best {
-				best = v
-			}
-			if v := rv + gap; v > best {
-				best = v
-			}
-			buf[base+j] = best
-			rv = best
-		}
-	}
-	c.AddCells(int64(len(a)) * int64(n))
-	return nil
-}
-
-// TracebackRect traces the optimal path backwards from node (fromR, fromC)
-// through the stored rectangle matrix until it reaches node row 0 or node
-// column 0 of the rectangle, pushing moves on bld (in trace order). It
-// returns the exit node. Tie-break: diagonal > up > left.
-func TracebackRect(a, b []byte, m *scoring.Matrix, gap int64, buf []int64, bld *align.Builder, fromR, fromC int, c *stats.Counters) (exitR, exitC int) {
-	cols := len(b) + 1
-	r, cc := fromR, fromC
-	steps := int64(0)
-	for r > 0 && cc > 0 {
-		cur := buf[r*cols+cc]
-		switch {
-		case buf[(r-1)*cols+cc-1]+int64(m.Score(a[r-1], b[cc-1])) == cur:
-			bld.Push(align.Diag)
-			r--
-			cc--
-		case buf[(r-1)*cols+cc]+gap == cur:
-			bld.Push(align.Up)
-			r--
-		case buf[r*cols+cc-1]+gap == cur:
-			bld.Push(align.Left)
-			cc--
-		default:
-			// The matrix was produced by FillRect, so one predecessor always
-			// matches; reaching here means memory corruption or a caller bug.
-			panic(fmt.Sprintf("fm: traceback stuck at node (%d,%d): value %d has no consistent predecessor", r, cc, cur))
-		}
-		steps++
-	}
-	c.AddTraceback(steps)
-	return r, cc
+	return Result{Score: rt.H[entries-1], Path: bld.Path()}, nil
 }
 
 // Score computes only the optimal global score, still using the full matrix

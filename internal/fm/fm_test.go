@@ -263,7 +263,28 @@ func TestScoreLocalMatchesAlignLocal(t *testing.T) {
 			t.Fatalf("seed %d: scan end (%d,%d), full end (%d,%d)", seed, endA, endB, full.EndA, full.EndB)
 		}
 	}
-	if _, _, _, err := fm.ScoreLocal(testutil.Figure1A, testutil.Figure1B, scoring.Table1, scoring.Affine(-5, -1), nil); err == nil {
-		t.Fatal("affine must be rejected")
+}
+
+// TestScoreLocalAffineMatchesAlignLocal is the affine counterpart: the
+// rolling-row Gotoh scan agrees with the stored-matrix local solve.
+func TestScoreLocalAffineMatchesAlignLocal(t *testing.T) {
+	gap := scoring.Affine(-5, -1)
+	for seed := int64(0); seed < 8; seed++ {
+		a, b := testutil.RandomPair(int(seed*7%60)+1, int(seed*13%60)+1, seq.Protein, seed+530)
+		m := testutil.RandomMatrix(seq.Protein, seed+530)
+		full, err := fm.AlignLocal(a, b, m, gap, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, endA, endB, err := fm.ScoreLocal(a, b, m, gap, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if score != full.Score {
+			t.Fatalf("seed %d: scan %d, full %d", seed, score, full.Score)
+		}
+		if score > 0 && (endA != full.EndA || endB != full.EndB) {
+			t.Fatalf("seed %d: scan end (%d,%d), full end (%d,%d)", seed, endA, endB, full.EndA, full.EndB)
+		}
 	}
 }

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"fastlsa/internal/align"
-	"fastlsa/internal/lastrow"
+	"fastlsa/internal/kernel"
 	"fastlsa/internal/memory"
 	"fastlsa/internal/scoring"
 	"fastlsa/internal/seq"
@@ -18,7 +18,7 @@ import (
 // still spans the full (m, n) rectangle — its free terminal runs simply
 // carry no score — and Result.Score is the mode score (equal to
 // align.ScorePathMode of the path). Both linear and affine gap models are
-// supported.
+// supported; they share one kernel-backed engine.
 func AlignMode(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, md align.Mode, budget *memory.Budget, c *stats.Counters) (Result, error) {
 	if err := gap.Validate(); err != nil {
 		return Result{}, err
@@ -26,29 +26,27 @@ func AlignMode(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, md align.
 	if md.IsGlobal() {
 		return Align(a, b, m, gap, budget, c)
 	}
-	if !gap.IsLinear() {
-		return alignModeAffine(a, b, m, gap, md, budget, c)
-	}
+	mod := kernel.FromGap(gap)
 	ra, rb := a.Residues, b.Residues
 	rows, cols := len(ra)+1, len(rb)+1
 	entries := int64(rows) * int64(cols)
-	if err := budget.Reserve(entries); err != nil {
-		return Result{}, fmt.Errorf("fm: mode DPM of %d x %d entries: %w", rows, cols, err)
+	planes := int64(mod.Planes())
+	if err := budget.Reserve(planes * entries); err != nil {
+		return Result{}, fmt.Errorf("fm: mode DPM of %d x %d x %d entries: %w", planes, rows, cols, err)
 	}
-	defer budget.Release(entries)
+	defer budget.Release(planes * entries)
 
-	g := int64(gap.Extend)
-	buf := make([]int64, entries)
-	top := ModeTopBoundary(nil, len(rb), g, md)
-	left := ModeLeftBoundary(nil, len(ra), g, md)
-	for r := 0; r < rows; r++ {
-		buf[r*cols] = left[r]
-	}
-	if err := FillRect(ra, rb, m, g, top, left, buf, c); err != nil {
+	k := kernel.New(m, mod, pool, c)
+	rt := k.MakeRect(rows * cols)
+	top := k.ModeEdge(len(rb), md.FreeStartB)
+	left := k.ModeEdge(len(ra), md.FreeStartA)
+	defer k.PutEdge(top)
+	defer k.PutEdge(left)
+	if err := k.FillRect(ra, rb, top, left, rt); err != nil {
 		return Result{}, err
 	}
 
-	endR, endC, score := ModeEnd(buf, rows, cols, md)
+	endR, endC, score := ModeEnd(rt.H, rows, cols, md)
 
 	bld := align.NewBuilder(len(ra) + len(rb))
 	// Free trailing moves sit at the end of the path: push them first
@@ -59,7 +57,7 @@ func AlignMode(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, md align.
 	for j := len(rb); j > endC; j-- {
 		bld.Push(align.Left)
 	}
-	r, cc := TracebackRect(ra, rb, m, g, buf, bld, endR, endC, c)
+	r, cc, _ := k.Traceback(ra, rb, rt, bld, endR, endC, kernel.StateH)
 	for ; r > 0; r-- {
 		bld.Push(align.Up)
 	}
@@ -67,39 +65,6 @@ func AlignMode(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, md align.
 		bld.Push(align.Left)
 	}
 	return Result{Score: score, Path: bld.Path()}, nil
-}
-
-// ModeTopBoundary builds DPM row 0 for the mode. Moves along row 0 consume
-// B residues against gaps, so the row is zero-initialised when B's prefix is
-// free to dangle (FreeStartB); otherwise it carries the usual leading-gap
-// penalties.
-func ModeTopBoundary(dst []int64, n int, g int64, md align.Mode) []int64 {
-	if md.FreeStartB {
-		if cap(dst) < n+1 {
-			dst = make([]int64, n+1)
-		}
-		dst = dst[:n+1]
-		for i := range dst {
-			dst[i] = 0
-		}
-		return dst
-	}
-	return lastrow.Boundary(dst, n, 0, g)
-}
-
-// ModeLeftBoundary builds DPM column 0 for the mode (zeros when FreeStartA).
-func ModeLeftBoundary(dst []int64, m int, g int64, md align.Mode) []int64 {
-	if md.FreeStartA {
-		if cap(dst) < m+1 {
-			dst = make([]int64, m+1)
-		}
-		dst = dst[:m+1]
-		for i := range dst {
-			dst[i] = 0
-		}
-		return dst
-	}
-	return lastrow.Boundary(dst, m, 0, g)
 }
 
 // ModeEnd locates the traceback start for the mode in a filled row-major

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"fastlsa/internal/align"
-	"fastlsa/internal/lastrow"
+	"fastlsa/internal/kernel"
 	"fastlsa/internal/memory"
 	"fastlsa/internal/scoring"
 	"fastlsa/internal/seq"
@@ -37,11 +37,12 @@ func AlignParallel(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, worke
 	defer budget.Release(entries)
 
 	g := int64(gap.Extend)
-	buf := make([]int64, entries)
-	lastrow.Boundary(buf[:stride], cols, 0, g)
+	k := kernel.New(m, kernel.Linear(g), pool, c)
+	rt := kernel.Rect{H: make([]int64, entries)}
+	kernel.Boundary(rt.H[:stride], cols, 0, g)
 	v := int64(0)
 	for r := 0; r <= rows; r++ {
-		buf[r*stride] = v
+		rt.H[r*stride] = v
 		v += g
 	}
 
@@ -61,7 +62,7 @@ func AlignParallel(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, worke
 			Cols:    C,
 			Workers: workers,
 			Exec: func(ti, tj int) error {
-				if err := fillRegion(ra, rb, m, g, buf, stride, trs[ti], trs[ti+1], tcs[tj], tcs[tj+1], c); err != nil {
+				if err := k.FillRegion(ra, rb, rt, trs[ti], trs[ti+1], tcs[tj], tcs[tj+1]); err != nil {
 					return err
 				}
 				c.AddFillTile()
@@ -75,46 +76,17 @@ func AlignParallel(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, worke
 		if err := wf.Run(); err != nil {
 			return Result{}, err
 		}
-		c.AddCells(int64(rows) * int64(cols))
 	}
 
 	bld := align.NewBuilder(rows + cols)
-	r, cc := TracebackRect(ra, rb, m, g, buf, bld, rows, cols, c)
+	r, cc, _ := k.Traceback(ra, rb, rt, bld, rows, cols, kernel.StateH)
 	for ; r > 0; r-- {
 		bld.Push(align.Up)
 	}
 	for ; cc > 0; cc-- {
 		bld.Push(align.Left)
 	}
-	return Result{Score: buf[entries-1], Path: bld.Path()}, nil
-}
-
-// fillRegion computes cells (r0+1..r1) x (c0+1..c1) of the stored matrix.
-func fillRegion(a, b []byte, m *scoring.Matrix, g int64, buf []int64, stride, r0, r1, c0, c1 int, c *stats.Counters) error {
-	poll := stats.PollStride(c1 - c0)
-	for r := r0 + 1; r <= r1; r++ {
-		if (r-r0)%poll == 0 {
-			if err := c.Cancelled(); err != nil {
-				return err
-			}
-		}
-		base := r * stride
-		prev := base - stride
-		srow := m.Row(a[r-1])
-		rv := buf[base+c0]
-		for j := c0 + 1; j <= c1; j++ {
-			best := buf[prev+j-1] + int64(srow[b[j-1]])
-			if v := buf[prev+j] + g; v > best {
-				best = v
-			}
-			if v := rv + g; v > best {
-				best = v
-			}
-			buf[base+j] = best
-			rv = best
-		}
-	}
-	return nil
+	return Result{Score: rt.H[entries-1], Path: bld.Path()}, nil
 }
 
 // tileBounds splits [0, n] into t near-equal segments.

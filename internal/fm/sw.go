@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fastlsa/internal/align"
+	"fastlsa/internal/kernel"
 	"fastlsa/internal/memory"
 	"fastlsa/internal/scoring"
 	"fastlsa/internal/seq"
@@ -24,90 +25,41 @@ type LocalResult struct {
 }
 
 // AlignLocal computes the optimal local alignment with the full-matrix
-// Smith-Waterman algorithm (linear gap model; the paper's §2 mentions
-// Smith-Waterman as the local counterpart of Needleman-Wunsch). The matrix is
-// charged to budget. Ties for the maximum cell resolve to the smallest
-// (row, column) in row-major order; traceback tie-break is diag > up > left.
+// Smith-Waterman algorithm (the paper's §2 mentions Smith-Waterman as the
+// local counterpart of Needleman-Wunsch), under either gap model: linear
+// gaps clamp the single plane at zero, affine gaps run the clamped Gotoh
+// recurrence. The plane set is charged to budget. Ties for the maximum cell
+// resolve to the smallest (row, column) in row-major order; traceback
+// tie-break is diag > up > left.
 func AlignLocal(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, budget *memory.Budget, c *stats.Counters) (LocalResult, error) {
 	if err := gap.Validate(); err != nil {
 		return LocalResult{}, err
 	}
-	if !gap.IsLinear() {
-		return LocalResult{}, fmt.Errorf("fm: AlignLocal: affine gaps not supported by the local variant (use linear)")
-	}
+	mod := kernel.FromGap(gap)
 	ra, rb := a.Residues, b.Residues
 	rows, cols := len(ra)+1, len(rb)+1
 	entries := int64(rows) * int64(cols)
-	if err := budget.Reserve(entries); err != nil {
-		return LocalResult{}, fmt.Errorf("fm: local DPM of %d x %d entries: %w", rows, cols, err)
+	planes := int64(mod.Planes())
+	if err := budget.Reserve(planes * entries); err != nil {
+		return LocalResult{}, fmt.Errorf("fm: local DPM of %d x %d x %d entries: %w", planes, rows, cols, err)
 	}
-	defer budget.Release(entries)
+	defer budget.Release(planes * entries)
 
-	g := int64(gap.Extend)
-	buf := make([]int64, entries) // row 0 and column 0 stay 0
-	bestScore := int64(0)
-	bestR, bestC := 0, 0
-	stride := stats.PollStride(len(rb))
-	for r := 1; r < rows; r++ {
-		if r%stride == 0 {
-			if err := c.Cancelled(); err != nil {
-				return LocalResult{}, err
-			}
-		}
-		base := r * cols
-		prev := base - cols
-		srow := m.Row(ra[r-1])
-		rv := int64(0)
-		for j := 1; j < cols; j++ {
-			best := buf[prev+j-1] + int64(srow[rb[j-1]])
-			if v := buf[prev+j] + g; v > best {
-				best = v
-			}
-			if v := rv + g; v > best {
-				best = v
-			}
-			if best < 0 {
-				best = 0
-			}
-			buf[base+j] = best
-			rv = best
-			if best > bestScore {
-				bestScore = best
-				bestR, bestC = r, j
-			}
-		}
+	k := kernel.New(m, mod, pool, c)
+	rt := k.MakeRect(rows * cols)
+	best, bestR, bestC, err := k.FillLocal(ra, rb, rt)
+	if err != nil {
+		return LocalResult{}, err
 	}
-	c.AddCells(int64(len(ra)) * int64(len(rb)))
-
-	if bestScore == 0 {
+	if best == 0 {
 		// No positive-scoring pair exists; the empty alignment is optimal.
 		return LocalResult{}, nil
 	}
 
 	bld := align.NewBuilder(bestR + bestC)
-	r, cc := bestR, bestC
-	steps := int64(0)
-	for r > 0 && cc > 0 && buf[r*cols+cc] != 0 {
-		cur := buf[r*cols+cc]
-		switch {
-		case buf[(r-1)*cols+cc-1]+int64(m.Score(ra[r-1], rb[cc-1])) == cur:
-			bld.Push(align.Diag)
-			r--
-			cc--
-		case buf[(r-1)*cols+cc]+g == cur:
-			bld.Push(align.Up)
-			r--
-		case buf[r*cols+cc-1]+g == cur:
-			bld.Push(align.Left)
-			cc--
-		default:
-			panic(fmt.Sprintf("fm: local traceback stuck at (%d,%d)", r, cc))
-		}
-		steps++
-	}
-	c.AddTraceback(steps)
+	r, cc := k.TracebackLocal(ra, rb, rt, bld, bestR, bestC)
 	return LocalResult{
-		Score:  bestScore,
+		Score:  best,
 		Path:   bld.Path(),
 		StartA: r, EndA: bestR,
 		StartB: cc, EndB: bestC,
@@ -116,49 +68,12 @@ func AlignLocal(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, budget *
 
 // ScoreLocal computes only the optimal local alignment score (and its end
 // cell) in O(min(m,n)) space — the scan that database search uses to rank
-// candidates before reconstructing the few best alignments.
+// candidates before reconstructing the few best alignments. Both gap models
+// are supported (one rolling row linear, two rolling rows affine).
 func ScoreLocal(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, c *stats.Counters) (score int64, endA, endB int, err error) {
 	if err := gap.Validate(); err != nil {
 		return 0, 0, 0, err
 	}
-	if !gap.IsLinear() {
-		return 0, 0, 0, fmt.Errorf("fm: ScoreLocal: affine gaps not supported (use linear)")
-	}
-	ra, rb := a.Residues, b.Residues
-	g := int64(gap.Extend)
-	n := len(rb)
-	row := make([]int64, n+1)
-	stride := stats.PollStride(n)
-	for r := 1; r <= len(ra); r++ {
-		if r%stride == 0 {
-			if cerr := c.Cancelled(); cerr != nil {
-				return 0, 0, 0, cerr
-			}
-		}
-		srow := m.Row(ra[r-1])
-		diag := row[0]
-		rv := int64(0)
-		for j := 1; j <= n; j++ {
-			up := row[j]
-			v := diag + int64(srow[rb[j-1]])
-			if x := up + g; x > v {
-				v = x
-			}
-			if x := rv + g; x > v {
-				v = x
-			}
-			if v < 0 {
-				v = 0
-			}
-			row[j] = v
-			rv = v
-			diag = up
-			if v > score {
-				score = v
-				endA, endB = r, j
-			}
-		}
-	}
-	c.AddCells(int64(len(ra)) * int64(n))
-	return score, endA, endB, nil
+	k := kernel.New(m, kernel.FromGap(gap), pool, c)
+	return k.LocalScore(a.Residues, b.Residues)
 }

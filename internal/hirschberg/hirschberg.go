@@ -1,17 +1,30 @@
 // Package hirschberg implements Hirschberg's divide-and-conquer linear-space
 // global alignment algorithm as applied to sequence alignment by Myers and
 // Miller (paper §2.2): split the row sequence in half, run the score-only
-// LastRow kernel forwards over the top half and backwards over the bottom
+// kernel sweep forwards over the top half and backwards over the bottom
 // half, pick the column where the two meet with maximal total score, and
 // recurse on the two subproblems. Space is O(min(m,n)); roughly m*n extra
 // cell computations are performed compared to the full-matrix algorithm
 // (recomputation factor ~2).
+//
+// One solver serves both gap models. Linear gaps run the plain Hirschberg
+// split (the boundary discounts are inert: a linear model has no open
+// charge). Affine gaps run Myers & Miller's extension: the recursion carries
+// two boundary discounts, tb and te — the gap-open charge for a vertical gap
+// continuing through the subproblem's top boundary at its column 0, and
+// through its bottom boundary at its column N, respectively — and a split is
+// either type 1 (the optimal path crosses the middle row in the closed
+// state) or type 2 (a single vertical gap spans the middle rows, refunding
+// one gap-open charge).
 package hirschberg
 
 import (
+	"fmt"
+
 	"fastlsa/internal/align"
 	"fastlsa/internal/fm"
-	"fastlsa/internal/lastrow"
+	"fastlsa/internal/kernel"
+	"fastlsa/internal/memory"
 	"fastlsa/internal/scoring"
 	"fastlsa/internal/seq"
 	"fastlsa/internal/stats"
@@ -22,6 +35,10 @@ import (
 // amortise recursion overhead.
 const DefaultBaseCells = 4096
 
+// pool recycles split vectors, boundary edges and kernel scratch rows across
+// calls.
+var pool = memory.NewRowPool()
+
 // Options tunes the algorithm.
 type Options struct {
 	// BaseCells is the (m+1)*(n+1) area threshold below which a subproblem
@@ -30,49 +47,59 @@ type Options struct {
 	BaseCells int
 }
 
-// Align computes the optimal global alignment of a and b in linear space.
-// Linear gap models only; affine models are handled by AlignAffine
-// (Myers-Miller).
+// Align computes the optimal global alignment of a and b in linear space,
+// under either gap model (Hirschberg for linear gaps, Myers-Miller for
+// affine).
 func Align(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, opt Options, c *stats.Counters) (fm.Result, error) {
 	if err := gap.Validate(); err != nil {
 		return fm.Result{}, err
-	}
-	if !gap.IsLinear() {
-		return AlignAffine(a, b, m, gap, opt, c)
 	}
 	base := opt.BaseCells
 	if base <= 0 {
 		base = DefaultBaseCells
 	}
-	h := &solver{m: m, g: int64(gap.Extend), base: base, c: c}
+	mod := kernel.FromGap(gap)
+	h := &solver{k: kernel.New(m, mod, pool, c), base: base}
 	h.moves = make([]align.Move, 0, a.Len()+b.Len())
-	if err := h.solve(a.Residues, b.Residues); err != nil {
+	if err := h.solve(a.Residues, b.Residues, mod.Open, mod.Open); err != nil {
 		return fm.Result{}, err
 	}
+	h.putBase()
 	path := align.NewPath(h.moves)
+	if mod.IsAffine() {
+		if err := path.Validate(a.Len(), b.Len()); err != nil {
+			return fm.Result{}, fmt.Errorf("hirschberg: affine path invalid: %w", err)
+		}
+	}
 	score := align.ScorePath(a, b, path, m, gap)
 	c.AddTraceback(int64(path.Len()))
 	return fm.Result{Score: score, Path: path}, nil
 }
 
-// Score computes only the optimal score in O(min(m,n)) space (one LastRow
-// sweep; no recursion).
+// AlignAffine is Align under an affine gap model (Myers & Miller's
+// adaptation of Hirschberg's scheme). Retained as a named entry point; it is
+// the same unified solver.
+func AlignAffine(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, opt Options, c *stats.Counters) (fm.Result, error) {
+	return Align(a, b, m, gap, opt, c)
+}
+
+// Score computes only the optimal score in O(min(m,n)) space (one kernel
+// sweep; no recursion), for either gap model.
 func Score(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, c *stats.Counters) (int64, error) {
 	if err := gap.Validate(); err != nil {
 		return 0, err
 	}
-	if !gap.IsLinear() {
-		return scoreAffine(a.Residues, b.Residues, m, int64(gap.Open), int64(gap.Extend), c)
-	}
-	return lastrow.Score(a.Residues, b.Residues, m, int64(gap.Extend), c)
+	k := kernel.New(m, kernel.FromGap(gap), pool, c)
+	return k.Score(a.Residues, b.Residues)
 }
 
 type solver struct {
-	m     *scoring.Matrix
-	g     int64
+	k     *kernel.Kernel
 	base  int
-	c     *stats.Counters
 	moves []align.Move
+	// baseRect is the reusable base-case plane set (lazily grown to h.base
+	// entries per live plane, recycled through the pool on putBase).
+	baseRect kernel.Rect
 }
 
 func (h *solver) emit(mv align.Move, n int) {
@@ -81,67 +108,117 @@ func (h *solver) emit(mv align.Move, n int) {
 	}
 }
 
-// solve appends the optimal path moves for the standalone global alignment
-// of ra vs rb (leading-gap boundaries) to h.moves, in forward order.
-func (h *solver) solve(ra, rb []byte) error {
-	la, lb := len(ra), len(rb)
+// solve appends the optimal path moves for aligning ra against rb to
+// h.moves, in forward order, given the boundary discounts tb and te (each
+// either the model's Open or 0; inert for linear models).
+func (h *solver) solve(ra, rb []byte, tb, te int64) error {
+	M, N := len(ra), len(rb)
 	switch {
-	case la == 0:
-		h.emit(align.Left, lb)
+	case M == 0:
+		h.emit(align.Left, N)
 		return nil
-	case lb == 0:
-		h.emit(align.Up, la)
+	case N == 0:
+		h.emit(align.Up, M)
 		return nil
-	case (la+1)*(lb+1) <= h.base || la == 1:
+	}
+	affine := h.k.Mod.IsAffine()
+	open := h.k.Mod.Open
+	if affine {
+		// The stored-matrix base case charges the plain open at both
+		// boundaries, so it is only valid when neither discount is active.
+		if tb == open && te == open && (M+1)*(N+1) <= h.base {
+			return h.solveFull(ra, rb)
+		}
+		if M == 1 {
+			h.solveSingleRow(ra, rb, tb, te)
+			return nil
+		}
+	} else if (M+1)*(N+1) <= h.base || M == 1 {
 		return h.solveFull(ra, rb)
 	}
 
-	mid := la / 2
+	mid := M / 2
 
-	// Forward pass: last row of a[:mid] x b.
-	fwd := make([]int64, lb+1)
-	top := lastrow.Boundary(nil, lb, 0, h.g)
-	left := lastrow.Boundary(nil, mid, 0, h.g)
-	if err := lastrow.Forward(ra[:mid], rb, h.m, h.g, top, left, fwd, nil, h.c); err != nil {
+	// Forward pass over ra[:mid]: row-mid H (and, affine, E) values.
+	fwd := h.k.NewEdge(N)
+	defer h.k.PutEdge(fwd)
+	top := h.k.LeadEdge(N, 0)
+	left := h.gapRunEdge(mid, tb, false)
+	err := h.k.Forward(ra[:mid], rb, top, left, fwd, kernel.Edge{})
+	h.k.PutEdge(top)
+	h.k.PutEdge(left)
+	if err != nil {
 		return err
 	}
-
-	// Backward pass: suffix scores of a[mid:] x b at row mid.
-	bwd := make([]int64, lb+1)
-	bottom := trailingBoundary(lb, h.g)
-	right := trailingBoundary(la-mid, h.g)
-	if err := lastrow.Backward(ra[mid:], rb, h.m, h.g, bottom, right, bwd, nil, h.c); err != nil {
-		return err
+	if affine {
+		// Column 0 is one vertical run (the left boundary is a gap run), so
+		// the vertical-gap state there equals the closed state; the sweep
+		// itself leaves the out-edge E lane dead at column 0.
+		fwd.G[0] = fwd.H[0]
 	}
 
-	// The optimal path crosses row mid at the column maximising fwd+bwd.
-	// Smallest such column for determinism.
-	split, best := 0, fwd[0]+bwd[0]
-	for j := 1; j <= lb; j++ {
-		if s := fwd[j] + bwd[j]; s > best {
-			best = s
-			split = j
+	// Backward pass over ra[mid:]: suffix values at row mid.
+	bwd := h.k.NewEdge(N)
+	defer h.k.PutEdge(bwd)
+	bottom := h.trailingEdge(N)
+	right := h.gapRunEdge(M-mid, te, true)
+	err = h.k.Backward(ra[mid:], rb, bottom, right, bwd, kernel.Edge{})
+	h.k.PutEdge(bottom)
+	h.k.PutEdge(right)
+	if err != nil {
+		return err
+	}
+	if affine {
+		// Mirror patch: column N of the suffix problem is one vertical run.
+		bwd.G[N] = bwd.H[N]
+	}
+
+	// Choose the crossing column (smallest maximising j for determinism).
+	// Type 1: the path crosses row mid in the closed state. Type 2 (affine):
+	// a vertical gap spans rows mid and mid+1 at column j, refunding one
+	// gap-open charge; the two straddling Up moves are emitted directly.
+	bestJ, bestType := 0, 1
+	best := fwd.H[0] + bwd.H[0]
+	for j := 0; j <= N; j++ {
+		if v := fwd.H[j] + bwd.H[j]; v > best {
+			best, bestJ, bestType = v, j, 1
+		}
+		if affine {
+			if v := fwd.G[j] + bwd.G[j] - open; v > best {
+				best, bestJ, bestType = v, j, 2
+			}
 		}
 	}
 
-	if err := h.solve(ra[:mid], rb[:split]); err != nil {
+	if bestType == 1 {
+		if err := h.solve(ra[:mid], rb[:bestJ], tb, open); err != nil {
+			return err
+		}
+		return h.solve(ra[mid:], rb[bestJ:], open, te)
+	}
+	if err := h.solve(ra[:mid-1], rb[:bestJ], tb, 0); err != nil {
 		return err
 	}
-	return h.solve(ra[mid:], rb[split:])
+	h.emit(align.Up, 2)
+	return h.solve(ra[mid+1:], rb[bestJ:], 0, te)
 }
 
-// solveFull solves a base-case subproblem with a stored matrix and appends
-// its full path.
+// solveFull solves a base-case subproblem with a stored plane set (reused
+// across base cases) and appends its full path.
 func (h *solver) solveFull(ra, rb []byte) error {
-	cols := len(rb) + 1
-	buf := make([]int64, (len(ra)+1)*cols)
-	top := lastrow.Boundary(buf[:cols], len(rb), 0, h.g)
-	left := lastrow.Boundary(nil, len(ra), 0, h.g)
-	if err := fm.FillRect(ra, rb, h.m, h.g, top, left, buf, h.c); err != nil {
+	entries := (len(ra) + 1) * (len(rb) + 1)
+	h.growBase(entries)
+	rt := h.baseRect.SliceRect(entries)
+	top := h.k.LeadEdge(len(rb), 0)
+	left := h.k.LeadEdge(len(ra), 0)
+	err := h.k.FillRect(ra, rb, top, left, rt)
+	h.k.PutEdge(top)
+	h.k.PutEdge(left)
+	if err != nil {
 		return err
 	}
 	bld := align.NewBuilder(len(ra) + len(rb))
-	r, cc := fm.TracebackRect(ra, rb, h.m, h.g, buf, bld, len(ra), len(rb), h.c)
+	r, cc, _ := h.k.Traceback(ra, rb, rt, bld, len(ra), len(rb), kernel.StateH)
 	for ; r > 0; r-- {
 		bld.Push(align.Up)
 	}
@@ -152,13 +229,102 @@ func (h *solver) solveFull(ra, rb []byte) error {
 	return nil
 }
 
-// trailingBoundary returns dst[i] = (n-i)*g: the cost of gapping out the
-// remaining suffix, i.e. the bottom/right boundary of a standalone suffix
-// alignment.
-func trailingBoundary(n int, g int64) []int64 {
-	dst := make([]int64, n+1)
-	for i := 0; i <= n; i++ {
-		dst[i] = int64(n-i) * g
+// solveSingleRow handles the affine M == 1, N >= 1 base case explicitly
+// (Myers-Miller): either the single residue is deleted (gap open discounted
+// by the better of tb/te) or it is matched against some b[j-1].
+func (h *solver) solveSingleRow(ra, rb []byte, tb, te int64) {
+	N := len(rb)
+	gapScore := h.k.Mod.GapCost
+	// Option A: delete ra[0], insert all of rb.
+	openDel := tb
+	delAtTop := true
+	if te > openDel {
+		openDel = te
+		delAtTop = false
 	}
-	return dst
+	best := openDel + h.k.Mod.Ext + gapScore(N)
+	bestJ := 0 // 0 means option A
+	// Option B: match ra[0] with rb[j-1].
+	for j := 1; j <= N; j++ {
+		v := int64(h.k.M.Score(ra[0], rb[j-1])) + gapScore(j-1) + gapScore(N-j)
+		if v > best {
+			best = v
+			bestJ = j
+		}
+	}
+	switch {
+	case bestJ == 0 && delAtTop:
+		h.emit(align.Up, 1)
+		h.emit(align.Left, N)
+	case bestJ == 0:
+		h.emit(align.Left, N)
+		h.emit(align.Up, 1)
+	default:
+		h.emit(align.Left, bestJ-1)
+		h.emit(align.Diag, 1)
+		h.emit(align.Left, N-bestJ)
+	}
+}
+
+// gapRunEdge builds the boundary of one vertical gap run of length n whose
+// open charge is the discount d: H[0] = 0, H[i] = d + i*Ext (or, when
+// suffix, H[n] = 0 and H[i] = d + (n-i)*Ext). The gap lane is dead — the
+// run's state is carried by H, and the crossing lane (F) cannot be live on a
+// standalone column boundary.
+func (h *solver) gapRunEdge(n int, d int64, suffix bool) kernel.Edge {
+	e := h.k.NewEdge(n)
+	if suffix {
+		e.H[n] = 0
+		for i := n - 1; i >= 0; i-- {
+			e.H[i] = d + int64(n-i)*h.k.Mod.Ext
+		}
+	} else {
+		e.H[0] = 0
+		for i := 1; i <= n; i++ {
+			e.H[i] = d + int64(i)*h.k.Mod.Ext
+		}
+	}
+	if e.G != nil {
+		for i := range e.G {
+			e.G[i] = kernel.NegInf
+		}
+	}
+	return e
+}
+
+// trailingEdge is the bottom boundary of a standalone suffix problem:
+// H[j] = GapCost(N-j) (zero at j = N), gap lane dead.
+func (h *solver) trailingEdge(n int) kernel.Edge {
+	e := h.k.NewEdge(n)
+	e.H[n] = 0
+	for j := n - 1; j >= 0; j-- {
+		e.H[j] = h.k.Mod.GapCost(n - j)
+	}
+	if e.G != nil {
+		for i := range e.G {
+			e.G[i] = kernel.NegInf
+		}
+	}
+	return e
+}
+
+// growBase ensures the reusable base-case planes hold entries cells.
+func (h *solver) growBase(entries int) {
+	if cap(h.baseRect.H) >= entries {
+		return
+	}
+	h.putBase()
+	h.baseRect.H = pool.GetFull(entries)
+	if h.k.Mod.IsAffine() {
+		h.baseRect.E = pool.GetFull(entries)
+		h.baseRect.F = pool.GetFull(entries)
+	}
+}
+
+// putBase returns the base-case planes to the pool.
+func (h *solver) putBase() {
+	pool.Put(h.baseRect.H)
+	pool.Put(h.baseRect.E)
+	pool.Put(h.baseRect.F)
+	h.baseRect = kernel.Rect{}
 }

@@ -1,0 +1,50 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"fastlsa/internal/kernel"
+	"fastlsa/internal/memory"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/testutil"
+)
+
+// BenchmarkForwardAffine measures the three-plane sweep in cells/second —
+// the inner loop of every affine aligner in the repository.
+func BenchmarkForwardAffine(b *testing.B) {
+	const n = 1024
+	x, y := testutil.RandomPair(n, n, seq.Protein, 8)
+	pool := memory.NewRowPool()
+	k := kernel.New(scoring.BLOSUM62, kernel.Affine(-11, -1), pool, nil)
+	top := k.LeadEdge(n, 0)
+	left := k.LeadEdge(n, 0)
+	out := k.NewEdge(n)
+	b.SetBytes(n * n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := k.Forward(x.Residues, y.Residues, top, left, out, kernel.Edge{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForwardLinear is the single-plane counterpart, pinning that the
+// unified kernel keeps the linear fast path allocation-free once edges are
+// pooled.
+func BenchmarkForwardLinear(b *testing.B) {
+	const n = 1024
+	x, y := testutil.RandomPair(n, n, seq.DNA, 8)
+	pool := memory.NewRowPool()
+	k := kernel.New(scoring.DNASimple, kernel.Linear(-4), pool, nil)
+	top := k.LeadEdge(n, 0)
+	left := k.LeadEdge(n, 0)
+	out := k.NewEdge(n)
+	b.SetBytes(n * n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := k.Forward(x.Residues, y.Residues, top, left, out, kernel.Edge{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

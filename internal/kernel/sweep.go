@@ -1,0 +1,390 @@
+package kernel
+
+import "fmt"
+
+// checkEdge validates one boundary edge of an n+1-entry side.
+func (k *Kernel) checkEdge(kind, side string, e Edge, n int) error {
+	if len(e.H) != n+1 {
+		return fmt.Errorf("kernel: %s: %s boundary H has %d entries, want %d", kind, side, len(e.H), n+1)
+	}
+	if k.Mod.IsAffine() && len(e.G) != n+1 {
+		return fmt.Errorf("kernel: %s: %s boundary gap lane has %d entries, want %d", kind, side, len(e.G), n+1)
+	}
+	return nil
+}
+
+// checkOut validates one optional output lane.
+func checkOut(kind, name string, s []int64, want int) error {
+	if s != nil && len(s) != want {
+		return fmt.Errorf("kernel: %s: %s has %d entries, want %d", kind, name, len(s), want)
+	}
+	return nil
+}
+
+// Forward propagates DP values from the top-left boundary to the bottom and
+// right edges of the rectangle in O(n) space — the LastRow primitive of the
+// paper's §2.2 and §5.1, for either gap model.
+//
+//   - a, b: row and column residues of the rectangle.
+//   - top: node row 0 (H and, affine, E); left: node column 0 (H and,
+//     affine, F); they must agree on the corner H value.
+//   - outRow receives node row m, outCol node column n. Individual output
+//     lanes may be nil when not needed; outRow lanes may alias top lanes, in
+//     which case top is consumed as scratch.
+//
+// The kernel draws at most one scratch row per live plane from the pool and
+// counts m*n cells on C.
+func (k *Kernel) Forward(a, b []byte, top, left, outRow, outCol Edge) error {
+	if err := k.checkEdge("Forward", "top", top, len(b)); err != nil {
+		return err
+	}
+	if err := k.checkEdge("Forward", "left", left, len(a)); err != nil {
+		return err
+	}
+	if top.H[0] != left.H[0] {
+		return fmt.Errorf("kernel: Forward: corner mismatch: top H[0]=%d left H[0]=%d", top.H[0], left.H[0])
+	}
+	for _, chk := range []struct {
+		name string
+		s    []int64
+		want int
+	}{
+		{"outRow H", outRow.H, len(b) + 1},
+		{"outRow gap lane", outRow.G, len(b) + 1},
+		{"outCol H", outCol.H, len(a) + 1},
+		{"outCol gap lane", outCol.G, len(a) + 1},
+	} {
+		if err := checkOut("Forward", chk.name, chk.s, chk.want); err != nil {
+			return err
+		}
+	}
+	if k.Mod.IsAffine() {
+		return k.forwardAffine(a, b, top, left, outRow, outCol)
+	}
+	return k.forwardLinear(a, b, top, left, outRow, outCol)
+}
+
+func (k *Kernel) forwardLinear(a, b []byte, top, left, outRow, outCol Edge) error {
+	n := len(b)
+	rows := len(a)
+	gap := k.Mod.Ext
+
+	// Choose the working row: reuse outRow when provided, otherwise scratch.
+	row := outRow.H
+	if row == nil {
+		row = k.Pool.GetFull(n + 1)
+		defer k.Pool.Put(row)
+	}
+	if &row[0] != &top.H[0] {
+		copy(row, top.H)
+	}
+	if outCol.H != nil {
+		outCol.H[0] = top.H[n]
+	}
+	if rows == 0 {
+		// Degenerate rectangle: row 0 is also row m.
+		return nil
+	}
+
+	poll := k.C.StartPoll()
+	for r := 0; r < rows; r++ {
+		if err := poll.Tick(n); err != nil {
+			return err
+		}
+		srow := k.M.Row(a[r])
+		diag := row[0]
+		rv := left.H[r+1]
+		row[0] = rv
+		for j := 1; j <= n; j++ {
+			up := row[j]
+			best := diag + int64(srow[b[j-1]])
+			if v := up + gap; v > best {
+				best = v
+			}
+			if v := rv + gap; v > best {
+				best = v
+			}
+			row[j] = best
+			rv = best
+			diag = up
+		}
+		if outCol.H != nil {
+			outCol.H[r+1] = rv
+		}
+	}
+	k.C.AddCells(int64(rows) * int64(n))
+	return nil
+}
+
+func (k *Kernel) forwardAffine(a, b []byte, top, left, outRow, outCol Edge) error {
+	n := len(b)
+	rows := len(a)
+	open, ext := k.Mod.Open, k.Mod.Ext
+
+	rowH, rowE := outRow.H, outRow.G
+	if rowH == nil {
+		rowH = k.Pool.GetFull(n + 1)
+		defer k.Pool.Put(rowH)
+	}
+	if rowE == nil {
+		rowE = k.Pool.GetFull(n + 1)
+		defer k.Pool.Put(rowE)
+	}
+	if &rowH[0] != &top.H[0] {
+		copy(rowH, top.H)
+	}
+	if &rowE[0] != &top.G[0] {
+		copy(rowE, top.G)
+	}
+	if outCol.H != nil {
+		outCol.H[0] = top.H[n]
+	}
+	if outCol.G != nil {
+		// The top boundary does not carry F, so the top-right corner's F is
+		// unknown here — and also never consumed: the kernel only reads
+		// left.G[1..], and a column boundary's row-0 entry seeds nothing.
+		outCol.G[0] = NegInf
+	}
+	if rows == 0 {
+		return nil
+	}
+
+	poll := k.C.StartPoll()
+	for r := 0; r < rows; r++ {
+		if err := poll.Tick(n); err != nil {
+			return err
+		}
+		srow := k.M.Row(a[r])
+		diagH := rowH[0]
+		h := left.H[r+1]
+		f := left.G[r+1]
+		rowH[0] = h
+		rowE[0] = NegInf
+		for j := 1; j <= n; j++ {
+			upH, upE := rowH[j], rowE[j]
+			e := upE + ext
+			if v := upH + open + ext; v > e {
+				e = v
+			}
+			fNew := f + ext
+			if v := h + open + ext; v > fNew {
+				fNew = v
+			}
+			f = fNew
+			hNew := diagH + int64(srow[b[j-1]])
+			if e > hNew {
+				hNew = e
+			}
+			if f > hNew {
+				hNew = f
+			}
+			h = hNew
+			diagH = upH
+			rowH[j] = h
+			rowE[j] = e
+		}
+		if outCol.H != nil {
+			outCol.H[r+1] = h
+		}
+		if outCol.G != nil {
+			outCol.G[r+1] = f
+		}
+	}
+	k.C.AddCells(int64(rows) * int64(n))
+	return nil
+}
+
+// Backward propagates suffix scores from the bottom-right boundary to the
+// top and left edges: outputs are the best scores of aligning a[r..m)
+// against b[c..n) given the values on row m (bottom) and column n (right).
+//
+//   - bottom: node row m (H and, affine, E); right: node column n (H and,
+//     affine, F); they must agree on the corner H value.
+//   - outRow receives node row 0, outCol node column 0; lanes may be nil;
+//     outRow lanes may alias bottom lanes.
+//
+// Hirschberg's split step pairs Forward over the top half with Backward over
+// the bottom half, with no reversed sequence copies for either gap model.
+// Note the E lane of an affine outRow is NegInf at column n and the F lane
+// of an affine outCol is NegInf at row m (those positions sit on the input
+// boundary, which does not carry the lane); callers that need the
+// column-n/row-m gap values (Myers-Miller's ss[N]) patch them from H.
+func (k *Kernel) Backward(a, b []byte, bottom, right, outRow, outCol Edge) error {
+	if err := k.checkEdge("Backward", "bottom", bottom, len(b)); err != nil {
+		return err
+	}
+	if err := k.checkEdge("Backward", "right", right, len(a)); err != nil {
+		return err
+	}
+	n := len(b)
+	rows := len(a)
+	if bottom.H[n] != right.H[rows] {
+		return fmt.Errorf("kernel: Backward: corner mismatch: bottom H[%d]=%d right H[%d]=%d", n, bottom.H[n], rows, right.H[rows])
+	}
+	for _, chk := range []struct {
+		name string
+		s    []int64
+		want int
+	}{
+		{"outRow H", outRow.H, n + 1},
+		{"outRow gap lane", outRow.G, n + 1},
+		{"outCol H", outCol.H, rows + 1},
+		{"outCol gap lane", outCol.G, rows + 1},
+	} {
+		if err := checkOut("Backward", chk.name, chk.s, chk.want); err != nil {
+			return err
+		}
+	}
+	if k.Mod.IsAffine() {
+		return k.backwardAffine(a, b, bottom, right, outRow, outCol)
+	}
+	return k.backwardLinear(a, b, bottom, right, outRow, outCol)
+}
+
+func (k *Kernel) backwardLinear(a, b []byte, bottom, right, outRow, outCol Edge) error {
+	n := len(b)
+	rows := len(a)
+	gap := k.Mod.Ext
+
+	row := outRow.H
+	if row == nil {
+		row = k.Pool.GetFull(n + 1)
+		defer k.Pool.Put(row)
+	}
+	if &row[0] != &bottom.H[0] {
+		copy(row, bottom.H)
+	}
+	if outCol.H != nil {
+		outCol.H[rows] = bottom.H[0]
+	}
+	if rows == 0 {
+		return nil
+	}
+
+	poll := k.C.StartPoll()
+	for r := rows - 1; r >= 0; r-- {
+		if err := poll.Tick(n); err != nil {
+			return err
+		}
+		srow := k.M.Row(a[r])
+		diag := row[n]
+		rv := right.H[r]
+		row[n] = rv
+		for j := n - 1; j >= 0; j-- {
+			down := row[j]
+			best := diag + int64(srow[b[j]])
+			if v := down + gap; v > best {
+				best = v
+			}
+			if v := rv + gap; v > best {
+				best = v
+			}
+			row[j] = best
+			rv = best
+			diag = down
+		}
+		if outCol.H != nil {
+			outCol.H[r] = rv
+		}
+	}
+	k.C.AddCells(int64(rows) * int64(n))
+	return nil
+}
+
+// backwardAffine runs the suffix form of the Gotoh recurrence:
+//
+//	E(r,j) = ext + max(E(r+1,j), open + H(r+1,j))   (gap entered downward)
+//	F(r,j) = ext + max(F(r,j+1), open + H(r,j+1))   (gap entered rightward)
+//	H(r,j) = max(s(a[r],b[j]) + H(r+1,j+1), E(r,j), F(r,j))
+//
+// the exact mirror of forwardAffine, so a vertical gap crossing row 0
+// surfaces on the outRow E lane just as it does on a forward outRow.
+func (k *Kernel) backwardAffine(a, b []byte, bottom, right, outRow, outCol Edge) error {
+	n := len(b)
+	rows := len(a)
+	open, ext := k.Mod.Open, k.Mod.Ext
+
+	rowH, rowE := outRow.H, outRow.G
+	if rowH == nil {
+		rowH = k.Pool.GetFull(n + 1)
+		defer k.Pool.Put(rowH)
+	}
+	if rowE == nil {
+		rowE = k.Pool.GetFull(n + 1)
+		defer k.Pool.Put(rowE)
+	}
+	if &rowH[0] != &bottom.H[0] {
+		copy(rowH, bottom.H)
+	}
+	if &rowE[0] != &bottom.G[0] {
+		copy(rowE, bottom.G)
+	}
+	if outCol.H != nil {
+		outCol.H[rows] = bottom.H[0]
+	}
+	if outCol.G != nil {
+		outCol.G[rows] = NegInf
+	}
+	if rows == 0 {
+		return nil
+	}
+
+	poll := k.C.StartPoll()
+	for r := rows - 1; r >= 0; r-- {
+		if err := poll.Tick(n); err != nil {
+			return err
+		}
+		srow := k.M.Row(a[r])
+		diagH := rowH[n]
+		h := right.H[r]
+		f := right.G[r]
+		rowH[n] = h
+		rowE[n] = NegInf
+		for j := n - 1; j >= 0; j-- {
+			downH, downE := rowH[j], rowE[j]
+			e := downE + ext
+			if v := downH + open + ext; v > e {
+				e = v
+			}
+			fNew := f + ext
+			if v := h + open + ext; v > fNew {
+				fNew = v
+			}
+			f = fNew
+			hNew := diagH + int64(srow[b[j]])
+			if e > hNew {
+				hNew = e
+			}
+			if f > hNew {
+				hNew = f
+			}
+			h = hNew
+			diagH = downH
+			rowH[j] = h
+			rowE[j] = e
+		}
+		if outCol.H != nil {
+			outCol.H[r] = h
+		}
+		if outCol.G != nil {
+			outCol.G[r] = f
+		}
+	}
+	k.C.AddCells(int64(rows) * int64(n))
+	return nil
+}
+
+// Score computes just the global alignment score of a vs b in O(n) space
+// (one Forward sweep with leading-gap boundaries), for either gap model.
+func (k *Kernel) Score(a, b []byte) (int64, error) {
+	top := k.LeadEdge(len(b), 0)
+	left := k.LeadEdge(len(a), 0)
+	out := k.NewEdge(len(b))
+	defer k.PutEdge(top)
+	defer k.PutEdge(left)
+	defer k.PutEdge(out)
+	if err := k.Forward(a, b, top, left, out, Edge{}); err != nil {
+		return 0, err
+	}
+	return out.H[len(b)], nil
+}

@@ -1,0 +1,118 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"fastlsa/internal/fm"
+	"fastlsa/internal/kernel"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/testutil"
+)
+
+// TestForwardAffineMatchesGotoh compares the O(n)-space affine sweep's output
+// row against full Gotoh solves of every prefix (fm.AlignAffine is the
+// reference).
+func TestForwardAffineMatchesGotoh(t *testing.T) {
+	open, ext := int64(-7), int64(-2)
+	gap := scoring.Gap{Open: int(open), Extend: int(ext)}
+	for seed := int64(0); seed < 10; seed++ {
+		a, b := testutil.RandomPair(int(seed%10)+1, int(seed*3%12)+1, seq.Protein, seed+200)
+		m := testutil.RandomMatrix(seq.Protein, seed+200)
+		k := kernel.New(m, kernel.Affine(open, ext), nil, nil)
+
+		top := k.LeadEdge(b.Len(), 0)
+		left := k.LeadEdge(a.Len(), 0)
+		outRow := k.NewEdge(b.Len())
+		if err := k.Forward(a.Residues, b.Residues, top, left, outRow, kernel.Edge{}); err != nil {
+			t.Fatal(err)
+		}
+		for j := 1; j <= b.Len(); j++ {
+			want, err := fm.AlignAffine(a, b.Slice(0, j), m, gap, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if outRow.H[j] != want.Score {
+				t.Fatalf("seed %d: H[m][%d] = %d, gotoh %d", seed, j, outRow.H[j], want.Score)
+			}
+		}
+	}
+}
+
+// TestBackwardAffineMirrorsForward: the affine Backward sweep over (a, b)
+// equals the Forward sweep over the reversed sequences.
+func TestBackwardAffineMirrorsForward(t *testing.T) {
+	open, ext := int64(-5), int64(-1)
+	for seed := int64(0); seed < 8; seed++ {
+		a, b := testutil.RandomPair(int(seed%9)+1, int(seed*5%13)+1, seq.DNA, seed+400)
+		m := testutil.RandomMatrix(seq.DNA, seed+400)
+		k := kernel.New(m, kernel.Affine(open, ext), nil, nil)
+
+		bottom := k.NewEdge(b.Len())
+		right := k.NewEdge(a.Len())
+		bottom.H[b.Len()] = 0
+		for j := b.Len() - 1; j >= 0; j-- {
+			bottom.H[j] = k.Mod.GapCost(b.Len() - j)
+		}
+		right.H[a.Len()] = 0
+		for r := a.Len() - 1; r >= 0; r-- {
+			right.H[r] = k.Mod.GapCost(a.Len() - r)
+		}
+		for i := range bottom.G {
+			bottom.G[i] = kernel.NegInf
+		}
+		for i := range right.G {
+			right.G[i] = kernel.NegInf
+		}
+		outRow := k.NewEdge(b.Len())
+		if err := k.Backward(a.Residues, b.Residues, bottom, right, outRow, kernel.Edge{}); err != nil {
+			t.Fatal(err)
+		}
+
+		ar, br := a.Reverse(), b.Reverse()
+		top := k.LeadEdge(br.Len(), 0)
+		left := k.LeadEdge(ar.Len(), 0)
+		fwd := k.NewEdge(br.Len())
+		if err := k.Forward(ar.Residues, br.Residues, top, left, fwd, kernel.Edge{}); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j <= b.Len(); j++ {
+			if outRow.H[j] != fwd.H[b.Len()-j] {
+				t.Fatalf("seed %d: backward[%d]=%d, mirrored forward=%d", seed, j, outRow.H[j], fwd.H[b.Len()-j])
+			}
+		}
+	}
+}
+
+func TestForwardValidation(t *testing.T) {
+	a, b := testutil.RandomPair(3, 3, seq.DNA, 1)
+	m := scoring.DNASimple
+	k := kernel.New(m, kernel.Affine(-5, -1), nil, nil)
+	h4 := make([]int64, 4)
+	h3 := make([]int64, 3)
+	good := kernel.Edge{H: h4, G: h4}
+	if err := k.Forward(a.Residues, b.Residues, kernel.Edge{H: h3, G: h4}, good, kernel.Edge{}, kernel.Edge{}); err == nil {
+		t.Fatal("short top H must fail")
+	}
+	if err := k.Forward(a.Residues, b.Residues, good, kernel.Edge{H: h3, G: h4}, kernel.Edge{}, kernel.Edge{}); err == nil {
+		t.Fatal("short left H must fail")
+	}
+	bad := kernel.Edge{H: []int64{9, 0, 0, 0}, G: h4}
+	if err := k.Forward(a.Residues, b.Residues, good, bad, kernel.Edge{}, kernel.Edge{}); err == nil {
+		t.Fatal("corner mismatch must fail")
+	}
+	if err := k.Forward(a.Residues, b.Residues, good, good, kernel.Edge{H: h3}, kernel.Edge{}); err == nil {
+		t.Fatal("short outRow must fail")
+	}
+}
+
+func TestModelGapCost(t *testing.T) {
+	aff := kernel.Affine(-10, -2)
+	if aff.GapCost(0) != 0 || aff.GapCost(3) != -16 {
+		t.Fatalf("affine GapCost = %d, %d", aff.GapCost(0), aff.GapCost(3))
+	}
+	lin := kernel.Linear(-4)
+	if lin.GapCost(5) != -20 {
+		t.Fatalf("linear GapCost = %d", lin.GapCost(5))
+	}
+}

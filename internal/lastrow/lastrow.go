@@ -1,9 +1,9 @@
-// Package lastrow implements the score-only dynamic-programming kernel that
-// every algorithm in this repository shares: propagate one row of DPM values
-// across a rectangle, keeping O(n) space. The paper uses exactly this
-// primitive as "the LastRow algorithm from Hirschberg" inside FastLSA's
-// fillGridCache (§5.1) and as the FindScore phase of the linear-space
-// algorithms (§2.2).
+// Package lastrow exposes the score-only linear-gap DP sweeps under their
+// historical names. The implementations live in internal/kernel (which also
+// serves the affine model from the same code paths); these adapters exist
+// for callers and tests that want the plain []int64 row interface of the
+// paper's LastRow algorithm (§2.2, §5.1) without building kernel.Edge values
+// themselves.
 //
 // Conventions: the rectangle covers DPM nodes (0..m, 0..n) in local
 // coordinates, with residues a[0..m) on rows and b[0..n) on columns. The
@@ -14,38 +14,22 @@
 package lastrow
 
 import (
-	"fmt"
-
+	"fastlsa/internal/kernel"
+	"fastlsa/internal/memory"
 	"fastlsa/internal/scoring"
 	"fastlsa/internal/stats"
 )
+
+// pool recycles the scratch rows of adapter calls that do not supply output
+// buffers; callers wanting a private pool use internal/kernel directly.
+var pool = memory.NewRowPool()
 
 // Boundary fills dst[0..n] with corner + i*gap, the standard leading-gap
 // initialisation of row 0 / column 0 of the global DPM (Figure 1's first row
 // and column), and returns it. If dst is nil or too small a new slice is
 // allocated.
 func Boundary(dst []int64, n int, corner, gap int64) []int64 {
-	if cap(dst) < n+1 {
-		dst = make([]int64, n+1)
-	}
-	dst = dst[:n+1]
-	v := corner
-	for i := 0; i <= n; i++ {
-		dst[i] = v
-		v += gap
-	}
-	return dst
-}
-
-// checkInputs validates the shared preconditions of Forward and Backward.
-func checkInputs(kind string, a, b []byte, rowB, colB []int64) error {
-	if len(rowB) != len(b)+1 {
-		return fmt.Errorf("lastrow: %s: boundary row has %d entries, want %d", kind, len(rowB), len(b)+1)
-	}
-	if len(colB) != len(a)+1 {
-		return fmt.Errorf("lastrow: %s: boundary column has %d entries, want %d", kind, len(colB), len(a)+1)
-	}
-	return nil
+	return kernel.Boundary(dst, n, corner, gap)
 }
 
 // Forward propagates DPM values from the top-left boundary to the bottom and
@@ -58,70 +42,13 @@ func checkInputs(kind string, a, b []byte, rowB, colB []int64) error {
 //     which case top is consumed as scratch.
 //   - outCol, if non-nil (len m+1), receives node column n.
 //
-// The kernel allocates at most one scratch row (none when outRow is usable
-// as scratch) and counts m*n cells on c.
+// The kernel draws at most one scratch row from a shared pool (none when
+// outRow is usable as scratch) and counts m*n cells on c.
 func Forward(a, b []byte, m *scoring.Matrix, gap int64, top, left []int64, outRow, outCol []int64, c *stats.Counters) error {
-	if err := checkInputs("Forward", a, b, top, left); err != nil {
-		return err
-	}
-	if top[0] != left[0] {
-		return fmt.Errorf("lastrow: Forward: corner mismatch: top[0]=%d left[0]=%d", top[0], left[0])
-	}
-	if outRow != nil && len(outRow) != len(b)+1 {
-		return fmt.Errorf("lastrow: Forward: outRow has %d entries, want %d", len(outRow), len(b)+1)
-	}
-	if outCol != nil && len(outCol) != len(a)+1 {
-		return fmt.Errorf("lastrow: Forward: outCol has %d entries, want %d", len(outCol), len(a)+1)
-	}
-	n := len(b)
-	rows := len(a)
-
-	// Choose the working row: reuse outRow when provided, otherwise scratch.
-	row := outRow
-	if row == nil {
-		row = make([]int64, n+1)
-	}
-	if &row[0] != &top[0] {
-		copy(row, top)
-	}
-	if outCol != nil {
-		outCol[0] = top[n]
-	}
-	if rows == 0 {
-		// Degenerate rectangle: row 0 is also row m.
-		return nil
-	}
-
-	stride := stats.PollStride(n)
-	for r := 0; r < rows; r++ {
-		if r%stride == 0 {
-			if err := c.Cancelled(); err != nil {
-				return err
-			}
-		}
-		srow := m.Row(a[r])
-		diag := row[0]
-		rv := left[r+1]
-		row[0] = rv
-		for j := 1; j <= n; j++ {
-			up := row[j]
-			best := diag + int64(srow[b[j-1]])
-			if v := up + gap; v > best {
-				best = v
-			}
-			if v := rv + gap; v > best {
-				best = v
-			}
-			row[j] = best
-			rv = best
-			diag = up
-		}
-		if outCol != nil {
-			outCol[r+1] = rv
-		}
-	}
-	c.AddCells(int64(rows) * int64(n))
-	return nil
+	k := kernel.Kernel{M: m, Mod: kernel.Linear(gap), Pool: pool, C: c}
+	return k.Forward(a, b,
+		kernel.Edge{H: top}, kernel.Edge{H: left},
+		kernel.Edge{H: outRow}, kernel.Edge{H: outCol})
 }
 
 // Backward propagates suffix scores from the bottom-right boundary to the top
@@ -136,75 +63,15 @@ func Forward(a, b []byte, m *scoring.Matrix, gap int64, top, left []int64, outRo
 // Hirschberg's split step pairs Forward over the top half with Backward over
 // the bottom half, with no reversed sequence copies.
 func Backward(a, b []byte, m *scoring.Matrix, gap int64, bottom, right []int64, outRow, outCol []int64, c *stats.Counters) error {
-	if err := checkInputs("Backward", a, b, bottom, right); err != nil {
-		return err
-	}
-	n := len(b)
-	rows := len(a)
-	if bottom[n] != right[rows] {
-		return fmt.Errorf("lastrow: Backward: corner mismatch: bottom[%d]=%d right[%d]=%d", n, bottom[n], rows, right[rows])
-	}
-	if outRow != nil && len(outRow) != n+1 {
-		return fmt.Errorf("lastrow: Backward: outRow has %d entries, want %d", len(outRow), n+1)
-	}
-	if outCol != nil && len(outCol) != rows+1 {
-		return fmt.Errorf("lastrow: Backward: outCol has %d entries, want %d", len(outCol), rows+1)
-	}
-
-	row := outRow
-	if row == nil {
-		row = make([]int64, n+1)
-	}
-	if &row[0] != &bottom[0] {
-		copy(row, bottom)
-	}
-	if outCol != nil {
-		outCol[rows] = bottom[0]
-	}
-	if rows == 0 {
-		return nil
-	}
-
-	stride := stats.PollStride(n)
-	for r := rows - 1; r >= 0; r-- {
-		if r%stride == 0 {
-			if err := c.Cancelled(); err != nil {
-				return err
-			}
-		}
-		srow := m.Row(a[r])
-		diag := row[n]
-		rv := right[r]
-		row[n] = rv
-		for j := n - 1; j >= 0; j-- {
-			down := row[j]
-			best := diag + int64(srow[b[j]])
-			if v := down + gap; v > best {
-				best = v
-			}
-			if v := rv + gap; v > best {
-				best = v
-			}
-			row[j] = best
-			rv = best
-			diag = down
-		}
-		if outCol != nil {
-			outCol[r] = rv
-		}
-	}
-	c.AddCells(int64(rows) * int64(n))
-	return nil
+	k := kernel.Kernel{M: m, Mod: kernel.Linear(gap), Pool: pool, C: c}
+	return k.Backward(a, b,
+		kernel.Edge{H: bottom}, kernel.Edge{H: right},
+		kernel.Edge{H: outRow}, kernel.Edge{H: outCol})
 }
 
 // Score computes just the global alignment score of a vs b in O(min(m,n))
 // space (the FindScore phase on the whole DPM).
 func Score(a, b []byte, m *scoring.Matrix, gap int64, c *stats.Counters) (int64, error) {
-	top := Boundary(nil, len(b), 0, gap)
-	left := Boundary(nil, len(a), 0, gap)
-	out := make([]int64, len(b)+1)
-	if err := Forward(a, b, m, gap, top, left, out, nil, c); err != nil {
-		return 0, err
-	}
-	return out[len(b)], nil
+	k := kernel.Kernel{M: m, Mod: kernel.Linear(gap), Pool: pool, C: c}
+	return k.Score(a, b)
 }

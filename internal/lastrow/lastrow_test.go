@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"fastlsa/internal/fm"
+	"fastlsa/internal/kernel"
 	"fastlsa/internal/lastrow"
 	"fastlsa/internal/scoring"
 	"fastlsa/internal/seq"
@@ -12,10 +13,13 @@ import (
 	"fastlsa/internal/testutil"
 )
 
-// fullMatrix computes the reference DPM with fm.FillRect for comparison.
+// fullMatrix computes the reference DPM with the kernel's stored-rectangle
+// fill for comparison.
 func fullMatrix(a, b []byte, m *scoring.Matrix, g int64, top, left []int64) []int64 {
 	buf := make([]int64, (len(a)+1)*(len(b)+1))
-	if err := fm.FillRect(a, b, m, g, top, left, buf, nil); err != nil {
+	k := kernel.New(m, kernel.Linear(g), nil, nil)
+	err := k.FillRect(a, b, kernel.Edge{H: top}, kernel.Edge{H: left}, kernel.Rect{H: buf})
+	if err != nil {
 		panic(err)
 	}
 	return buf
@@ -173,62 +177,6 @@ func TestCellsCounted(t *testing.T) {
 	}
 	if c.Cells.Load() != 77 {
 		t.Fatalf("cells = %d, want 77", c.Cells.Load())
-	}
-}
-
-// TestForwardAffineMatchesGotoh compares the O(n)-space affine kernel's
-// output row against the full Gotoh matrices.
-func TestForwardAffineMatchesGotoh(t *testing.T) {
-	open, ext := int64(-7), int64(-2)
-	for seed := int64(0); seed < 10; seed++ {
-		a, b := testutil.RandomPair(int(seed%10)+1, int(seed*3%12)+1, seq.Protein, seed+200)
-		m := testutil.RandomMatrix(seq.Protein, seed+200)
-
-		// Reference via fm.AlignAffine's score at every prefix of the last
-		// row: use full matrices by calling the affine FM path on (a, b[:j]).
-		topH, _ := lastrow.AffineBoundary(nil, nil, b.Len(), 0, open, ext)
-		topE := make([]int64, b.Len()+1)
-		for j := range topE {
-			topE[j] = lastrow.NegInf
-		}
-		leftH, _ := lastrow.AffineBoundary(nil, nil, a.Len(), 0, open, ext)
-		leftF := make([]int64, a.Len()+1)
-		for r := range leftF {
-			leftF[r] = lastrow.NegInf
-		}
-		outH := make([]int64, b.Len()+1)
-		outE := make([]int64, b.Len()+1)
-		if err := lastrow.ForwardAffine(a.Residues, b.Residues, m, open, ext,
-			topH, topE, leftH, leftF, outH, outE, nil, nil, nil); err != nil {
-			t.Fatal(err)
-		}
-		gap := scoring.Gap{Open: int(open), Extend: int(ext)}
-		for j := 1; j <= b.Len(); j++ {
-			want, err := fm.AlignAffine(a, b.Slice(0, j), m, gap, nil, nil)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if outH[j] != want.Score {
-				t.Fatalf("seed %d: H[m][%d] = %d, gotoh %d", seed, j, outH[j], want.Score)
-			}
-		}
-	}
-}
-
-func TestForwardAffineValidation(t *testing.T) {
-	a, b := testutil.RandomPair(3, 3, seq.DNA, 1)
-	m := scoring.DNASimple
-	h4 := make([]int64, 4)
-	h3 := make([]int64, 3)
-	if err := lastrow.ForwardAffine(a.Residues, b.Residues, m, -5, -1, h3, h4, h4, h4, nil, nil, nil, nil, nil); err == nil {
-		t.Fatal("short topH must fail")
-	}
-	if err := lastrow.ForwardAffine(a.Residues, b.Residues, m, -5, -1, h4, h4, h3, h4, nil, nil, nil, nil, nil); err == nil {
-		t.Fatal("short leftH must fail")
-	}
-	bad := []int64{9, 0, 0, 0}
-	if err := lastrow.ForwardAffine(a.Residues, b.Residues, m, -5, -1, h4, h4, bad, h4, nil, nil, nil, nil, nil); err == nil {
-		t.Fatal("corner mismatch must fail")
 	}
 }
 

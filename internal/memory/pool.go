@@ -7,7 +7,13 @@ import "sync"
 // allocator out of the inner loop without changing the budget accounting
 // (budgets charge logical entries, pools manage physical slices).
 type RowPool struct {
-	pool sync.Pool
+	// rows holds *[]int64 — pointers, so Put does not box a slice header
+	// into an interface on every call (that boxing is itself an allocation,
+	// which would defeat the pool on the hot path).
+	rows sync.Pool
+	// hdrs recycles the header boxes emptied by Get so Put can fill one
+	// without allocating.
+	hdrs sync.Pool
 }
 
 // NewRowPool returns an empty pool.
@@ -19,8 +25,10 @@ func (p *RowPool) Get(n int) []int64 {
 	if p == nil {
 		return make([]int64, 0, n)
 	}
-	if v := p.pool.Get(); v != nil {
-		s := v.([]int64)
+	if v, ok := p.rows.Get().(*[]int64); ok {
+		s := *v
+		*v = nil
+		p.hdrs.Put(v)
 		if cap(s) >= n {
 			return s[:0]
 		}
@@ -36,5 +44,10 @@ func (p *RowPool) Put(s []int64) {
 	if p == nil || cap(s) == 0 {
 		return
 	}
-	p.pool.Put(s[:0]) //nolint:staticcheck // slice headers are fine to pool
+	v, ok := p.hdrs.Get().(*[]int64)
+	if !ok {
+		v = new([]int64)
+	}
+	*v = s[:0]
+	p.rows.Put(v)
 }

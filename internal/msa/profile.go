@@ -142,12 +142,10 @@ func mergeProfiles(L, R *profile, m *scoring.Matrix, gap scoring.Gap, c *stats.C
 		score[i*cols] = score[(i-1)*cols] + gl[i-1]
 		dirs[i*cols] = pUp
 	}
-	stride := stats.PollStride(lq)
+	poll := c.StartPoll()
 	for i := 1; i <= lp; i++ {
-		if i%stride == 0 {
-			if err := c.Cancelled(); err != nil {
-				return nil, err
-			}
+		if err := poll.Tick(lq); err != nil {
+			return nil, err
 		}
 		base := i * cols
 		prev := base - cols

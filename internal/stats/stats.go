@@ -93,18 +93,38 @@ func (c *Counters) Cancelled() error {
 	}
 }
 
-// PollStride returns how many outer-loop iterations of rowLen cells each
-// should pass between Cancelled polls, targeting one poll per ~8Ki cells so
-// short rows do not pay a per-row select.
-func PollStride(rowLen int) int {
-	const targetCells = 8192
-	if rowLen >= targetCells {
-		return 1
+// PollTargetCells is the shared cancellation-poll cadence: every DP fill
+// loop performs one Cancelled check per ~8Ki computed cells, so poll overhead
+// and cancellation latency are uniform across kernels regardless of row
+// shape.
+const PollTargetCells = 8192
+
+// Poll is a cell-countdown cancellation poller, the one helper every fill
+// loop in the repository uses. Tick it with the number of cells just
+// computed (typically once per row sweep); it performs a Cancelled check
+// each time PollTargetCells cells have accumulated. The zero Poll of a nil
+// *Counters is valid and never cancels.
+type Poll struct {
+	c    *Counters
+	left int64
+}
+
+// StartPoll returns a poller bound to c's cancellation signal, primed to
+// perform its first check after PollTargetCells cells.
+func (c *Counters) StartPoll() Poll {
+	return Poll{c: c, left: PollTargetCells}
+}
+
+// Tick records that n more cells were computed and polls Cancelled once per
+// PollTargetCells accumulated cells, returning the context error when the
+// run was cancelled.
+func (p *Poll) Tick(n int) error {
+	p.left -= int64(n)
+	if p.left > 0 {
+		return nil
 	}
-	if rowLen < 1 {
-		rowLen = 1
-	}
-	return targetCells / rowLen
+	p.left = PollTargetCells
+	return p.c.Cancelled()
 }
 
 // AddCells records n DP entries computed.
