@@ -1,0 +1,72 @@
+package fastlsa_test
+
+import (
+	"errors"
+	"testing"
+
+	"fastlsa"
+)
+
+// TestAutoRevalidatesOverrides: in AlgoAuto mode explicit K / BaseCells are
+// planning inputs, so an override the budget cannot hold fails fast with
+// ErrBudgetTooSmall instead of starting a run that aborts mid-way with
+// ErrBudgetExceeded.
+func TestAutoRevalidatesOverrides(t *testing.T) {
+	a, b, err := fastlsa.HomologousPair(1000, fastlsa.DNA, fastlsa.DefaultHomology, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = fastlsa.Align(a, b, fastlsa.Options{
+		Matrix:       fastlsa.DNASimple,
+		Gap:          fastlsa.Linear(-4),
+		Algorithm:    fastlsa.AlgoAuto,
+		MemoryBudget: 10_000,
+		BaseCells:    9_000, // leaves no room for any grid cache
+		Workers:      1,
+	})
+	if !errors.Is(err, fastlsa.ErrBudgetTooSmall) {
+		t.Fatalf("oversized BaseCells under AlgoAuto: got %v, want ErrBudgetTooSmall", err)
+	}
+	// ErrBudgetTooSmall is a kind of invalid input, so servers can map it to
+	// the same 4xx class.
+	if !errors.Is(err, fastlsa.ErrInvalidInput) && !errors.Is(err, fastlsa.ErrBudgetTooSmall) {
+		t.Fatalf("sentinel classification lost: %v", err)
+	}
+}
+
+// TestAutoParallelTightBudget: the acceptance scenario at library level — a
+// parallel AlgoAuto run under a budget that cannot hold the default tile
+// mesh completes with the sequential run's exact score.
+func TestAutoParallelTightBudget(t *testing.T) {
+	a, b, err := fastlsa.HomologousPair(3000, fastlsa.DNA, fastlsa.DefaultHomology, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fastlsa.Options{
+		Matrix:       fastlsa.DNASimple,
+		Gap:          fastlsa.Linear(-4),
+		Algorithm:    fastlsa.AlgoAuto,
+		MemoryBudget: 120_000, // ~1.3% of the full matrix
+	}
+	seqOpt := opt
+	seqOpt.Workers = 1
+	want, err := fastlsa.Align(a, b, seqOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOpt := opt
+	parOpt.Workers = 4
+	var c fastlsa.Counters
+	parOpt.Counters = &c
+	got, err := fastlsa.Align(a, b, parOpt)
+	if err != nil {
+		t.Fatalf("parallel run under a tight budget must degrade, not fail: %v", err)
+	}
+	if got.Score != want.Score {
+		t.Fatalf("parallel score %d != sequential %d", got.Score, want.Score)
+	}
+	snap := c.Snapshot()
+	if snap.PlannedFillTiles == 0 {
+		t.Fatalf("no parallel fill was planned (counters: %+v)", snap)
+	}
+}

@@ -84,21 +84,21 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		if req.Align.Local {
 			kind = "align-local"
 		}
-		task, err = alignTask(s.cfg, *req.Align)
+		task, err = s.alignTask(*req.Align)
 	case "msa":
 		if req.MSA == nil {
 			writeErr(w, http.StatusBadRequest, `"msa" body required for type msa`)
 			return
 		}
 		kind = "msa"
-		task, err = msaTask(s.cfg, *req.MSA)
+		task, err = s.msaTask(*req.MSA)
 	case "search":
 		if req.Search == nil {
 			writeErr(w, http.StatusBadRequest, `"search" body required for type search`)
 			return
 		}
 		kind = "search"
-		task, err = searchTask(s.cfg, *req.Search)
+		task, err = s.searchTask(*req.Search)
 	default:
 		writeErr(w, http.StatusBadRequest, "unknown job type %q (want align, msa or search)", req.Type)
 		return
@@ -154,9 +154,21 @@ func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// handleStats reports the engine counters.
+// statsView is the GET /v1/stats reply: the engine's job counters at the top
+// level (flat, for compatibility) plus the service-wide alignment counters —
+// including the memory-degradation ones (mesh_shrinks, seq_fill_fallbacks,
+// planned_fill_tiles vs executed_fill_tiles) — under "alignment".
+type statsView struct {
+	fastlsa.EngineStats
+	Alignment fastlsa.CounterSnapshot `json:"alignment"`
+}
+
+// handleStats reports the engine and alignment counters.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.eng.Stats())
+	writeJSON(w, http.StatusOK, statsView{
+		EngineStats: s.eng.Stats(),
+		Alignment:   s.metrics.Snapshot(),
+	})
 }
 
 func jobLookupStatus(err error) int {
@@ -218,7 +230,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		unit.A, unit.B = p.A, p.B
 		unit.AID = orDefault(p.AID, fmt.Sprintf("a%d", i))
 		unit.BID = orDefault(p.BID, fmt.Sprintf("b%d", i))
-		task, err := alignTask(s.cfg, unit)
+		task, err := s.alignTask(unit)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "pair %d: %v", i, err)
 			return

@@ -250,4 +250,18 @@ func TestStatsEndpoint(t *testing.T) {
 	if out["submitted"].(float64) < 1 || out["succeeded"].(float64) < 1 {
 		t.Fatalf("sync traffic not routed through the engine: %v", out)
 	}
+	al, ok := out["alignment"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats lack the alignment counters: %v", out)
+	}
+	if al["cells"].(float64) < 1 {
+		t.Fatalf("alignment work not accumulated into /v1/stats: %v", al)
+	}
+	// The degradation counters must be present (zero is fine: nothing was
+	// memory-constrained here).
+	for _, key := range []string{"mesh_shrinks", "seq_fill_fallbacks", "planned_fill_tiles", "executed_fill_tiles"} {
+		if _, ok := al[key]; !ok {
+			t.Fatalf("alignment stats lack %q: %v", key, al)
+		}
+	}
 }

@@ -58,13 +58,20 @@ type server struct {
 	http.Handler
 	cfg serverConfig
 	eng *fastlsa.Engine
+	// metrics accumulates the alignment work of every request served —
+	// each task derives a per-run child from it, so the shared value stays
+	// race-free while /v1/stats can report service-wide counters, the
+	// memory-degradation ones (mesh shrinks, sequential fill fallbacks)
+	// included.
+	metrics *fastlsa.Counters
 }
 
 // newServer builds the HTTP handler tree backed by a fresh job engine.
 func newServer(cfg serverConfig) *server {
 	cfg = cfg.withDefaults()
 	s := &server{
-		cfg: cfg,
+		cfg:     cfg,
+		metrics: &fastlsa.Counters{},
 		eng: fastlsa.NewEngine(fastlsa.EngineConfig{
 			Workers:            cfg.EngineWorkers,
 			QueueDepth:         cfg.QueueDepth,
@@ -121,7 +128,8 @@ func errStatus(err error) int {
 	case errors.Is(err, context.Canceled):
 		// The client is gone; the status is mostly for logs.
 		return http.StatusServiceUnavailable
-	case errors.Is(err, fastlsa.ErrInvalidInput), errors.Is(err, fastlsa.ErrBudgetExceeded):
+	case errors.Is(err, fastlsa.ErrInvalidInput), errors.Is(err, fastlsa.ErrBudgetExceeded),
+		errors.Is(err, fastlsa.ErrBudgetTooSmall):
 		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusInternalServerError
@@ -205,7 +213,7 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	task, err := alignTask(s.cfg, req)
+	task, err := s.alignTask(req)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -224,16 +232,18 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 
 // alignTask validates req up front (so bad input is a 400, not a job
 // failure) and returns the engine task that computes the response.
-func alignTask(cfg serverConfig, req alignRequest) (func(ctx context.Context) (any, error), error) {
-	opt, a, b, err := buildOptions(cfg, req)
+func (s *server) alignTask(req alignRequest) (func(ctx context.Context) (any, error), error) {
+	opt, a, b, err := buildOptions(s.cfg, req)
 	if err != nil {
 		return nil, err
 	}
 	return func(ctx context.Context) (any, error) {
 		o := opt
 		o.Context = ctx
-		var counters fastlsa.Counters
-		o.Counters = &counters
+		// Per-request child of the service-wide counters: the request reads
+		// its own work, /v1/stats accumulates everything.
+		counters := s.metrics.Derive(nil)
+		o.Counters = counters
 
 		if req.Local {
 			loc, err := fastlsa.AlignLocal(a, b, o)
@@ -360,7 +370,7 @@ func (s *server) handleMSA(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	task, err := msaTask(s.cfg, req)
+	task, err := s.msaTask(req)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -374,7 +384,8 @@ func (s *server) handleMSA(w http.ResponseWriter, r *http.Request) {
 }
 
 // msaTask validates req and returns the engine task computing the response.
-func msaTask(cfg serverConfig, req msaRequest) (func(ctx context.Context) (any, error), error) {
+func (s *server) msaTask(req msaRequest) (func(ctx context.Context) (any, error), error) {
+	cfg := s.cfg
 	if len(req.Sequences) < 2 {
 		return nil, fmt.Errorf("need at least two sequences (got %d)", len(req.Sequences))
 	}
@@ -414,10 +425,11 @@ func msaTask(cfg serverConfig, req msaRequest) (func(ctx context.Context) (any, 
 	}
 	return func(ctx context.Context) (any, error) {
 		res, err := fastlsa.AlignMSA(seqs, fastlsa.Options{
-			Matrix:  matrix,
-			Gap:     req.Gap.toGap(),
-			Workers: workers,
-			Context: ctx,
+			Matrix:   matrix,
+			Gap:      req.Gap.toGap(),
+			Workers:  workers,
+			Context:  ctx,
+			Counters: s.metrics, // the facade derives a per-run child
 		})
 		if err != nil {
 			return nil, err
@@ -506,7 +518,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	task, err := searchTask(s.cfg, req)
+	task, err := s.searchTask(req)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -522,7 +534,8 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // searchTask validates req and returns the engine task computing the
 // response. The statistics fit (when requested) runs inside the task so it
 // is cancellable along with the search itself.
-func searchTask(cfg serverConfig, req searchRequest) (func(ctx context.Context) (any, error), error) {
+func (s *server) searchTask(req searchRequest) (func(ctx context.Context) (any, error), error) {
+	cfg := s.cfg
 	if len(req.Database) == 0 {
 		return nil, fmt.Errorf("empty database")
 	}
@@ -582,6 +595,7 @@ func searchTask(cfg serverConfig, req searchRequest) (func(ctx context.Context) 
 			MaxEValue: req.MaxEValue,
 			Workers:   workers,
 			Context:   ctx,
+			Counters:  s.metrics, // Search derives a per-run child
 		}
 		var resp searchResponse
 		if req.FitStats || req.MaxEValue > 0 {

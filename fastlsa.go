@@ -41,6 +41,9 @@ type (
 	Stats = align.Stats
 	// Counters collects instrumentation (cells computed, base cases, ...).
 	Counters = stats.Counters
+	// CounterSnapshot is a plain-value copy of Counters (Counters.Snapshot),
+	// JSON-servable — degradation counters included.
+	CounterSnapshot = stats.Snapshot
 	// FormatOptions controls Alignment pretty-printing.
 	FormatOptions = align.FormatOptions
 	// Mode selects which terminal gaps are free (ends-free alignment).
@@ -243,6 +246,11 @@ var (
 	// ErrBudgetExceeded reports a run that could not fit the caller's
 	// Options.MemoryBudget.
 	ErrBudgetExceeded = memory.ErrExceeded
+	// ErrBudgetTooSmall reports a MemoryBudget below FastLSA's linear-space
+	// floor for the problem: no parameter choice can make the run fit, so
+	// the request is rejected up front instead of failing mid-run. Like
+	// ErrInvalidInput it classifies a caller mistake, not an internal fault.
+	ErrBudgetTooSmall = core.ErrBudgetTooSmall
 )
 
 // badInput wraps a validation failure with ErrInvalidInput.
@@ -320,15 +328,13 @@ func (o Options) budget() (*memory.Budget, error) {
 
 func (o Options) coreOptions(m, n int) (core.Options, error) {
 	if o.Algorithm == AlgoAuto {
-		copt, err := core.SuggestOptions(m, n, o.MemoryBudget, o.Workers)
+		// Explicit K / BaseCells overrides are planning inputs, not
+		// post-hoc patches: PlanOptions re-runs the whole feasibility check
+		// with them (and the gap model's true footprint) so an override can
+		// never push the run past the budget the plan was sized for.
+		copt, err := core.PlanOptions(m, n, o.MemoryBudget, o.Workers, !o.Gap.IsLinear(), o.K, o.BaseCells)
 		if err != nil {
 			return core.Options{}, err
-		}
-		if o.K != 0 {
-			copt.K = o.K
-		}
-		if o.BaseCells != 0 {
-			copt.BaseCells = o.BaseCells
 		}
 		copt.Counters = o.Counters
 		return copt, nil

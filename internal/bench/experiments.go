@@ -202,8 +202,9 @@ func ExperimentMemSweep(w io.Writer, n int) error {
 		return err
 	}
 	full := int64(a.Len()+1) * int64(b.Len()+1)
+	const par = 4 // worker count of the parallel series
 	t := NewTable(fmt.Sprintf("E6: adapting to the memory budget RM (m=n~%d, full matrix = %d entries)", n, full),
-		"budget", "pct-of-full", "fm", "fastlsa-ms", "peak", "cells-factor")
+		"budget", "pct-of-full", "fm", "fastlsa-ms", "peak", "cells-factor", "p4-ms", "p4-degrade")
 	area := float64(a.Len()) * float64(b.Len())
 	for _, frac := range []float64{1.2, 0.5, 0.1, 0.02, 0.005} {
 		budget := int64(frac * float64(full))
@@ -213,7 +214,7 @@ func ExperimentMemSweep(w io.Writer, n int) error {
 		}
 		opt, err := core.SuggestOptions(a.Len(), b.Len(), budget, 1)
 		if err != nil {
-			t.AddRow(budget, fmt.Sprintf("%.1f%%", 100*frac), fmState, "-", "-", "below linear floor")
+			t.AddRow(budget, fmt.Sprintf("%.1f%%", 100*frac), fmState, "-", "-", "below linear floor", "-", "-")
 			continue
 		}
 		m := Run(a, b, wl.Matrix(), Config{
@@ -222,10 +223,31 @@ func ExperimentMemSweep(w io.Writer, n int) error {
 		if m.Err != nil {
 			return fmt.Errorf("budget=%d: %w", budget, m.Err)
 		}
+		// Parallel series at the same budget: the planner charges the tile
+		// mesh, and whatever it could not foresee the runtime absorbs by
+		// shrinking the mesh or falling back to the sequential fill — the
+		// degrade column counts those events (shrinks+fallbacks).
+		popt, perr := core.SuggestOptions(a.Len(), b.Len(), budget, par)
+		parMS, parDegrade := "-", "-"
+		if perr == nil {
+			pm := Run(a, b, wl.Matrix(), Config{
+				Engine: EngineFastLSA, K: popt.K, BaseCells: popt.BaseCells, Budget: budget,
+				Workers: par, TileRows: popt.TileRows, TileCols: popt.TileCols,
+			})
+			if pm.Err != nil {
+				return fmt.Errorf("budget=%d P=%d: %w", budget, par, pm.Err)
+			}
+			if pm.Score != m.Score {
+				return fmt.Errorf("budget=%d: parallel score %d != sequential %d", budget, pm.Score, m.Score)
+			}
+			parMS = fmt.Sprintf("%d", pm.Duration.Milliseconds())
+			parDegrade = fmt.Sprintf("%d+%d", pm.Stats.MeshShrinks, pm.Stats.SeqFillFallbacks)
+		}
 		t.AddRow(budget, fmt.Sprintf("%.1f%%", 100*frac), fmState,
-			m.Duration.Milliseconds(), m.PeakMem, float64(m.Stats.Cells)/area)
+			m.Duration.Milliseconds(), m.PeakMem, float64(m.Stats.Cells)/area, parMS, parDegrade)
 	}
 	t.AddNote("paper shape: FM becomes infeasible below 100%% of the matrix; FastLSA degrades gracefully to linear space")
+	t.AddNote("p4-degrade = mesh shrinks + sequential-fill fallbacks of the P=4 run; scores are checked equal to sequential")
 	return t.Fprint(w)
 }
 
@@ -326,7 +348,7 @@ func ExperimentTileSweep(w io.Writer, n, p int) error {
 		return err
 	}
 	t := NewTable(fmt.Sprintf("E9: tiling and the three wavefront phases (m=n~%d, P=%d)", n, p),
-		"k", "u", "v", "RxC", "phase1", "phase2", "phase3", "alpha-bound", "model-speedup", "ms")
+		"k", "u", "v", "RxC", "phase1", "phase2", "phase3", "tiles-plan/exec", "alpha-bound", "model-speedup", "ms")
 	for _, kuv := range [][3]int{
 		{4, 1, 1}, {4, 2, 2}, {4, 4, 4},
 		{6, 2, 3}, // the Figure 13 configuration
@@ -345,9 +367,11 @@ func ExperimentTileSweep(w io.Writer, n, p int) error {
 		model := ModelSpeedup(a.Len(), b.Len(), ModelConfig{K: k, BaseCells: core.DefaultBaseCells, Workers: p, TileRows: u, TileCols: v})
 		t.AddRow(k, u, v, fmt.Sprintf("%dx%d", R, C),
 			m.Stats.Phase1Tiles, m.Stats.Phase2Tiles, m.Stats.Phase3Tiles,
+			fmt.Sprintf("%d/%d", m.Stats.PlannedFillTiles, m.Stats.ExecutedFillTiles),
 			fmt.Sprintf("%.3f", alpha), fmt.Sprintf("%.2f", model), m.Duration.Milliseconds())
 	}
 	t.AddNote("alpha = (1 + (P^2-P)/(R*C))/P from Theorem 4; larger R*C pushes alpha toward 1/P")
+	t.AddNote("tiles-plan/exec diverge only when a tight budget shrinks the fill mesh at run time")
 	return t.Fprint(w)
 }
 

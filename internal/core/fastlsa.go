@@ -204,10 +204,19 @@ func (s *solver) solve(t rect, top, left kernel.Edge, state int) (exitR, exitC, 
 // order; parallel runs delegate to the wavefront fill of parallel.go when
 // the subproblem is large enough to pay for scheduling.
 func (s *solver) fillGridCache(grid *gridCache) error {
-	t, k := grid.t, grid.k
+	t := grid.t
 	if s.opt.workers > 1 && t.rows()*t.cols() >= s.opt.parMinArea {
 		return s.fillGridCacheParallel(grid)
 	}
+	return s.fillGridCacheSeq(grid)
+}
+
+// fillGridCacheSeq is the sequential block loop of the Fill Cache. It needs
+// no memory beyond the grid lines themselves, which makes it the terminal
+// rung of the parallel fill's degradation ladder: fillGridCacheParallel
+// falls back here when the budget cannot hold even the minimum tile mesh.
+func (s *solver) fillGridCacheSeq(grid *gridCache) error {
+	k := grid.k
 	for u := 0; u < k; u++ {
 		for v := 0; v < k; v++ {
 			if u == k-1 && v == k-1 {

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 
@@ -162,49 +163,176 @@ func defaultTileSub(workers, k int) int {
 	return u
 }
 
+// ErrBudgetTooSmall is returned (wrapped) by SuggestOptions / PlanOptions
+// when the memory budget is below FastLSA's linear-space floor for the
+// problem — no parameter choice can make the run fit. It classifies the
+// failure as caller input (the chosen budget), not an internal fault, so
+// servers can map it to a 4xx the same way they map other invalid-input
+// errors.
+var ErrBudgetTooSmall = errors.New("core: memory budget below FastLSA's linear-space floor")
+
 // SuggestOptions derives FastLSA parameters from a memory budget for an
 // m x n problem, following the paper's tuning discussion (§3, §4): reserve a
 // cache-sized Base Case buffer, then verify that the top-level grid cache
 // (~2k(m+n) entries plus the geometric recursion tail) fits the remainder.
-// It returns an error when even k=2 cannot fit, i.e. the budget is below the
-// linear-space floor of the algorithm.
+// When workers > 1 the transient parallel-fill mesh is also charged into the
+// plan (PlanOptions). It returns an error wrapping ErrBudgetTooSmall when
+// even k=2 cannot fit, i.e. the budget is below the linear-space floor of
+// the algorithm.
 func SuggestOptions(m, n int, budgetEntries int64, workers int) (Options, error) {
+	return PlanOptions(m, n, budgetEntries, workers, false, 0, 0)
+}
+
+// PlanOptions is the memory-planning core behind SuggestOptions: it derives
+// budget-feasible FastLSA parameters for an m x n problem, honouring
+// explicit K / BaseCells overrides (0 = derive) and the gap model's true
+// footprint (affine grid lines carry two lanes and base cases three planes).
+//
+// When workers > 1 it additionally charges the worst-case transient mesh of
+// the Parallel Fill Cache — lanes*((R-1)(n+1) + (C-1)(m+1)) for the R x C
+// tile grid of Figure 13 — into the feasibility math, shrinking the tile
+// subdivision (and, past that, the base buffer) until the mesh fits, so
+// Auto-mode options never plan a run the budget cannot execute. The planned
+// subdivision is returned in TileRows/TileCols. If even the k-aligned
+// minimum mesh (R = C = k) cannot fit, the plan is still accepted: the
+// runtime degrades such fills to the sequential path instead of failing
+// (see fillGridCacheParallel).
+func PlanOptions(m, n int, budgetEntries int64, workers int, affine bool, kOverride, baseOverride int) (Options, error) {
 	if m < 0 || n < 0 {
-		return Options{}, fmt.Errorf("core: SuggestOptions: negative dimensions %dx%d", m, n)
+		return Options{}, fmt.Errorf("core: PlanOptions: negative dimensions %dx%d", m, n)
+	}
+	if kOverride != 0 && kOverride < 2 {
+		return Options{}, fmt.Errorf("core: Options.K = %d, want >= 2 (paper §3)", kOverride)
+	}
+	if baseOverride != 0 && baseOverride < MinBaseCells {
+		return Options{}, fmt.Errorf("core: Options.BaseCells = %d, want >= %d", baseOverride, MinBaseCells)
 	}
 	if budgetEntries <= 0 {
-		// Unlimited: defaults.
-		return Options{K: DefaultK, BaseCells: DefaultBaseCells, Workers: workers}, nil
+		// Unlimited: defaults, overrides passed through.
+		opt := Options{K: DefaultK, BaseCells: DefaultBaseCells, Workers: workers}
+		if kOverride != 0 {
+			opt.K = kOverride
+		}
+		if baseOverride != 0 {
+			opt.BaseCells = baseOverride
+		}
+		return opt, nil
+	}
+	lanes, planes := int64(1), int64(1)
+	if affine {
+		lanes, planes = 2, 3
+	}
+	long := m
+	if n > long {
+		long = n
 	}
 	// gridNeed estimates the peak grid-cache footprint of a run with
-	// parameter k: the top level holds k(m+n+2) entries, each deeper level
-	// 1/k of the previous; sum <= k(m+n+2) * k/(k-1).
+	// parameter k: the top level holds lanes*k(m+n+2) entries, each deeper
+	// level 1/k of the previous; sum <= lanes*k(m+n+2) * k/(k-1).
 	gridNeed := func(k int) int64 {
-		top := int64(k) * int64(m+n+2)
+		top := lanes * int64(k) * int64(m+n+2)
 		return top + top/int64(k-1) + 1
 	}
+	// stripEntries bounds the plane-set size of the widest thin-strip base
+	// case the recursion can produce (a 1-cell-deep block of a level-1
+	// subproblem): 2 node rows over at most ceil(long/k)+1 columns. Strips
+	// that do not fit the base buffer reserve a dedicated plane set.
+	stripEntries := func(k int) int64 {
+		return 2 * (int64(long)/int64(k) + 2)
+	}
+	wEff := workers
+	if wEff == 0 {
+		wEff = runtime.GOMAXPROCS(0)
+	}
+
+	ks := []int{DefaultK, 6, 4, 3, 2}
+	if kOverride != 0 {
+		ks = []int{kOverride}
+	}
 	// Prefer the largest base buffer and the default k; shrink as needed.
-	for _, k := range []int{DefaultK, 6, 4, 3, 2} {
+	for _, k := range ks {
 		need := gridNeed(k)
 		if need >= budgetEntries {
 			continue
 		}
-		base := budgetEntries - need
-		if base > budgetEntries/2 {
-			base = budgetEntries / 2 // keep headroom for deep recursion
+		avail := (budgetEntries - need) / planes // entries available per base plane
+		base := int64(baseOverride)
+		if base == 0 {
+			base = avail
+			if cap := budgetEntries / (2 * planes); base > cap {
+				base = cap // keep headroom for deep recursion
+			}
+			if base > int64(DefaultBaseCells)*16 {
+				base = int64(DefaultBaseCells) * 16
+			}
+			if base < MinBaseCells {
+				// The headroom clamp must not reject a configuration the
+				// budget can in fact hold: fall back to the smallest buffer.
+				if avail < MinBaseCells {
+					continue
+				}
+				base = MinBaseCells
+			}
+		} else if base > avail {
+			continue // explicit BaseCells does not fit beside this k's grid
 		}
-		if base > int64(DefaultBaseCells)*16 {
-			base = int64(DefaultBaseCells) * 16
+		// Worst-case thin strips: swallow them into the base buffer when
+		// affordable (a bigger buffer costs the same as the dedicated charge
+		// and helps every other base case), else charge them separately.
+		strip := int64(0)
+		if se := stripEntries(k); se > base {
+			if baseOverride == 0 && se <= avail {
+				base = se
+			} else {
+				strip = planes * se
+				if need+planes*base+strip > budgetEntries {
+					continue
+				}
+			}
 		}
-		if base < MinBaseCells {
-			continue
+
+		opt := Options{K: k, BaseCells: int(base), Workers: workers}
+		if wEff > 1 {
+			mesh := func(u, v int) int64 {
+				return lanes * (int64(u*k-1)*int64(n+1) + int64(v*k-1)*int64(m+1))
+			}
+			left := budgetEntries - need - planes*base - strip
+			u, v := defaultTileSub(wEff, k), defaultTileSub(wEff, k)
+			for mesh(u, v) > left && (u > 1 || v > 1) {
+				if u >= v && u > 1 {
+					u--
+				} else {
+					v--
+				}
+			}
+			if deficit := mesh(u, v) - left; deficit > 0 && baseOverride == 0 {
+				// Even the minimum mesh misses the budget: pay for it out of
+				// the base buffer, down to the cache-friendly default (never
+				// below a strip-swallowing or minimum buffer).
+				floor := int64(DefaultBaseCells)
+				if strip == 0 && stripEntries(k) > floor {
+					floor = stripEntries(k)
+				}
+				if floor < MinBaseCells {
+					floor = MinBaseCells
+				}
+				shrink := (deficit + planes - 1) / planes
+				if base-shrink >= floor {
+					base -= shrink
+					opt.BaseCells = int(base)
+				}
+				// Otherwise leave the plan: the runtime falls back to the
+				// sequential fill for meshes the budget cannot hold.
+			}
+			opt.TileRows, opt.TileCols = u, v
 		}
 		b, err := memory.NewBudget(budgetEntries)
 		if err != nil {
 			return Options{}, err
 		}
-		return Options{K: k, BaseCells: int(base), Budget: b, Workers: workers}, nil
+		opt.Budget = b
+		return opt, nil
 	}
-	return Options{}, fmt.Errorf("core: budget of %d entries is below FastLSA's linear-space floor for a %dx%d problem (needs ~%d)",
-		budgetEntries, m, n, gridNeed(2)+MinBaseCells)
+	return Options{}, fmt.Errorf("%w: %d entries for a %dx%d problem (needs ~%d)",
+		ErrBudgetTooSmall, budgetEntries, m, n, gridNeed(2)+planes*MinBaseCells)
 }

@@ -1,11 +1,16 @@
 package core
 
 import (
-	"fmt"
-
 	"fastlsa/internal/kernel"
 	"fastlsa/internal/wavefront"
 )
+
+// meshEntriesFor is the transient-mesh footprint of an R x C tile grid over
+// a rows x cols subproblem: R-1 interior row lines of cols+1 entries and C-1
+// interior column lines of rows+1 entries, times the model's edge lanes.
+func meshEntriesFor(lanes int64, R, C, rows, cols int) int64 {
+	return lanes * (int64(R-1)*int64(cols+1) + int64(C-1)*int64(rows+1))
+}
 
 // fillGridCacheParallel is the Parallel Fill Cache of §5 (Figure 13): the
 // subproblem is tiled R x C with R = u*k and C = v*k, so tile boundaries are
@@ -15,14 +20,59 @@ import (
 // "mesh" of R row lines and C column lines — one lane linear, two affine —
 // charged to the budget and released once the aligned lines have been copied
 // into the grid cache.
+//
+// The mesh is the only memory a parallel fill needs beyond what the
+// sequential fill uses, so a tight budget degrades the fill rather than
+// failing it ("FastLSA adapts to the amount of space available", §3): the
+// requested u x v subdivision is shrunk toward 1 x 1 until the mesh fits
+// what the budget has left, and if even the k-aligned minimum mesh
+// (R = C = k) cannot be reserved the fill falls back to the sequential
+// block loop. Every such decision is recorded on the run's counters
+// (MeshShrinks, SeqFillFallbacks, PlannedFillTiles vs ExecutedFillTiles).
 func (s *solver) fillGridCacheParallel(grid *gridCache) error {
 	t, k := grid.t, grid.k
 	rows, cols := t.rows(), t.cols()
 	affine := s.k.Mod.IsAffine()
+	lanes := int64(1)
+	if affine {
+		lanes = 2
+	}
 
 	// Clamp the per-block subdivision so every tile is non-empty.
-	u := clampSub(s.opt.tileRows, minSegment(grid.rs))
-	v := clampSub(s.opt.tileCols, minSegment(grid.cs))
+	uReq := clampSub(s.opt.tileRows, minSegment(grid.rs))
+	vReq := clampSub(s.opt.tileCols, minSegment(grid.cs))
+	s.c.AddPlannedFillTiles(int64(k*uReq)*int64(k*vReq) - int64(uReq*vReq))
+
+	// Fit the mesh to the budget: shrink the subdivision toward 1 x 1, then
+	// reserve. TryReserve (rather than trusting Available) keeps the plan
+	// honest when the budget is shared with concurrent runs — on a lost race
+	// the plan is recomputed against the fresh remainder.
+	u, v := uReq, vReq
+	var meshEntries int64
+	for {
+		avail := s.opt.budget.Available()
+		for meshEntriesFor(lanes, k*u, k*v, rows, cols) > avail && (u > 1 || v > 1) {
+			if u >= v && u > 1 {
+				u--
+			} else {
+				v--
+			}
+		}
+		meshEntries = meshEntriesFor(lanes, k*u, k*v, rows, cols)
+		if s.opt.budget.TryReserve(meshEntries) {
+			break
+		}
+		if u == 1 && v == 1 {
+			// Even the minimum mesh does not fit: degrade to the sequential
+			// fill, which needs no transient mesh at all.
+			s.c.AddSeqFillFallback()
+			return s.fillGridCacheSeq(grid)
+		}
+	}
+	if u != uReq || v != vReq {
+		s.c.AddMeshShrink()
+	}
+	s.c.AddExecutedFillTiles(int64(k*u)*int64(k*v) - int64(u*v))
 	R, C := k*u, k*v
 
 	// Tile boundaries refine the block boundaries.
@@ -33,14 +83,6 @@ func (s *solver) fillGridCacheParallel(grid *gridCache) error {
 	// spans node column tcs[j] (full height). Row/column 0 alias the grid's
 	// copies of the input caches; lines at indices >= R (resp. C) are never
 	// produced or consumed.
-	lanes := int64(1)
-	if affine {
-		lanes = 2
-	}
-	meshEntries := lanes * (int64(R-1)*int64(cols+1) + int64(C-1)*int64(rows+1))
-	if err := s.opt.budget.Reserve(meshEntries); err != nil {
-		return fmt.Errorf("core: parallel fill mesh (%dx%d tiles, %d entries): %w", R, C, meshEntries, err)
-	}
 	defer s.opt.budget.Release(meshEntries)
 	s.c.ObserveGridEntries(s.opt.budget.Used())
 
@@ -145,6 +187,12 @@ func (s *solver) fillTile(t rect, trs, tcs []int, meshRows, meshCols []kernel.Ed
 // fillRectParallel is the Parallel Base Case of §5.2: the stored plane set rt
 // is filled by P workers over an R x C wavefront tiling; the traceback that
 // follows is sequential (its cost is linear in the path length).
+//
+// Unlike the Fill Cache there is no transient mesh to charge: the tiles
+// write directly into rt, whose memory is already reserved by the caller
+// (the pre-reserved Base Case buffer, or baseCase's dedicated thin-strip
+// charge — the same plane set the sequential FillRect would use), so going
+// parallel here can never exceed a budget the sequential fill would fit.
 func (s *solver) fillRectParallel(ra, rb []byte, top, left kernel.Edge, rt kernel.Rect) error {
 	rows, cols := len(ra), len(rb)
 

@@ -64,6 +64,30 @@ func (b *Budget) Reserve(n int64) error {
 	}
 }
 
+// TryReserve claims n units if they are available, reporting whether the
+// claim succeeded. It is the primitive behind graceful degradation: callers
+// with a smaller fallback plan probe with TryReserve instead of treating
+// ErrExceeded as fatal. Negative sizes always fail. Safe for concurrent use.
+func (b *Budget) TryReserve(n int64) bool {
+	if n < 0 {
+		return false
+	}
+	if b == nil {
+		return true
+	}
+	for {
+		cur := b.used.Load()
+		next := cur + n
+		if next > b.total {
+			return false
+		}
+		if b.used.CompareAndSwap(cur, next) {
+			b.observePeak(next)
+			return true
+		}
+	}
+}
+
 // Release returns n units to the budget. Releasing more than is in use is a
 // programming error and panics (it would silently corrupt all later
 // accounting).

@@ -34,6 +34,17 @@ type Counters struct {
 	// the three phases of Figure 13 (ramp-up diagonals with < P tiles,
 	// saturated middle, ramp-down).
 	Phase1Tiles, Phase2Tiles, Phase3Tiles atomic.Int64
+	// MeshShrinks counts parallel fills whose transient tile mesh was shrunk
+	// below the requested (u, v) subdivision to fit the memory budget.
+	MeshShrinks atomic.Int64
+	// SeqFillFallbacks counts parallel fills that degraded all the way to the
+	// sequential fill because even the minimum k-aligned mesh did not fit.
+	SeqFillFallbacks atomic.Int64
+	// PlannedFillTiles and ExecutedFillTiles compare the tile grid the
+	// requested (u, v) subdivision would have run against the grid that
+	// actually ran after budget-driven shrinking (0 executed on a sequential
+	// fallback). Equal values mean no fill was degraded.
+	PlannedFillTiles, ExecutedFillTiles atomic.Int64
 
 	// cancelDone and cancelCtx carry the run's cancellation signal
 	// (AttachContext). The kernels poll Cancelled between row sweeps; a nil
@@ -176,6 +187,36 @@ func (c *Counters) AddPhaseTiles(p int, cnt int64) {
 	}
 }
 
+// AddMeshShrink records one parallel fill whose tile mesh was shrunk to fit
+// the budget.
+func (c *Counters) AddMeshShrink() {
+	for ; c != nil; c = c.parent {
+		c.MeshShrinks.Add(1)
+	}
+}
+
+// AddSeqFillFallback records one parallel fill degraded to the sequential
+// path.
+func (c *Counters) AddSeqFillFallback() {
+	for ; c != nil; c = c.parent {
+		c.SeqFillFallbacks.Add(1)
+	}
+}
+
+// AddPlannedFillTiles records the tile count of the requested tiling.
+func (c *Counters) AddPlannedFillTiles(n int64) {
+	for ; c != nil; c = c.parent {
+		c.PlannedFillTiles.Add(n)
+	}
+}
+
+// AddExecutedFillTiles records the tile count of the tiling that ran.
+func (c *Counters) AddExecutedFillTiles(n int64) {
+	for ; c != nil; c = c.parent {
+		c.ExecutedFillTiles.Add(n)
+	}
+}
+
 // ObserveGridEntries raises the peak grid-entry watermark to n if larger.
 func (c *Counters) ObserveGridEntries(n int64) {
 	for ; c != nil; c = c.parent {
@@ -197,17 +238,22 @@ func (c *Counters) RecomputationFactor(m, n int) float64 {
 	return float64(c.Cells.Load()) / (float64(m) * float64(n))
 }
 
-// Snapshot is a plain-value copy of the counters.
+// Snapshot is a plain-value copy of the counters. The JSON tags make it
+// directly servable (the alignment section of the server's /v1/stats reply).
 type Snapshot struct {
-	Cells           int64
-	TracebackSteps  int64
-	BaseCases       int64
-	GeneralCases    int64
-	FillTiles       int64
-	PeakGridEntries int64
-	Phase1Tiles     int64
-	Phase2Tiles     int64
-	Phase3Tiles     int64
+	Cells             int64 `json:"cells"`
+	TracebackSteps    int64 `json:"traceback_steps"`
+	BaseCases         int64 `json:"base_cases"`
+	GeneralCases      int64 `json:"general_cases"`
+	FillTiles         int64 `json:"fill_tiles"`
+	PeakGridEntries   int64 `json:"peak_grid_entries"`
+	Phase1Tiles       int64 `json:"phase1_tiles"`
+	Phase2Tiles       int64 `json:"phase2_tiles"`
+	Phase3Tiles       int64 `json:"phase3_tiles"`
+	MeshShrinks       int64 `json:"mesh_shrinks"`
+	SeqFillFallbacks  int64 `json:"seq_fill_fallbacks"`
+	PlannedFillTiles  int64 `json:"planned_fill_tiles"`
+	ExecutedFillTiles int64 `json:"executed_fill_tiles"`
 }
 
 // Snapshot copies the current counter values.
@@ -216,23 +262,29 @@ func (c *Counters) Snapshot() Snapshot {
 		return Snapshot{}
 	}
 	return Snapshot{
-		Cells:           c.Cells.Load(),
-		TracebackSteps:  c.TracebackSteps.Load(),
-		BaseCases:       c.BaseCases.Load(),
-		GeneralCases:    c.GeneralCases.Load(),
-		FillTiles:       c.FillTiles.Load(),
-		PeakGridEntries: c.PeakGridEntries.Load(),
-		Phase1Tiles:     c.Phase1Tiles.Load(),
-		Phase2Tiles:     c.Phase2Tiles.Load(),
-		Phase3Tiles:     c.Phase3Tiles.Load(),
+		Cells:             c.Cells.Load(),
+		TracebackSteps:    c.TracebackSteps.Load(),
+		BaseCases:         c.BaseCases.Load(),
+		GeneralCases:      c.GeneralCases.Load(),
+		FillTiles:         c.FillTiles.Load(),
+		PeakGridEntries:   c.PeakGridEntries.Load(),
+		Phase1Tiles:       c.Phase1Tiles.Load(),
+		Phase2Tiles:       c.Phase2Tiles.Load(),
+		Phase3Tiles:       c.Phase3Tiles.Load(),
+		MeshShrinks:       c.MeshShrinks.Load(),
+		SeqFillFallbacks:  c.SeqFillFallbacks.Load(),
+		PlannedFillTiles:  c.PlannedFillTiles.Load(),
+		ExecutedFillTiles: c.ExecutedFillTiles.Load(),
 	}
 }
 
 // String implements fmt.Stringer.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("cells=%d trace=%d base=%d general=%d tiles=%d(p1=%d p2=%d p3=%d) peakGrid=%d",
+	return fmt.Sprintf("cells=%d trace=%d base=%d general=%d tiles=%d(p1=%d p2=%d p3=%d planned=%d ran=%d) peakGrid=%d shrinks=%d seqFalls=%d",
 		s.Cells, s.TracebackSteps, s.BaseCases, s.GeneralCases,
-		s.FillTiles, s.Phase1Tiles, s.Phase2Tiles, s.Phase3Tiles, s.PeakGridEntries)
+		s.FillTiles, s.Phase1Tiles, s.Phase2Tiles, s.Phase3Tiles,
+		s.PlannedFillTiles, s.ExecutedFillTiles, s.PeakGridEntries,
+		s.MeshShrinks, s.SeqFillFallbacks)
 }
 
 // Timer measures named phases of a run.
