@@ -40,17 +40,19 @@ func main() {
 		scoreOnly  = flag.Bool("score-only", false, "print only the optimal score (linear space)")
 		width      = flag.Int("width", 60, "alignment columns per output block")
 		showStats  = flag.Bool("stats", false, "print instrumentation counters")
+		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON profile of the run to this file (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 	if err := run(*matrixName, *alphaName, *algoName, *modeName, *gapPen, *open, *extend,
-		*workers, *budget, *kParam, *baseCells, *band, *local, *scoreOnly, *width, *showStats, flag.Args()); err != nil {
+		*workers, *budget, *kParam, *baseCells, *band, *local, *scoreOnly, *width, *showStats, *tracePath, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "fastlsa-align:", err)
 		os.Exit(1)
 	}
 }
 
 func run(matrixName, alphaName, algoName, modeName string, gapPen, open, extend, workers int,
-	budget int64, kParam, baseCells, band int, local, scoreOnly bool, width int, showStats bool, args []string) error {
+	budget int64, kParam, baseCells, band int, local, scoreOnly bool, width int, showStats bool,
+	tracePath string, args []string) error {
 
 	matrix, err := fastlsa.MatrixByName(matrixName)
 	if err != nil {
@@ -91,6 +93,12 @@ func run(matrixName, alphaName, algoName, modeName string, gapPen, open, extend,
 		K:            kParam,
 		BaseCells:    baseCells,
 		Counters:     &counters,
+	}
+	var tr *fastlsa.Trace
+	if tracePath != "" {
+		tr = fastlsa.NewTrace(0)
+		tr.SetLabel(fmt.Sprintf("fastlsa-align %s x %s", a.ID, b.ID))
+		opt.Trace = tr
 	}
 
 	switch {
@@ -142,6 +150,21 @@ func run(matrixName, alphaName, algoName, modeName string, gapPen, open, extend,
 
 	if showStats {
 		fmt.Printf("stats: %s\n", counters.Snapshot())
+	}
+	if tr != nil {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		werr := tr.WriteChrome(f)
+		cerr := f.Close()
+		if werr != nil {
+			return fmt.Errorf("writing trace: %w", werr)
+		}
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d spans written to %s\n", tr.Len(), tracePath)
 	}
 	return nil
 }

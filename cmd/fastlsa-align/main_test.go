@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -78,7 +79,7 @@ func TestRunEndToEnd(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			err := run("dna", "", tc.algo, tc.mode, tc.gap, tc.open, tc.extend,
-				1, 0, 0, 0, 0, tc.local, tc.scoreOnly, 60, true, []string{pair})
+				1, 0, 0, 0, 0, tc.local, tc.scoreOnly, 60, true, "", []string{pair})
 			if err != nil {
 				t.Fatalf("run failed: %v", err)
 			}
@@ -88,23 +89,55 @@ func TestRunEndToEnd(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	pair := writeTemp(t, "pair.fa", ">x\nACGT\n>y\nTTTT\n")
-	if err := run("no-such-matrix", "", "auto", "global", -4, 0, 0, 1, 0, 0, 0, 0, false, false, 60, false, []string{pair}); err == nil {
+	if err := run("no-such-matrix", "", "auto", "global", -4, 0, 0, 1, 0, 0, 0, 0, false, false, 60, false, "", []string{pair}); err == nil {
 		t.Fatal("unknown matrix must fail")
 	}
-	if err := run("dna", "", "warp", "global", -4, 0, 0, 1, 0, 0, 0, 0, false, false, 60, false, []string{pair}); err == nil {
+	if err := run("dna", "", "warp", "global", -4, 0, 0, 1, 0, 0, 0, 0, false, false, 60, false, "", []string{pair}); err == nil {
 		t.Fatal("unknown algorithm must fail")
 	}
-	if err := run("dna", "", "auto", "diagonal", -4, 0, 0, 1, 0, 0, 0, 0, false, false, 60, false, []string{pair}); err == nil {
+	if err := run("dna", "", "auto", "diagonal", -4, 0, 0, 1, 0, 0, 0, 0, false, false, 60, false, "", []string{pair}); err == nil {
 		t.Fatal("unknown mode must fail")
 	}
-	if err := run("dna", "klingon", "auto", "global", -4, 0, 0, 1, 0, 0, 0, 0, false, false, 60, false, []string{pair}); err == nil {
+	if err := run("dna", "klingon", "auto", "global", -4, 0, 0, 1, 0, 0, 0, 0, false, false, 60, false, "", []string{pair}); err == nil {
 		t.Fatal("unknown alphabet must fail")
 	}
-	if err := run("dna", "", "auto", "global", 4, 0, 0, 1, 0, 0, 0, 0, false, false, 60, false, []string{pair}); err == nil {
+	if err := run("dna", "", "auto", "global", 4, 0, 0, 1, 0, 0, 0, 0, false, false, 60, false, "", []string{pair}); err == nil {
 		t.Fatal("positive gap must fail")
 	}
 	// Banded run succeeds end to end.
-	if err := run("dna", "", "auto", "global", -4, 0, 0, 1, 0, 0, 0, -1, false, false, 60, false, []string{pair}); err != nil {
+	if err := run("dna", "", "auto", "global", -4, 0, 0, 1, 0, 0, 0, -1, false, false, 60, false, "", []string{pair}); err != nil {
 		t.Fatalf("adaptive banded run failed: %v", err)
+	}
+}
+
+// TestRunWritesTrace checks -trace produces Chrome trace_event JSON that
+// parses and carries solver spans.
+func TestRunWritesTrace(t *testing.T) {
+	pair := writeTemp(t, "pair.fa", ">x\nACGTACGTACGTACGT\n>y\nACGTTCGTACGAACGT\n")
+	out := filepath.Join(t.TempDir(), "trace.json")
+	if err := run("dna", "", "auto", "global", -4, 0, 0, 1, 0, 0, 0, 0, false, false, 60, false, out, []string{pair}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var traceback bool
+	for _, ev := range tr.TraceEvents {
+		if ev.Name == "traceback" && ev.Ph == "X" {
+			traceback = true
+		}
+	}
+	if !traceback {
+		t.Fatalf("trace has no traceback span; %d events", len(tr.TraceEvents))
 	}
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	fastlsa-bench <experiment> [flags]
+//	fastlsa-bench <experiment>[,<experiment>...] [flags]
 //
 // Experiments:
 //
@@ -28,11 +28,13 @@
 //	-p P          worker count for efficiency/tilesweep
 //	-sizes a,b,c  size list for opcounts/speedup
 //	-workers a,b  worker list for speedup
+//	-json f.json  also write machine-readable results (schema fastlsa-bench/v1)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -40,17 +42,26 @@ import (
 	"fastlsa/internal/bench"
 )
 
+// experimentIDs maps experiment names to the paper's evaluation numbering
+// (DESIGN.md §3); experiments beyond the paper's suite have no E-number.
+var experimentIDs = map[string]string{
+	"example": "E1", "opcounts": "E2", "table3": "E3", "seqtime": "E4",
+	"ksweep": "E5", "memsweep": "E6", "speedup": "E7", "efficiency": "E8",
+	"tilesweep": "E9", "bounds": "E10",
+}
+
 func main() {
 	var (
-		large   = flag.Bool("large", false, "include paper-scale workloads (slow)")
-		n       = flag.Int("n", 0, "problem size override (0 = experiment default)")
-		p       = flag.Int("p", 0, "worker count override (0 = experiment default)")
-		sizes   = flag.String("sizes", "", "comma-separated size list")
-		workers = flag.String("workers", "", "comma-separated worker list")
-		ks      = flag.String("ks", "", "comma-separated k list")
+		large    = flag.Bool("large", false, "include paper-scale workloads (slow)")
+		n        = flag.Int("n", 0, "problem size override (0 = experiment default)")
+		p        = flag.Int("p", 0, "worker count override (0 = experiment default)")
+		sizes    = flag.String("sizes", "", "comma-separated size list")
+		workers  = flag.String("workers", "", "comma-separated worker list")
+		ks       = flag.String("ks", "", "comma-separated k list")
+		jsonPath = flag.String("json", "", "also write machine-readable results to this file (schema fastlsa-bench/v1; see docs/OBSERVABILITY.md)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fastlsa-bench <experiment> [flags]\nexperiments: example opcounts table3 seqtime ksweep memsweep speedup efficiency tilesweep bounds all\n\n")
+		fmt.Fprintf(os.Stderr, "usage: fastlsa-bench <experiment>[,<experiment>...] [flags]\nexperiments: example opcounts table3 seqtime ksweep memsweep speedup efficiency tilesweep bounds all\n\n")
 		flag.PrintDefaults()
 	}
 	if len(os.Args) < 2 {
@@ -75,8 +86,16 @@ func main() {
 		fatal(err)
 	}
 
-	out := os.Stdout
+	var out io.Writer = os.Stdout
+	var rec *bench.Recorder
+	if *jsonPath != "" {
+		rec = bench.NewRecorder(os.Stdout)
+		out = rec
+	}
 	run := func(name string) error {
+		if rec != nil {
+			rec.StartExperiment(name, experimentIDs[name])
+		}
 		switch name {
 		case "example":
 			return bench.ExperimentExample(out)
@@ -107,19 +126,31 @@ func main() {
 		}
 	}
 
+	names := strings.Split(cmd, ",")
 	if cmd == "all" {
-		for _, name := range []string{
+		names = []string{
 			"example", "opcounts", "table3", "seqtime", "ksweep",
 			"memsweep", "speedup", "efficiency", "tilesweep", "bounds", "variants", "theory",
-		} {
-			if err := run(name); err != nil {
-				fatal(fmt.Errorf("%s: %w", name, err))
-			}
 		}
-		return
 	}
-	if err := run(cmd); err != nil {
-		fatal(err)
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if err := run(name); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+	if rec != nil {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		werr := rec.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatal(fmt.Errorf("writing %s: %w", *jsonPath, werr))
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"fastlsa"
+	"fastlsa/internal/obs"
 )
 
 // jobRequest is the POST /v1/jobs body: one alignment task submitted
@@ -29,10 +30,13 @@ type jobRequest struct {
 
 // jobView is the JSON shape of a job for the async API.
 type jobView struct {
-	ID        string     `json:"id"`
-	Kind      string     `json:"kind"`
-	Priority  int        `json:"priority"`
-	State     string     `json:"state"`
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	Priority int    `json:"priority"`
+	State    string `json:"state"`
+	// RequestID ties the job to the submitting request's X-Request-ID for
+	// log correlation.
+	RequestID string     `json:"requestId,omitempty"`
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`
@@ -47,6 +51,7 @@ func viewOf(info fastlsa.JobInfo, result any) jobView {
 		Kind:      info.Kind,
 		Priority:  info.Priority,
 		State:     info.State.String(),
+		RequestID: info.RequestID,
 		Submitted: info.Submitted,
 		Error:     info.Err,
 		Result:    result,
@@ -84,7 +89,11 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		if req.Align.Local {
 			kind = "align-local"
 		}
-		task, err = s.alignTask(*req.Align)
+		a := *req.Align
+		if r.URL.Query().Get("trace") == "1" {
+			a.Trace = true
+		}
+		task, err = s.alignTask(a)
 	case "msa":
 		if req.MSA == nil {
 			writeErr(w, http.StatusBadRequest, `"msa" body required for type msa`)
@@ -108,8 +117,9 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, err := s.eng.SubmitFunc(kind, task, fastlsa.JobOptions{
-		Priority: req.Priority,
-		Timeout:  time.Duration(req.TimeoutSec * float64(time.Second)),
+		Priority:  req.Priority,
+		Timeout:   time.Duration(req.TimeoutSec * float64(time.Second)),
+		RequestID: obs.RequestID(r.Context()),
 	})
 	if err != nil {
 		writeErr(w, errStatus(err), "%v", err)
@@ -238,13 +248,15 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		tasks[i] = task
 	}
 	b, err := s.eng.SubmitBatchFunc("batch-align", tasks, fastlsa.JobOptions{
-		Timeout: time.Duration(req.TimeoutSec * float64(time.Second)),
-		Context: r.Context(),
+		Timeout:   time.Duration(req.TimeoutSec * float64(time.Second)),
+		Context:   r.Context(),
+		RequestID: obs.RequestID(r.Context()),
 	})
 	if err != nil {
 		writeErr(w, errStatus(err), "%v", err)
 		return
 	}
+	s.batchSizes.Observe(float64(b.Size()))
 	results, err := b.Wait(r.Context())
 	if err != nil {
 		b.Cancel()

@@ -14,12 +14,22 @@
 //	DELETE /v1/jobs/{id}   cancel a job
 //	POST   /v1/batch       many pairwise alignments, admitted atomically
 //	GET    /v1/stats       engine counters (queue, workers, outcomes)
+//	GET    /metrics        Prometheus text-format metrics
 //
 // All alignment work — synchronous or async — runs through a bounded job
 // engine: a saturated queue rejects with 503 rather than queueing without
 // bound, and cancelled or abandoned requests stop consuming CPU promptly.
 // On SIGINT/SIGTERM the server stops accepting work, drains in-flight jobs
 // until the drain deadline, then cancels the remainder and exits.
+//
+// Observability: every request is logged as one structured (JSON) record
+// with an X-Request-ID that is honored when the client sent one, echoed in
+// the response, and attached to the engine job it spawns. /metrics exposes
+// per-route latency histograms, engine queue gauges and service-wide
+// alignment counters. POST /v1/align?trace=1 (or "trace": true in the body)
+// returns a Chrome trace_event JSON profile of the run. -debug-addr serves
+// net/http/pprof and expvar on a separate listener, so profiling stays off
+// the public port. See docs/OBSERVABILITY.md.
 //
 // Example:
 //
@@ -35,10 +45,14 @@ package main
 import (
 	"context"
 	"errors"
+	_ "expvar" // registers /debug/vars on the debug listener
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the debug listener
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -57,8 +71,15 @@ func main() {
 		maxResults = flag.Int("max-results", 0, "retained jobs that keep their full result payload (0 = 64)")
 		maxBatch   = flag.Int("max-batch", 64, "maximum pairs per batch request")
 		drainSec   = flag.Int("drain", 30, "shutdown drain deadline in seconds")
+		debugAddr  = flag.String("debug-addr", "", "listen address for pprof and expvar (empty = disabled)")
+		quiet      = flag.Bool("quiet", false, "disable per-request access logs")
 	)
 	flag.Parse()
+
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 
 	app := newServer(serverConfig{
 		MaxSequenceLen:     *maxLen,
@@ -69,6 +90,7 @@ func main() {
 		QueueDepth:         *queueDepth,
 		MaxRetainedResults: *maxResults,
 		MaxBatch:           *maxBatch,
+		Logger:             logger,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -82,6 +104,19 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("fastlsa-server listening on %s\n", *addr)
+
+	// Profiling/introspection stays on its own listener: net/http/pprof and
+	// expvar register on http.DefaultServeMux at import, so serving the
+	// default mux exposes /debug/pprof/* and /debug/vars without putting
+	// them on the public port.
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("debug listener (pprof, expvar) on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:

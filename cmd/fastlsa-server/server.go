@@ -5,10 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
+	"time"
 
 	"fastlsa"
+	"fastlsa/internal/obs"
 )
 
 // serverConfig bounds the service.
@@ -33,6 +36,9 @@ type serverConfig struct {
 	MaxRetainedResults int
 	// MaxBatch caps the units of one POST /v1/batch request (0 selects 64).
 	MaxBatch int
+	// Logger, when non-nil, receives one structured access-log record per
+	// request (request id, route, status, latency).
+	Logger *slog.Logger
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -64,6 +70,13 @@ type server struct {
 	// memory-degradation ones (mesh shrinks, sequential fill fallbacks)
 	// included.
 	metrics *fastlsa.Counters
+	// reg is the Prometheus-style registry behind GET /metrics; httpm holds
+	// the per-route HTTP request counters and latency histograms.
+	reg        *obs.Registry
+	httpm      *obs.HTTPMetrics
+	batchSizes *obs.Histogram
+	logger     *slog.Logger
+	start      time.Time
 }
 
 // newServer builds the HTTP handler tree backed by a fresh job engine.
@@ -78,23 +91,118 @@ func newServer(cfg serverConfig) *server {
 			MaxRetained:        cfg.MaxRetained,
 			MaxRetainedResults: cfg.MaxRetainedResults,
 		}),
+		reg:    obs.NewRegistry(),
+		logger: cfg.Logger,
+		start:  time.Now(),
 	}
+	s.httpm = obs.NewHTTPMetrics(s.reg, "fastlsa")
+	s.batchSizes = s.reg.Histogram("fastlsa_batch_size",
+		"Units per admitted POST /v1/batch request.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+	s.registerMetrics()
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.handle(mux, "GET /healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("GET /v1/matrices", handleMatrices)
-	mux.HandleFunc("POST /v1/align", withLimits(cfg, s.handleAlign))
-	mux.HandleFunc("POST /v1/msa", withLimits(cfg, s.handleMSA))
-	mux.HandleFunc("POST /v1/search", withLimits(cfg, s.handleSearch))
-	mux.HandleFunc("POST /v1/jobs", withLimits(cfg, s.handleJobSubmit))
-	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	mux.HandleFunc("POST /v1/batch", withLimits(cfg, s.handleBatch))
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	}))
+	s.handle(mux, "GET /metrics", s.reg.Handler())
+	s.handle(mux, "GET /v1/matrices", http.HandlerFunc(handleMatrices))
+	s.handle(mux, "POST /v1/align", withLimits(cfg, s.handleAlign))
+	s.handle(mux, "POST /v1/msa", withLimits(cfg, s.handleMSA))
+	s.handle(mux, "POST /v1/search", withLimits(cfg, s.handleSearch))
+	s.handle(mux, "POST /v1/jobs", withLimits(cfg, s.handleJobSubmit))
+	s.handle(mux, "GET /v1/jobs", http.HandlerFunc(s.handleJobList))
+	s.handle(mux, "GET /v1/jobs/{id}", http.HandlerFunc(s.handleJobGet))
+	s.handle(mux, "DELETE /v1/jobs/{id}", http.HandlerFunc(s.handleJobCancel))
+	s.handle(mux, "POST /v1/batch", withLimits(cfg, s.handleBatch))
+	s.handle(mux, "GET /v1/stats", http.HandlerFunc(s.handleStats))
 	s.Handler = mux
 	return s
+}
+
+// handle registers pattern on mux behind the observability middleware: every
+// request gets an X-Request-ID (honored when the client sent one), a route-
+// labelled latency/status observation, and a structured access-log record.
+// The mux pattern doubles as the route label so /metrics cardinality stays
+// bounded by the route table, never by request paths.
+func (s *server) handle(mux *http.ServeMux, pattern string, h http.Handler) {
+	mux.Handle(pattern, obs.Middleware(pattern, s.logger, s.httpm, h))
+}
+
+// registerMetrics exports the engine scheduler gauges and the service-wide
+// alignment counters on /metrics. The closures read live values at scrape
+// time, so /metrics and /v1/stats always agree.
+func (s *server) registerMetrics() {
+	engStat := func(pick func(fastlsa.EngineStats) float64) func() float64 {
+		return func() float64 { return pick(s.eng.Stats()) }
+	}
+	s.reg.GaugeFunc("fastlsa_engine_workers",
+		"Size of the job engine worker pool.",
+		engStat(func(st fastlsa.EngineStats) float64 { return float64(st.Workers) }))
+	s.reg.GaugeFunc("fastlsa_engine_queue_capacity",
+		"Bound of the job submission queue.",
+		engStat(func(st fastlsa.EngineStats) float64 { return float64(st.QueueDepth) }))
+	s.reg.GaugeFunc("fastlsa_engine_queue_depth",
+		"Jobs currently waiting in the queue.",
+		engStat(func(st fastlsa.EngineStats) float64 { return float64(st.Queued) }))
+	s.reg.GaugeFunc("fastlsa_engine_jobs_running",
+		"Jobs currently executing on workers.",
+		engStat(func(st fastlsa.EngineStats) float64 { return float64(st.Running) }))
+	s.reg.CounterFunc("fastlsa_engine_jobs_submitted_total",
+		"Jobs admitted to the queue (batch units included).",
+		engStat(func(st fastlsa.EngineStats) float64 { return float64(st.Submitted) }))
+	s.reg.CounterFunc("fastlsa_engine_jobs_rejected_total",
+		"Submissions refused by admission control or after shutdown.",
+		engStat(func(st fastlsa.EngineStats) float64 { return float64(st.Rejected) }))
+	s.reg.CounterFunc("fastlsa_engine_jobs_succeeded_total",
+		"Jobs that finished successfully.",
+		engStat(func(st fastlsa.EngineStats) float64 { return float64(st.Succeeded) }))
+	s.reg.CounterFunc("fastlsa_engine_jobs_failed_total",
+		"Jobs that finished with an error.",
+		engStat(func(st fastlsa.EngineStats) float64 { return float64(st.Failed) }))
+	s.reg.CounterFunc("fastlsa_engine_jobs_cancelled_total",
+		"Jobs cancelled before completion.",
+		engStat(func(st fastlsa.EngineStats) float64 { return float64(st.Cancelled) }))
+	s.reg.CounterFunc("fastlsa_engine_batches_total",
+		"Batch submissions admitted.",
+		engStat(func(st fastlsa.EngineStats) float64 { return float64(st.Batches) }))
+	s.reg.CounterFunc("fastlsa_engine_batch_units_total",
+		"Jobs fanned out by batch submissions.",
+		engStat(func(st fastlsa.EngineStats) float64 { return float64(st.BatchUnits) }))
+
+	s.reg.CounterFunc("fastlsa_align_cells_total",
+		"DP matrix cells computed across all requests.",
+		func() float64 { return float64(s.metrics.Cells.Load()) })
+	s.reg.CounterFunc("fastlsa_align_traceback_steps_total",
+		"Traceback steps walked across all requests.",
+		func() float64 { return float64(s.metrics.TracebackSteps.Load()) })
+	s.reg.CounterFunc("fastlsa_align_base_cases_total",
+		"FastLSA recursions solved directly in the base-case buffer.",
+		func() float64 { return float64(s.metrics.BaseCases.Load()) })
+	s.reg.CounterFunc("fastlsa_align_general_cases_total",
+		"FastLSA recursions that split into a grid of subproblems.",
+		func() float64 { return float64(s.metrics.GeneralCases.Load()) })
+	s.reg.CounterFunc("fastlsa_align_fill_tiles_total",
+		"Wavefront tiles filled by the parallel grid fill.",
+		func() float64 { return float64(s.metrics.FillTiles.Load()) })
+	s.reg.CounterFunc("fastlsa_align_mesh_shrinks_total",
+		"Parallel fills that shrank their mesh to fit the memory budget.",
+		func() float64 { return float64(s.metrics.MeshShrinks.Load()) })
+	s.reg.CounterFunc("fastlsa_align_seq_fill_fallbacks_total",
+		"Parallel fills degraded to the sequential path by the memory budget.",
+		func() float64 { return float64(s.metrics.SeqFillFallbacks.Load()) })
+	s.reg.GaugeFunc("fastlsa_align_peak_grid_entries",
+		"Largest grid-cache row count observed by any single run.",
+		func() float64 { return float64(s.metrics.PeakGridEntries.Load()) })
+	s.reg.GaugeFunc("fastlsa_align_cells_per_second",
+		"Service-lifetime average DP cell throughput.",
+		func() float64 {
+			up := time.Since(s.start).Seconds()
+			if up <= 0 {
+				return 0
+			}
+			return float64(s.metrics.Cells.Load()) / up
+		})
 }
 
 // shutdown drains the engine (used by main on SIGINT/SIGTERM).
@@ -106,7 +214,8 @@ func (s *server) shutdown(ctx context.Context) error { return s.eng.Shutdown(ctx
 // TimeoutHandler expiry abandons the computation.
 func (s *server) runSync(r *http.Request, kind string, task func(ctx context.Context) (any, error)) (any, error) {
 	j, err := s.eng.SubmitFunc(kind, task, fastlsa.JobOptions{
-		Context: r.Context(),
+		Context:   r.Context(),
+		RequestID: obs.RequestID(r.Context()),
 	})
 	if err != nil {
 		return nil, err
@@ -186,6 +295,9 @@ type alignRequest struct {
 	Workers      int     `json:"workers"`
 	MemoryBudget int64   `json:"memoryBudget"`
 	IncludeRows  bool    `json:"includeRows"`
+	// Trace records a span trace of the run and returns it as Chrome
+	// trace_event JSON in the response (also enabled by ?trace=1).
+	Trace bool `json:"trace"`
 }
 
 // alignResponse is the POST /v1/align reply.
@@ -198,6 +310,9 @@ type alignResponse struct {
 	RowB       string     `json:"rowB,omitempty"`
 	Local      *localSpan `json:"local,omitempty"`
 	CellsSpent int64      `json:"cellsComputed"`
+	// Trace is the run's Chrome trace_event JSON (load it in
+	// chrome://tracing or Perfetto) when the request asked for one.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 type localSpan struct {
@@ -212,6 +327,9 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
+	}
+	if r.URL.Query().Get("trace") == "1" {
+		req.Trace = true
 	}
 	task, err := s.alignTask(req)
 	if err != nil {
@@ -244,6 +362,24 @@ func (s *server) alignTask(req alignRequest) (func(ctx context.Context) (any, er
 		// its own work, /v1/stats accumulates everything.
 		counters := s.metrics.Derive(nil)
 		o.Counters = counters
+		var tr *fastlsa.Trace
+		if req.Trace {
+			tr = fastlsa.NewTrace(0)
+			if id := obs.RequestID(ctx); id != "" {
+				tr.SetLabel("align " + id)
+			}
+			o.Trace = tr
+		}
+		traceJSON := func() json.RawMessage {
+			if tr == nil {
+				return nil
+			}
+			b, err := tr.ChromeTrace()
+			if err != nil {
+				return nil
+			}
+			return b
+		}
 
 		if req.Local {
 			loc, err := fastlsa.AlignLocal(a, b, o)
@@ -253,6 +389,7 @@ func (s *server) alignTask(req alignRequest) (func(ctx context.Context) (any, er
 			resp := alignResponse{
 				Score:      loc.Score,
 				CellsSpent: counters.Cells.Load(),
+				Trace:      traceJSON(),
 			}
 			if loc.Score > 0 {
 				resp.CIGAR = loc.Path.CIGAR()
@@ -279,6 +416,7 @@ func (s *server) alignTask(req alignRequest) (func(ctx context.Context) (any, er
 			Columns:    st.Columns,
 			Identity:   st.Identity,
 			CellsSpent: counters.Cells.Load(),
+			Trace:      traceJSON(),
 		}
 		if req.IncludeRows {
 			resp.RowA, resp.RowB = al.Rows()

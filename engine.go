@@ -56,15 +56,19 @@ type JobOptions struct {
 	// Context, when non-nil, parents the job's context — pass an HTTP
 	// request context so a client disconnect cancels the job.
 	Context context.Context
+	// RequestID, when non-empty, ties the job to the originating request for
+	// log correlation; it is echoed in JobInfo.
+	RequestID string
 }
 
 func (jo JobOptions) submission(kind string, task engine.Task) engine.Submission {
 	return engine.Submission{
-		Kind:     kind,
-		Priority: jo.Priority,
-		Timeout:  jo.Timeout,
-		Parent:   jo.Context,
-		Task:     task,
+		Kind:      kind,
+		Priority:  jo.Priority,
+		Timeout:   jo.Timeout,
+		Parent:    jo.Context,
+		RequestID: jo.RequestID,
+		Task:      task,
 	}
 }
 
@@ -148,11 +152,12 @@ func (en *Engine) SubmitAlignBatch(pairs []SequencePair, opt Options, jo JobOpti
 		}
 	}
 	return en.e.SubmitBatch(engine.BatchSubmission{
-		Kind:     "batch-align",
-		Priority: jo.Priority,
-		Timeout:  jo.Timeout,
-		Parent:   jo.Context,
-		Tasks:    tasks,
+		Kind:      "batch-align",
+		Priority:  jo.Priority,
+		Timeout:   jo.Timeout,
+		Parent:    jo.Context,
+		RequestID: jo.RequestID,
+		Tasks:     tasks,
 	})
 }
 
@@ -163,11 +168,12 @@ func (en *Engine) SubmitBatchFunc(kind string, tasks []func(ctx context.Context)
 		ts[i] = t
 	}
 	return en.e.SubmitBatch(engine.BatchSubmission{
-		Kind:     kind,
-		Priority: jo.Priority,
-		Timeout:  jo.Timeout,
-		Parent:   jo.Context,
-		Tasks:    ts,
+		Kind:      kind,
+		Priority:  jo.Priority,
+		Timeout:   jo.Timeout,
+		Parent:    jo.Context,
+		RequestID: jo.RequestID,
+		Tasks:     ts,
 	})
 }
 

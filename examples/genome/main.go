@@ -37,6 +37,9 @@ func main() {
 		fullMatrix, float64(fullMatrix)*8/1e9, *budget, float64(*budget)*8/1e6)
 
 	var counters fastlsa.Counters
+	// A span trace gives the per-phase time breakdown below; recording adds
+	// one ring-buffer append per tile, nothing on the cell loops.
+	trace := fastlsa.NewTrace(0)
 	opt := fastlsa.Options{
 		Matrix:       fastlsa.DNASimple,
 		Gap:          fastlsa.Linear(-4),
@@ -44,6 +47,7 @@ func main() {
 		MemoryBudget: *budget,
 		Workers:      *workers,
 		Counters:     &counters,
+		Trace:        trace,
 	}
 
 	start := time.Now()
@@ -71,4 +75,37 @@ func main() {
 	// failing — these counters say how often that happened.
 	fmt.Printf("memory degradation: %d mesh shrinks, %d sequential-fill fallbacks, fill tiles planned/executed: %d/%d\n",
 		snap.MeshShrinks, snap.SeqFillFallbacks, snap.PlannedFillTiles, snap.ExecutedFillTiles)
+
+	// Where the time went, from the recorded spans: total tile-fill time per
+	// wavefront phase (Figure 13: ramp-up / saturated / ramp-down) plus the
+	// base-case and traceback totals. Phase-2 should dominate on big inputs —
+	// that is where all P workers are busy.
+	fmt.Printf("\nper-phase time breakdown (sum of span durations across workers):\n")
+	var fillTotal time.Duration
+	for _, tot := range trace.Totals() {
+		if tot.Name == fastlsa.SpanNameFillTile {
+			fillTotal += tot.Total
+		}
+	}
+	for _, tot := range trace.Totals() {
+		switch tot.Name {
+		case fastlsa.SpanNameFillTile:
+			share := 0.0
+			if fillTotal > 0 {
+				share = 100 * float64(tot.Total) / float64(fillTotal)
+			}
+			fmt.Printf("  fill phase %d: %10v over %6d tiles (%4.1f%% of fill time)\n",
+				tot.Phase, tot.Total.Round(time.Microsecond), tot.Count, share)
+		case fastlsa.SpanNameFillBlock:
+			fmt.Printf("  fill (sequential blocks): %10v over %6d blocks\n",
+				tot.Total.Round(time.Microsecond), tot.Count)
+		case fastlsa.SpanNameBaseCase:
+			fmt.Printf("  base cases:   %10v over %6d runs\n", tot.Total.Round(time.Microsecond), tot.Count)
+		case fastlsa.SpanNameTraceback:
+			fmt.Printf("  traceback:    %10v over %6d walks\n", tot.Total.Round(time.Microsecond), tot.Count)
+		}
+	}
+	if trace.Dropped() > 0 {
+		fmt.Printf("  (ring dropped %d spans; totals above remain exact)\n", trace.Dropped())
+	}
 }

@@ -13,6 +13,7 @@ import (
 	"fastlsa/internal/kernel"
 	"fastlsa/internal/memory"
 	"fastlsa/internal/msa"
+	"fastlsa/internal/obs"
 	"fastlsa/internal/scoring"
 	"fastlsa/internal/search"
 	"fastlsa/internal/seq"
@@ -44,6 +45,16 @@ type (
 	// CounterSnapshot is a plain-value copy of Counters (Counters.Snapshot),
 	// JSON-servable — degradation counters included.
 	CounterSnapshot = stats.Snapshot
+	// Trace records spans of a run (general/base cases, grid fills, phase-
+	// tagged wavefront tiles, tracebacks) for Chrome trace_event export.
+	// Nil-safe like Counters: an absent trace costs nothing.
+	Trace = obs.Trace
+	// TraceTags carries a span's dimensions (rows, cols, phase, worker).
+	TraceTags = obs.Tags
+	// TraceSpan is one recorded interval of a Trace.
+	TraceSpan = obs.Span
+	// SpanTotal is one (name, phase) aggregate row of Trace.Totals.
+	SpanTotal = obs.SpanTotal
 	// FormatOptions controls Alignment pretty-printing.
 	FormatOptions = align.FormatOptions
 	// Mode selects which terminal gaps are free (ends-free alignment).
@@ -58,6 +69,23 @@ type (
 	GumbelParams = significance.Params
 	// EditOp is one operation of an edit script (Alignment.EditScript).
 	EditOp = align.EditOp
+)
+
+// Span names recorded by a Trace, for filtering Trace.Spans / Trace.Totals.
+const (
+	// SpanNameGeneralCase is a FastLSA general-case recursion.
+	SpanNameGeneralCase = obs.SpanGeneralCase
+	// SpanNameBaseCase is a recursion solved directly in the base-case buffer.
+	SpanNameBaseCase = obs.SpanBaseCase
+	// SpanNameGridFill is one grid-cache fill (sequential or parallel).
+	SpanNameGridFill = obs.SpanGridFill
+	// SpanNameFillTile is one wavefront tile, tagged with its Figure 13
+	// phase (1 ramp-up, 2 saturated, 3 ramp-down) and worker lane.
+	SpanNameFillTile = obs.SpanFillTile
+	// SpanNameFillBlock is one block of the sequential grid fill.
+	SpanNameFillBlock = obs.SpanFillBlock
+	// SpanNameTraceback is one traceback walk.
+	SpanNameTraceback = obs.SpanTraceback
 )
 
 // Alphabets and scoring tables.
@@ -87,6 +115,13 @@ var (
 	// DNAIUPACAlphabet is the IUPAC nucleotide alphabet (ACGT + ambiguity).
 	DNAIUPACAlphabet = seq.DNAIUPAC
 )
+
+// NewTrace returns a span recorder for Options.Trace with the given ring
+// capacity (<= 0 selects the default of 32Ki spans; older spans are dropped,
+// but per-span-kind totals stay exact). Export the result with
+// Trace.WriteChrome / Trace.ChromeTrace — the JSON loads in chrome://tracing
+// and https://ui.perfetto.dev.
+func NewTrace(capacity int) *Trace { return obs.NewTrace(capacity) }
 
 // Linear returns the paper's linear gap model (each gapped position costs g).
 func Linear(g int) Gap { return scoring.Linear(g) }
@@ -282,6 +317,11 @@ type Options struct {
 	K, BaseCells int
 	// Counters, when non-nil, collects instrumentation.
 	Counters *Counters
+	// Trace, when non-nil, records spans of the run (general/base cases,
+	// grid fills, phase-tagged wavefront tiles, tracebacks) for Chrome
+	// trace_event export. Unlike Counters a Trace is per-run state: share one
+	// across concurrent runs only if interleaved spans are acceptable.
+	Trace *Trace
 	// Context, when non-nil, bounds the run: cancelling it (or passing its
 	// deadline) makes the fill kernels abort promptly with an error wrapping
 	// context.Canceled / context.DeadlineExceeded. The signal rides on a
@@ -337,6 +377,7 @@ func (o Options) coreOptions(m, n int) (core.Options, error) {
 			return core.Options{}, err
 		}
 		copt.Counters = o.Counters
+		copt.Trace = o.Trace
 		return copt, nil
 	}
 	b, err := o.budget()
@@ -349,6 +390,7 @@ func (o Options) coreOptions(m, n int) (core.Options, error) {
 		Budget:    b,
 		Workers:   o.Workers,
 		Counters:  o.Counters,
+		Trace:     o.Trace,
 	}, nil
 }
 

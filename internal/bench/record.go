@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ReportSchema identifies the machine-readable benchmark format; bump it
+// when the JSON shape below changes incompatibly.
+const ReportSchema = "fastlsa-bench/v1"
+
+// Report is the machine-readable shape of a benchmark run: one entry per
+// experiment, each carrying the tables the experiment rendered with title,
+// headers, rows and notes preserved. Rows are strings exactly as printed,
+// keyed positionally by Headers, so a consumer can rebuild any table (or
+// extract one column across runs) without reimplementing the formatting.
+type Report struct {
+	Schema      string             `json:"schema"`
+	Experiments []ExperimentResult `json:"experiments"`
+}
+
+// ExperimentResult is one experiment's captured output. ID is the paper's
+// experiment number ("E2"...) when the experiment has one, empty otherwise.
+type ExperimentResult struct {
+	Name   string      `json:"name"`
+	ID     string      `json:"id,omitempty"`
+	Tables []TableData `json:"tables"`
+}
+
+// TableData is the structural form of one rendered Table.
+type TableData struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// data snapshots the table's accumulated state.
+func (t *Table) data() TableData {
+	d := TableData{
+		Title:   t.title,
+		Headers: append([]string(nil), t.headers...),
+		Rows:    make([][]string, len(t.rows)),
+		Notes:   append([]string(nil), t.notes...),
+	}
+	for i, r := range t.rows {
+		d.Rows[i] = append([]string(nil), r...)
+	}
+	return d
+}
+
+// tableSink is implemented by writers that want the structured form of each
+// table rendered to them (Table.Fprint probes for it).
+type tableSink interface {
+	recordTable(TableData)
+}
+
+// Recorder tees experiment output: the plain-text rendering passes through
+// to the wrapped writer unchanged, while every Table printed to it is also
+// captured structurally for JSON export. Wrap the output writer in one,
+// call StartExperiment before each experiment, and WriteJSON at the end.
+type Recorder struct {
+	w      io.Writer
+	report Report
+}
+
+// NewRecorder wraps w (typically os.Stdout).
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{w: w, report: Report{Schema: ReportSchema}}
+}
+
+// Write passes text output through to the wrapped writer.
+func (r *Recorder) Write(p []byte) (int, error) { return r.w.Write(p) }
+
+// StartExperiment opens a new experiment section; subsequent tables are
+// attributed to it. id is the paper's experiment number, or empty.
+func (r *Recorder) StartExperiment(name, id string) {
+	r.report.Experiments = append(r.report.Experiments, ExperimentResult{
+		Name:   name,
+		ID:     id,
+		Tables: []TableData{},
+	})
+}
+
+func (r *Recorder) recordTable(d TableData) {
+	if len(r.report.Experiments) == 0 {
+		r.StartExperiment("", "")
+	}
+	cur := &r.report.Experiments[len(r.report.Experiments)-1]
+	cur.Tables = append(cur.Tables, d)
+}
+
+// Report returns the captured results.
+func (r *Recorder) Report() Report { return r.report }
+
+// WriteJSON writes the captured report as indented JSON.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.report)
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRecorderCapturesTables runs a real (tiny) experiment through a
+// Recorder and validates the JSON export against the fastlsa-bench/v1
+// schema: schema tag present, every table carries headers, and every row
+// has exactly one cell per header.
+func TestRecorderCapturesTables(t *testing.T) {
+	var text bytes.Buffer
+	rec := NewRecorder(&text)
+	rec.StartExperiment("opcounts", "E2")
+	if err := ExperimentOpCounts(rec, []int{64, 128}, []int{4}); err != nil {
+		t.Fatal(err)
+	}
+	rec.StartExperiment("ksweep", "E5")
+	if err := ExperimentKSweep(rec, 96, []int{4, 8}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The human-readable rendering still reached the wrapped writer.
+	if !strings.Contains(text.String(), "==") {
+		t.Fatal("no table text passed through the recorder")
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("export does not round-trip: %v", err)
+	}
+	if rep.Schema != ReportSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, ReportSchema)
+	}
+	if len(rep.Experiments) != 2 {
+		t.Fatalf("got %d experiments, want 2", len(rep.Experiments))
+	}
+	if rep.Experiments[0].Name != "opcounts" || rep.Experiments[0].ID != "E2" {
+		t.Errorf("experiment 0 = %s/%s", rep.Experiments[0].Name, rep.Experiments[0].ID)
+	}
+	for _, exp := range rep.Experiments {
+		if len(exp.Tables) == 0 {
+			t.Errorf("experiment %s captured no tables", exp.Name)
+		}
+		for _, tb := range exp.Tables {
+			if tb.Title == "" {
+				t.Errorf("experiment %s: table without title", exp.Name)
+			}
+			if len(tb.Headers) == 0 {
+				t.Errorf("experiment %s: table %q without headers", exp.Name, tb.Title)
+			}
+			if len(tb.Rows) == 0 {
+				t.Errorf("experiment %s: table %q without rows", exp.Name, tb.Title)
+			}
+			for i, row := range tb.Rows {
+				if len(row) != len(tb.Headers) {
+					t.Errorf("experiment %s: table %q row %d has %d cells for %d headers",
+						exp.Name, tb.Title, i, len(row), len(tb.Headers))
+				}
+			}
+		}
+	}
+}
+
+// TestRecorderWithoutExperiment checks tables rendered before any
+// StartExperiment call still land somewhere rather than being dropped.
+func TestRecorderWithoutExperiment(t *testing.T) {
+	rec := NewRecorder(&bytes.Buffer{})
+	tb := NewTable("orphan", "a", "b")
+	tb.AddRow(1, 2)
+	if err := tb.Fprint(rec); err != nil {
+		t.Fatal(err)
+	}
+	rep := rec.Report()
+	if len(rep.Experiments) != 1 || len(rep.Experiments[0].Tables) != 1 {
+		t.Fatalf("orphan table not captured: %+v", rep)
+	}
+}

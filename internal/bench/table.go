@@ -40,8 +40,13 @@ func (t *Table) AddNote(format string, args ...any) {
 	t.notes = append(t.notes, fmt.Sprintf(format, args...))
 }
 
-// Fprint renders the table.
+// Fprint renders the table. When w also implements the recording interface
+// (see Recorder), the structured form of the table is captured as a side
+// effect, so experiments stay unaware of the machine-readable export.
 func (t *Table) Fprint(w io.Writer) error {
+	if sink, ok := w.(tableSink); ok {
+		sink.recordTable(t.data())
+	}
 	widths := make([]int, len(t.headers))
 	for i, h := range t.headers {
 		widths[i] = len(h)

@@ -6,6 +6,7 @@ import (
 	"fastlsa/internal/align"
 	"fastlsa/internal/fm"
 	"fastlsa/internal/kernel"
+	"fastlsa/internal/obs"
 	"fastlsa/internal/scoring"
 	"fastlsa/internal/seq"
 	"fastlsa/internal/stats"
@@ -60,6 +61,7 @@ type solver struct {
 	k    *kernel.Kernel
 	opt  resolved
 	c    *stats.Counters
+	tr   *obs.Trace
 	bld  *align.Builder
 
 	// baseRect is the pre-reserved Base Case plane set of BM entries per live
@@ -88,6 +90,7 @@ func newSolver(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, mod kerne
 		k:          k,
 		opt:        opt,
 		c:          opt.c,
+		tr:         opt.trace,
 		bld:        align.NewBuilder(a.Len() + b.Len()),
 		baseRect:   rt,
 		baseCharge: charge,
@@ -164,6 +167,8 @@ func (s *solver) solve(t rect, top, left kernel.Edge, state int) (exitR, exitC, 
 
 	// GENERAL CASE (Figure 2 lines 3-15).
 	s.c.AddGeneralCase()
+	gt := s.tr.Begin()
+	defer s.tr.End(obs.SpanGeneralCase, obs.CatFastLSA, gt, obs.Tags{Rows: rows, Cols: cols})
 	k := s.opt.k
 	if k > rows {
 		k = rows
@@ -205,10 +210,15 @@ func (s *solver) solve(t rect, top, left kernel.Edge, state int) (exitR, exitC, 
 // the subproblem is large enough to pay for scheduling.
 func (s *solver) fillGridCache(grid *gridCache) error {
 	t := grid.t
+	gt := s.tr.Begin()
+	var err error
 	if s.opt.workers > 1 && t.rows()*t.cols() >= s.opt.parMinArea {
-		return s.fillGridCacheParallel(grid)
+		err = s.fillGridCacheParallel(grid)
+	} else {
+		err = s.fillGridCacheSeq(grid)
 	}
-	return s.fillGridCacheSeq(grid)
+	s.tr.End(obs.SpanGridFill, obs.CatFastLSA, gt, obs.Tags{Rows: t.rows(), Cols: t.cols()})
+	return err
 }
 
 // fillGridCacheSeq is the sequential block loop of the Fill Cache. It needs
@@ -237,6 +247,8 @@ func (s *solver) fillGridCacheSeq(grid *gridCache) error {
 func (s *solver) fillBlock(grid *gridCache, u, v int) error {
 	t, k := grid.t, grid.k
 	br := grid.blockRect(u, v)
+	bt := s.tr.Begin()
+	defer s.tr.End(obs.SpanFillBlock, obs.CatFastLSA, bt, obs.Tags{Rows: br.rows(), Cols: br.cols()})
 	top := grid.inputRow(u, v, br.c1)
 	left := grid.inputCol(u, v, br.r1)
 
@@ -273,6 +285,8 @@ func (s *solver) fillBlock(grid *gridCache, u, v int) error {
 func (s *solver) baseCase(t rect, top, left kernel.Edge, state int) (exitR, exitC, exitState int, err error) {
 	s.c.AddBaseCase()
 	rows, cols := t.rows(), t.cols()
+	bt := s.tr.Begin()
+	defer s.tr.End(obs.SpanBaseCase, obs.CatFastLSA, bt, obs.Tags{Rows: rows, Cols: cols})
 	entries := (rows + 1) * (cols + 1)
 
 	rt := s.baseRect
@@ -295,6 +309,8 @@ func (s *solver) baseCase(t rect, top, left kernel.Edge, state int) (exitR, exit
 	} else if err := s.k.FillRect(ra, rb, top, left, rt); err != nil {
 		return 0, 0, 0, err
 	}
+	tt := s.tr.Begin()
 	lr, lc, st := s.k.Traceback(ra, rb, rt, s.bld, rows, cols, state)
+	s.tr.End(obs.SpanTraceback, obs.CatFastLSA, tt, obs.Tags{Rows: rows, Cols: cols})
 	return t.r0 + lr, t.c0 + lc, st, nil
 }

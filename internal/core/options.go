@@ -25,6 +25,7 @@ import (
 	"runtime"
 
 	"fastlsa/internal/memory"
+	"fastlsa/internal/obs"
 	"fastlsa/internal/stats"
 )
 
@@ -81,6 +82,10 @@ type Options struct {
 	Pool *memory.RowPool
 	// Counters, when non-nil, accumulates instrumentation.
 	Counters *stats.Counters
+	// Trace, when non-nil, records spans for the run's general/base cases,
+	// grid fills, wavefront tiles (phase-tagged) and tracebacks. Like
+	// Counters it is nil-safe and costs nothing when absent.
+	Trace *obs.Trace
 }
 
 // sharedPool is the process-wide default row pool used when Options.Pool is
@@ -98,6 +103,7 @@ type resolved struct {
 	parMinArea int
 	pool       *memory.RowPool
 	c          *stats.Counters
+	trace      *obs.Trace
 }
 
 func (o Options) resolve() (resolved, error) {
@@ -111,6 +117,7 @@ func (o Options) resolve() (resolved, error) {
 		parMinArea: o.ParallelFillCells,
 		pool:       o.Pool,
 		c:          o.Counters,
+		trace:      o.Trace,
 	}
 	if r.pool == nil {
 		r.pool = sharedPool

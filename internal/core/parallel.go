@@ -2,6 +2,7 @@ package core
 
 import (
 	"fastlsa/internal/kernel"
+	"fastlsa/internal/obs"
 	"fastlsa/internal/wavefront"
 )
 
@@ -116,13 +117,15 @@ func (s *solver) fillGridCacheParallel(grid *gridCache) error {
 	s.c.AddPhaseTiles(2, ph.Tiles2)
 	s.c.AddPhaseTiles(3, ph.Tiles3)
 
+	nd := R + C - 1
 	wf := &wavefront.Grid{
 		Rows:    R,
 		Cols:    C,
 		Workers: s.opt.workers,
 		Skip:    skip,
-		Exec: func(ti, tj int) error {
-			return s.fillTile(t, trs, tcs, meshRows, meshCols, ti, tj)
+		ExecW: func(w, ti, tj int) error {
+			return s.fillTile(t, trs, tcs, meshRows, meshCols, ti, tj,
+				w, ph.PhaseOfDiagonal(ti+tj, nd))
 		},
 	}
 	if err := wf.Run(); err != nil {
@@ -149,8 +152,10 @@ func (s *solver) fillGridCacheParallel(grid *gridCache) error {
 // tcs[tj]..tcs[tj+1]. It reads its top boundary from meshRows[ti] and left
 // boundary from meshCols[tj], and publishes its bottom row into
 // meshRows[ti+1] and right column into meshCols[tj+1] (excluding the
-// top/left endpoints, which the up-left neighbours own).
-func (s *solver) fillTile(t rect, trs, tcs []int, meshRows, meshCols []kernel.Edge, ti, tj int) error {
+// top/left endpoints, which the up-left neighbours own). worker and phase
+// only feed the trace span (phase = the tile diagonal's Figure 13 phase).
+func (s *solver) fillTile(t rect, trs, tcs []int, meshRows, meshCols []kernel.Edge, ti, tj, worker, phase int) error {
+	ft := s.tr.Begin()
 	r0, r1 := trs[ti], trs[ti+1]
 	c0, c1 := tcs[tj], tcs[tj+1]
 	segRows, segCols := r1-r0, c1-c0
@@ -181,6 +186,8 @@ func (s *solver) fillTile(t rect, trs, tcs []int, meshRows, meshCols []kernel.Ed
 		}
 	}
 	s.c.AddFillTile()
+	s.tr.End(obs.SpanFillTile, obs.CatWavefront, ft,
+		obs.Tags{Rows: segRows, Cols: segCols, Phase: phase, Worker: worker + 1})
 	return nil
 }
 
@@ -223,15 +230,21 @@ func (s *solver) fillRectParallel(ra, rb []byte, top, left kernel.Edge, rt kerne
 	s.c.AddPhaseTiles(2, ph.Tiles2)
 	s.c.AddPhaseTiles(3, ph.Tiles3)
 
+	nd := R + C - 1
 	wf := &wavefront.Grid{
 		Rows:    R,
 		Cols:    C,
 		Workers: s.opt.workers,
-		Exec: func(ti, tj int) error {
+		ExecW: func(w, ti, tj int) error {
+			ft := s.tr.Begin()
 			if err := s.k.FillRegion(ra, rb, rt, trs[ti], trs[ti+1], tcs[tj], tcs[tj+1]); err != nil {
 				return err
 			}
 			s.c.AddFillTile()
+			s.tr.End(obs.SpanFillTile, obs.CatWavefront, ft, obs.Tags{
+				Rows: trs[ti+1] - trs[ti], Cols: tcs[tj+1] - tcs[tj],
+				Phase: ph.PhaseOfDiagonal(ti+tj, nd), Worker: w + 1,
+			})
 			return nil
 		},
 	}

@@ -81,6 +81,8 @@ type BatchSubmission struct {
 	// Parent, when non-nil, parents every unit's context (cancelling it
 	// cancels the whole batch).
 	Parent context.Context
+	// RequestID, when non-empty, ties every unit to the originating request.
+	RequestID string
 	// Tasks are the units (at least one required).
 	Tasks []Task
 }
@@ -120,13 +122,16 @@ func (e *Engine) SubmitBatch(sub BatchSubmission) (*Batch, error) {
 	}
 	for i, t := range sub.Tasks {
 		b.jobs[i] = e.enqueueLocked(Submission{
-			Kind:     sub.Kind,
-			Priority: sub.Priority,
-			Timeout:  sub.Timeout,
-			Parent:   bctx,
-			Task:     t,
+			Kind:      sub.Kind,
+			Priority:  sub.Priority,
+			Timeout:   sub.Timeout,
+			Parent:    bctx,
+			RequestID: sub.RequestID,
+			Task:      t,
 		}, b.id, false)
 	}
+	e.batches++
+	e.batchUnits += int64(n)
 	e.mu.Unlock()
 
 	for _, j := range b.jobs {

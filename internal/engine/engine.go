@@ -104,6 +104,10 @@ type Submission struct {
 	// typically an HTTP request context, so a client disconnect cancels the
 	// job. Nil selects context.Background().
 	Parent context.Context
+	// RequestID, when non-empty, ties the job to the originating request for
+	// log correlation; it is echoed in Info and available to observability
+	// layers.
+	RequestID string
 	// Task is the work to run (required).
 	Task Task
 }
@@ -124,16 +128,19 @@ type Info struct {
 	Err string
 	// Batch is the owning batch id ("" for singleton jobs).
 	Batch string
+	// RequestID is the originating request's id ("" when none was supplied).
+	RequestID string
 }
 
 // Job is a handle on a submitted job.
 type Job struct {
-	id       string
-	kind     string
-	priority int
-	batch    string
-	seq      uint64
-	task     Task
+	id        string
+	kind      string
+	priority  int
+	batch     string
+	requestID string
+	seq       uint64
+	task      Task
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -167,6 +174,7 @@ func (j *Job) Info() Info {
 		Started:   j.started,
 		Finished:  j.finished,
 		Batch:     j.batch,
+		RequestID: j.requestID,
 	}
 	if j.err != nil {
 		info.Err = j.err.Error()
@@ -226,6 +234,10 @@ type Stats struct {
 	Succeeded int64 `json:"succeeded"`
 	Failed    int64 `json:"failed"`
 	Cancelled int64 `json:"cancelled"`
+	// Batches counts admitted batch submissions; BatchUnits the jobs they
+	// fanned out into (each unit is also counted in Submitted).
+	Batches    int64 `json:"batches"`
+	BatchUnits int64 `json:"batch_units"`
 }
 
 // Engine is the scheduler: a bounded priority queue drained by a fixed pool
@@ -233,21 +245,23 @@ type Stats struct {
 type Engine struct {
 	cfg Config
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   jobHeap
-	jobs    map[string]*Job   // public registry (excludes batch units)
-	order   []string          // registry in submission order, for List/eviction
-	live    map[*Job]struct{} // every non-terminal job, batch units included
-	closed  bool
-	nextID  uint64
-	nextSeq uint64
-	running int
-	submits int64
-	rejects int64
-	succ    int64
-	failed  int64
-	cancels int64
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      jobHeap
+	jobs       map[string]*Job   // public registry (excludes batch units)
+	order      []string          // registry in submission order, for List/eviction
+	live       map[*Job]struct{} // every non-terminal job, batch units included
+	closed     bool
+	nextID     uint64
+	nextSeq    uint64
+	running    int
+	submits    int64
+	rejects    int64
+	succ       int64
+	failed     int64
+	cancels    int64
+	batches    int64
+	batchUnits int64
 
 	wg sync.WaitGroup
 }
@@ -331,6 +345,7 @@ func (e *Engine) enqueueLocked(sub Submission, batch string, register bool) *Job
 		kind:      sub.Kind,
 		priority:  sub.Priority,
 		batch:     batch,
+		requestID: sub.RequestID,
 		seq:       e.nextSeq,
 		task:      sub.Task,
 		state:     Queued,
@@ -558,6 +573,8 @@ func (e *Engine) Stats() Stats {
 		Succeeded:   e.succ,
 		Failed:      e.failed,
 		Cancelled:   e.cancels,
+		Batches:     e.batches,
+		BatchUnits:  e.batchUnits,
 	}
 }
 

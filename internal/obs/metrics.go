@@ -1,0 +1,387 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultLatencyBuckets are the fixed histogram bucket bounds (seconds) used
+// for request and job latencies: 1ms to 10s, roughly ×3 apart.
+var DefaultLatencyBuckets = []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	// bits holds the float64 value; updated with CAS so Add is lock-free.
+	bits atomic.Uint64
+}
+
+// Add increases the counter by v (negative deltas are ignored; counters
+// never go down).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		newv := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, newv) {
+			return
+		}
+	}
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reports the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by v (may be negative).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		newv := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, newv) {
+			return
+		}
+	}
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative buckets, Prometheus
+// style (each bucket counts observations <= its upper bound; +Inf is
+// implicit and equals the total count).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is the +Inf overflow
+	sum    float64
+	count  uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// snapshot returns cumulative bucket counts (aligned with bounds, +Inf
+// last), the sum, and the count.
+func (h *Histogram) snapshot() ([]uint64, float64, uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := make([]uint64, len(h.counts))
+	var run uint64
+	for i, c := range h.counts {
+		run += c
+		cum[i] = run
+	}
+	return cum, h.sum, h.count
+}
+
+// metricKind drives the # TYPE line and rendering.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered family: either a single unlabeled series or a
+// set of labeled children.
+type metric struct {
+	name       string
+	help       string
+	kind       metricKind
+	labels     []string // label names for Vec families
+	buckets    []float64
+	counter    *Counter
+	gauge      *Gauge
+	histogram  *Histogram
+	valueFunc  func() float64 // for CounterFunc/GaugeFunc
+	mu         sync.Mutex
+	children   map[string]*child
+	childOrder []string
+}
+
+type child struct {
+	labelValues []string
+	counter     *Counter
+	histogram   *Histogram
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ m *metric }
+
+// With returns the child counter for the given label values (one per label
+// name, in registration order), creating it on first use.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	c := v.m.child(labelValues)
+	return c.counter
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ m *metric }
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	c := v.m.child(labelValues)
+	return c.histogram
+}
+
+func (m *metric) child(labelValues []string) *child {
+	if len(labelValues) != len(m.labels) {
+		panic(fmt.Sprintf("obs: metric %s expects %d label values, got %d",
+			m.name, len(m.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.children[key]; ok {
+		return c
+	}
+	c := &child{labelValues: append([]string(nil), labelValues...)}
+	switch m.kind {
+	case kindCounter:
+		c.counter = &Counter{}
+	case kindHistogram:
+		c.histogram = newHistogram(m.buckets)
+	}
+	m.children[key] = c
+	m.childOrder = append(m.childOrder, key)
+	return c
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	b := append([]float64(nil), buckets...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	order   []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[m.name]; dup {
+		panic("obs: duplicate metric " + m.name)
+	}
+	r.metrics[m.name] = m
+	r.order = append(r.order, m.name)
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// CounterVec registers a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	m := &metric{name: name, help: help, kind: kindCounter,
+		labels: append([]string(nil), labels...), children: make(map[string]*child)}
+	r.register(m)
+	return &CounterVec{m: m}
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time. fn must be monotonically non-decreasing and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindCounter, valueFunc: fn})
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindGauge, valueFunc: fn})
+}
+
+// Histogram registers and returns an unlabeled histogram with the given
+// bucket upper bounds (nil selects DefaultLatencyBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefaultLatencyBuckets
+	}
+	h := newHistogram(buckets)
+	r.register(&metric{name: name, help: help, kind: kindHistogram,
+		buckets: h.bounds, histogram: h})
+	return h
+}
+
+// HistogramVec registers a histogram family with label names (nil buckets
+// selects DefaultLatencyBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefaultLatencyBuckets
+	}
+	b := append([]float64(nil), buckets...)
+	sort.Float64s(b)
+	m := &metric{name: name, help: help, kind: kindHistogram, buckets: b,
+		labels: append([]string(nil), labels...), children: make(map[string]*child)}
+	r.register(m)
+	return &HistogramVec{m: m}
+}
+
+// formatValue renders a float in the exposition format (integers without a
+// decimal point, like the reference client).
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func labelPairs(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// WritePrometheus renders every registered family in the text exposition
+// format, families in registration order, children sorted by label values
+// for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	metrics := make([]*metric, 0, len(names))
+	for _, n := range names {
+		metrics = append(metrics, r.metrics[n])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, m := range metrics {
+		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n", m.name)
+		case kindGauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", m.name)
+		case kindHistogram:
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", m.name)
+		}
+		switch {
+		case m.valueFunc != nil:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatValue(m.valueFunc()))
+		case m.counter != nil:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatValue(m.counter.Value()))
+		case m.gauge != nil:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatValue(m.gauge.Value()))
+		case m.histogram != nil:
+			writeHistogram(&b, m.name, "", m.buckets, m.histogram)
+		case m.children != nil:
+			m.mu.Lock()
+			keys := append([]string(nil), m.childOrder...)
+			kids := make([]*child, 0, len(keys))
+			for _, k := range keys {
+				kids = append(kids, m.children[k])
+			}
+			m.mu.Unlock()
+			sort.Slice(kids, func(i, j int) bool {
+				return strings.Join(kids[i].labelValues, "\x00") <
+					strings.Join(kids[j].labelValues, "\x00")
+			})
+			for _, c := range kids {
+				pairs := labelPairs(m.labels, c.labelValues)
+				if c.counter != nil {
+					fmt.Fprintf(&b, "%s%s %s\n", m.name, pairs, formatValue(c.counter.Value()))
+				} else if c.histogram != nil {
+					writeHistogram(&b, m.name, pairs, m.buckets, c.histogram)
+				}
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders the _bucket/_sum/_count series of one histogram.
+// pairs is the rendered base label set ("{route=\"...\"}" or "").
+func writeHistogram(b *strings.Builder, name, pairs string, bounds []float64, h *Histogram) {
+	cum, sum, count := h.snapshot()
+	base := strings.TrimSuffix(strings.TrimPrefix(pairs, "{"), "}")
+	for i, bound := range bounds {
+		le := fmt.Sprintf("%g", bound)
+		if base != "" {
+			fmt.Fprintf(b, "%s_bucket{%s,le=\"%s\"} %d\n", name, base, le, cum[i])
+		} else {
+			fmt.Fprintf(b, "%s_bucket{le=\"%s\"} %d\n", name, le, cum[i])
+		}
+	}
+	if base != "" {
+		fmt.Fprintf(b, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, base, count)
+		fmt.Fprintf(b, "%s_sum{%s} %s\n", name, base, formatValue(sum))
+		fmt.Fprintf(b, "%s_count{%s} %d\n", name, base, count)
+	} else {
+		fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, count)
+		fmt.Fprintf(b, "%s_sum %s\n", name, formatValue(sum))
+		fmt.Fprintf(b, "%s_count %d\n", name, count)
+	}
+}
+
+// Handler returns an http.Handler serving the registry in the Prometheus
+// text exposition format, suitable for mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parseExposition is a strict-enough parser for the Prometheus text format:
+// it validates the # HELP / # TYPE preamble ordering and returns every
+// sample as name{labels} -> value.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	types := map[string]string{}
+	var lastFamily string
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || parts[1] == "" {
+				t.Fatalf("malformed HELP line: %q", line)
+			}
+			lastFamily = parts[0]
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			if parts[0] != lastFamily {
+				t.Fatalf("TYPE %q does not follow its HELP line", parts[0])
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown metric type %q", parts[1])
+			}
+			types[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unexpected comment line: %q", line)
+		}
+		// Sample line: name{labels} value  or  name value.
+		sep := strings.LastIndex(line, " ")
+		if sep < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		key, valStr := line[:sep], line[sep+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("sample %q has non-numeric value %q", key, valStr)
+		}
+		base := key
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			if !strings.HasSuffix(base, "}") {
+				t.Fatalf("unterminated label set in %q", line)
+			}
+			base = base[:i]
+		}
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(base,
+			"_bucket"), "_sum"), "_count")
+		if _, ok := types[family]; !ok {
+			if _, ok := types[base]; !ok {
+				t.Fatalf("sample %q appears before its TYPE line", line)
+			}
+		}
+		samples[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return samples
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Total operations.")
+	g := r.Gauge("test_queue_depth", "Queue depth.")
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	vec := r.CounterVec("test_requests_total", "Requests.", "route", "code")
+	r.GaugeFunc("test_uptime_seconds", "Uptime.", func() float64 { return 42.5 })
+
+	c.Add(3)
+	c.Inc()
+	g.Set(7)
+	g.Add(-2)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	vec.With("/v1/align", "200").Inc()
+	vec.With("/v1/align", "200").Inc()
+	vec.With("/v1/align", "422").Inc()
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	samples := parseExposition(t, buf.String())
+
+	want := map[string]float64{
+		"test_ops_total":      4,
+		"test_queue_depth":    5,
+		"test_uptime_seconds": 42.5,
+		`test_requests_total{route="/v1/align",code="200"}`: 2,
+		`test_requests_total{route="/v1/align",code="422"}`: 1,
+		`test_latency_seconds_bucket{le="0.1"}`:             1,
+		`test_latency_seconds_bucket{le="1"}`:               2,
+		`test_latency_seconds_bucket{le="+Inf"}`:            3,
+		"test_latency_seconds_count":                        3,
+	}
+	for k, v := range want {
+		if got, ok := samples[k]; !ok || got != v {
+			t.Errorf("sample %q = %v (present %v), want %v", k, got, ok, v)
+		}
+	}
+	if sum := samples["test_latency_seconds_sum"]; sum < 5.54 || sum > 5.56 {
+		t.Errorf("histogram sum = %v, want ~5.55", sum)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("t_seconds", "T.", []float64{1, 2, 3}, "route")
+	for _, v := range []float64{0.5, 1.5, 1.7, 2.5, 9} {
+		hv.With("a").Observe(v)
+	}
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, buf.String())
+	bounds := []string{"1", "2", "3"}
+	wantCum := []float64{1, 3, 4}
+	var prev float64
+	for i, le := range bounds {
+		key := fmt.Sprintf(`t_seconds_bucket{route="a",le="%s"}`, le)
+		got := samples[key]
+		if got != wantCum[i] {
+			t.Errorf("bucket le=%s = %v, want %v", le, got, wantCum[i])
+		}
+		if got < prev {
+			t.Errorf("bucket le=%s = %v not cumulative (prev %v)", le, got, prev)
+		}
+		prev = got
+	}
+	if inf := samples[`t_seconds_bucket{route="a",le="+Inf"}`]; inf != 5 {
+		t.Errorf("+Inf bucket = %v, want 5", inf)
+	}
+}
+
+func TestCounterMonotonic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mono_total", "M.")
+	read := func() float64 {
+		var buf strings.Builder
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return parseExposition(t, buf.String())["mono_total"]
+	}
+	prev := read()
+	for i := 0; i < 5; i++ {
+		c.Add(float64(i))
+		c.Add(-100) // negative deltas must be ignored
+		cur := read()
+		if cur < prev {
+			t.Fatalf("counter went down: %v -> %v", prev, cur)
+		}
+		prev = cur
+	}
+	if prev != 10 {
+		t.Errorf("final counter = %v, want 10", prev)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %v, want 8000", c.Value())
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "H.").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "h_total 1") {
+		t.Errorf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+func TestDuplicateMetricPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "D.")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "D.")
+}
+
+func TestChildOrderingDeterministic(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("ord_total", "O.", "route")
+	for _, route := range []string{"zebra", "alpha", "mid"} {
+		vec.With(route).Inc()
+	}
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "ord_total{") {
+			got = append(got, line)
+		}
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("children not sorted:\n%s", strings.Join(got, "\n"))
+	}
+}

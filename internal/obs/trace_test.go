@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceRecordsSpans(t *testing.T) {
+	tr := NewTrace(16)
+	s := tr.Begin()
+	time.Sleep(time.Millisecond)
+	tr.End(SpanBaseCase, CatFastLSA, s, Tags{Rows: 10, Cols: 20})
+
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Name != SpanBaseCase || sp.Cat != CatFastLSA {
+		t.Errorf("span identity = %q/%q", sp.Name, sp.Cat)
+	}
+	if sp.Dur <= 0 {
+		t.Errorf("span duration = %v, want > 0", sp.Dur)
+	}
+	if sp.Tags.Rows != 10 || sp.Tags.Cols != 20 {
+		t.Errorf("tags = %+v", sp.Tags)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	s := tr.Begin()
+	tr.End("x", "y", s, Tags{})
+	tr.SetLabel("ignored")
+	if tr.Enabled() {
+		t.Error("nil trace reports Enabled")
+	}
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Spans() != nil || tr.Totals() != nil {
+		t.Error("nil trace not empty")
+	}
+	b, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatalf("nil ChromeTrace: %v", err)
+	}
+	var f struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &f); err != nil {
+		t.Fatalf("nil ChromeTrace JSON: %v", err)
+	}
+	if len(f.TraceEvents) != 0 {
+		t.Errorf("nil trace emitted %d events", len(f.TraceEvents))
+	}
+}
+
+func TestTraceRingOverflow(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.End("span", "cat", tr.Begin(), Tags{Rows: i})
+	}
+	if got := tr.Len(); got != 4 {
+		t.Errorf("Len = %d, want 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Errorf("Dropped = %d, want 6", got)
+	}
+	spans := tr.Spans()
+	// The survivors must be the newest four, oldest first.
+	for i, sp := range spans {
+		if want := 6 + i; sp.Tags.Rows != want {
+			t.Errorf("spans[%d].Rows = %d, want %d", i, sp.Tags.Rows, want)
+		}
+	}
+	// Totals cover all ten, including the dropped ones.
+	totals := tr.Totals()
+	if len(totals) != 1 || totals[0].Count != 10 {
+		t.Errorf("Totals = %+v, want one entry with Count 10", totals)
+	}
+}
+
+func TestTraceTotalsByPhase(t *testing.T) {
+	tr := NewTrace(64)
+	for phase := 1; phase <= 3; phase++ {
+		for i := 0; i < phase; i++ {
+			tr.End(SpanFillTile, CatWavefront, tr.Begin(), Tags{Phase: phase})
+		}
+	}
+	tr.End(SpanTraceback, CatFastLSA, tr.Begin(), Tags{})
+
+	totals := tr.Totals()
+	if len(totals) != 4 {
+		t.Fatalf("got %d total rows, want 4: %+v", len(totals), totals)
+	}
+	// Sorted by name then phase: fill-tile 1..3, then traceback.
+	for i, want := range []SpanTotal{
+		{Name: SpanFillTile, Phase: 1, Count: 1},
+		{Name: SpanFillTile, Phase: 2, Count: 2},
+		{Name: SpanFillTile, Phase: 3, Count: 3},
+		{Name: SpanTraceback, Phase: 0, Count: 1},
+	} {
+		got := totals[i]
+		if got.Name != want.Name || got.Phase != want.Phase || got.Count != want.Count {
+			t.Errorf("totals[%d] = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := NewTrace(64)
+	tr.SetLabel("unit-test")
+	tr.End(SpanGeneralCase, CatFastLSA, tr.Begin(), Tags{Rows: 100, Cols: 200})
+	tr.End(SpanFillTile, CatWavefront, tr.Begin(), Tags{Rows: 32, Cols: 32, Phase: 2, Worker: 3})
+	tr.End(SpanTraceback, CatFastLSA, tr.Begin(), Tags{})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   *int64         `json:"ts"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		Metadata map[string]any `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v", err)
+	}
+
+	byName := map[string]int{}
+	var procName string
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			byName[ev.Name]++
+			if ev.TS == nil {
+				t.Errorf("event %q missing ts", ev.Name)
+			}
+			if ev.Name == SpanFillTile {
+				if ev.TID != 3 {
+					t.Errorf("fill-tile tid = %d, want worker 3", ev.TID)
+				}
+				if ev.Args["phase"] != float64(2) {
+					t.Errorf("fill-tile phase arg = %v, want 2", ev.Args["phase"])
+				}
+			}
+		case "M":
+			if ev.Name == "process_name" {
+				procName, _ = ev.Args["name"].(string)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	for _, name := range []string{SpanGeneralCase, SpanFillTile, SpanTraceback} {
+		if byName[name] != 1 {
+			t.Errorf("event %q count = %d, want 1", name, byName[name])
+		}
+	}
+	if procName != "unit-test" {
+		t.Errorf("process name = %q, want unit-test", procName)
+	}
+	if f.Metadata["spans_recorded"] != float64(3) {
+		t.Errorf("metadata spans_recorded = %v, want 3", f.Metadata["spans_recorded"])
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.End(SpanFillTile, CatWavefront, tr.Begin(), Tags{Worker: w + 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 128 {
+		t.Errorf("Len = %d, want full ring 128", tr.Len())
+	}
+	var total int64
+	for _, row := range tr.Totals() {
+		total += row.Count
+	}
+	if total != 800 {
+		t.Errorf("total spans = %d, want 800", total)
+	}
+}
+
+// TestDisabledTraceZeroAlloc is the acceptance guard: with tracing off (nil
+// *Trace) a Begin/End pair on the fill path must not allocate.
+func TestDisabledTraceZeroAlloc(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := tr.Begin()
+		tr.End(SpanFillTile, CatWavefront, s, Tags{Rows: 32, Cols: 32, Phase: 2, Worker: 1})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled trace allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestEnabledTraceSteadyStateZeroAlloc pins that recording itself stays
+// allocation-free once the ring and totals map are warm, so tracing can be
+// left on in production without GC pressure from the tile loop.
+func TestEnabledTraceSteadyStateZeroAlloc(t *testing.T) {
+	tr := NewTrace(64)
+	// Warm the totals map entry.
+	tr.End(SpanFillTile, CatWavefront, tr.Begin(), Tags{Phase: 2})
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := tr.Begin()
+		tr.End(SpanFillTile, CatWavefront, s, Tags{Rows: 32, Cols: 32, Phase: 2, Worker: 1})
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled trace steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabledTrace measures the cost the fill hot path pays when
+// tracing is off: two nil checks.
+func BenchmarkDisabledTrace(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.Begin()
+		tr.End(SpanFillTile, CatWavefront, s, Tags{Rows: 32, Cols: 32})
+	}
+}
+
+// BenchmarkEnabledTrace measures steady-state recording cost with tracing
+// on (clock reads + one mutex-protected ring write).
+func BenchmarkEnabledTrace(b *testing.B) {
+	tr := NewTrace(DefaultTraceSpans)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.Begin()
+		tr.End(SpanFillTile, CatWavefront, s, Tags{Rows: 32, Cols: 32, Phase: 2})
+	}
+}

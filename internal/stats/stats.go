@@ -302,13 +302,17 @@ func NewTimer() *Timer {
 	}
 }
 
-// Start begins (or resumes) the named phase.
+// Start begins (or resumes) the named phase. Starting a phase that is
+// already running is a no-op: the original start time stands, so the
+// interval since it is not silently dropped by a redundant Start.
 func (t *Timer) Start(name string) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	t.starts[name] = time.Now()
+	if _, running := t.starts[name]; !running {
+		t.starts[name] = time.Now()
+	}
 	t.mu.Unlock()
 }
 
@@ -334,4 +338,23 @@ func (t *Timer) Elapsed(name string) time.Duration {
 	d := t.phases[name]
 	t.mu.Unlock()
 	return d
+}
+
+// Snapshot returns every phase's accumulated duration, with still-running
+// phases charged up to now. The map is a copy, safe to retain or serialise.
+func (t *Timer) Snapshot() map[string]time.Duration {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	t.mu.Lock()
+	out := make(map[string]time.Duration, len(t.phases)+len(t.starts))
+	for name, d := range t.phases {
+		out[name] = d
+	}
+	for name, s := range t.starts {
+		out[name] += now.Sub(s)
+	}
+	t.mu.Unlock()
+	return out
 }

@@ -33,6 +33,10 @@ type Grid struct {
 	// The first error cancels the run: no new tiles start, and Run returns
 	// that error after in-flight tiles finish.
 	Exec func(r, c int) error
+	// ExecW, when non-nil, is used instead of Exec and additionally receives
+	// the 0-based worker lane executing the tile — the hook run tracing uses
+	// to attribute tiles to workers without per-tile goroutine lookups.
+	ExecW func(worker, r, c int) error
 }
 
 // Run executes the grid and returns the first tile error, if any.
@@ -40,7 +44,7 @@ func (g *Grid) Run() error {
 	if g.Rows < 1 || g.Cols < 1 {
 		return fmt.Errorf("wavefront: grid %dx%d must be at least 1x1", g.Rows, g.Cols)
 	}
-	if g.Exec == nil {
+	if g.Exec == nil && g.ExecW == nil {
 		return fmt.Errorf("wavefront: nil Exec")
 	}
 	workers := g.Workers
@@ -97,13 +101,19 @@ func (g *Grid) Run() error {
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(lane int) {
 			defer wg.Done()
 			for idx := range ready {
 				r, c := idx/g.Cols, idx%g.Cols
 				skipped := g.Skip != nil && g.Skip(r, c)
 				if !skipped && !cancelled.Load() {
-					if err := g.Exec(r, c); err != nil {
+					var err error
+					if g.ExecW != nil {
+						err = g.ExecW(lane, r, c)
+					} else {
+						err = g.Exec(r, c)
+					}
+					if err != nil {
 						if cancelled.CompareAndSwap(false, true) {
 							firstErr.Store(err)
 						}
@@ -111,7 +121,7 @@ func (g *Grid) Run() error {
 				}
 				complete(idx)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if err, ok := firstErr.Load().(error); ok {
@@ -131,6 +141,20 @@ type Phases struct {
 
 // Total reports the total non-skipped tile count.
 func (p Phases) Total() int64 { return p.Tiles1 + p.Tiles2 + p.Tiles3 }
+
+// PhaseOfDiagonal reports which Figure 13 phase anti-diagonal d of a grid
+// with the given diagonal count belongs to (1 ramp-up, 2 saturated, 3
+// ramp-down). The phases are contiguous diagonal ranges by construction, so
+// the first Lines1 diagonals are phase 1 and the last Lines3 are phase 3.
+func (p Phases) PhaseOfDiagonal(d, diagonals int) int {
+	if d < p.Lines1 {
+		return 1
+	}
+	if d >= diagonals-p.Lines3 {
+		return 3
+	}
+	return 2
+}
 
 // ClassifyPhases computes the Figure 13 phase decomposition: the leading
 // anti-diagonals holding fewer than P tiles form phase 1, the trailing ones
