@@ -2,7 +2,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -22,10 +21,39 @@ type jobRequest struct {
 	// TimeoutSec, when > 0, bounds the job's lifetime (queue wait plus
 	// execution); expiry cancels it.
 	TimeoutSec float64 `json:"timeoutSec"`
+	// Retry, when set with maxAttempts > 1, re-runs the job after transient
+	// failures (worker panics, injected faults, budget races) with
+	// exponential backoff. Invalid input and cancellation never retry.
+	Retry *retrySpec `json:"retry,omitempty"`
 
 	Align  *alignRequest  `json:"align,omitempty"`
 	MSA    *msaRequest    `json:"msa,omitempty"`
 	Search *searchRequest `json:"search,omitempty"`
+}
+
+// retrySpec is the JSON shape of a retry policy on job and batch
+// submissions. The retry-on classification is fixed to the service's
+// transient-fault classifier (fastlsa.RetryTransient).
+type retrySpec struct {
+	// MaxAttempts caps total executions, first attempt included.
+	MaxAttempts int `json:"maxAttempts"`
+	// BackoffMs is the base backoff before the first retry (0 selects the
+	// engine default, 10ms); it doubles per retry with jitter.
+	BackoffMs int64 `json:"backoffMs"`
+	// MaxBackoffMs caps the backoff growth (0 selects 2s).
+	MaxBackoffMs int64 `json:"maxBackoffMs"`
+}
+
+func (r *retrySpec) policy() fastlsa.RetryPolicy {
+	if r == nil {
+		return fastlsa.RetryPolicy{}
+	}
+	return fastlsa.RetryPolicy{
+		MaxAttempts: r.MaxAttempts,
+		BaseDelay:   time.Duration(r.BackoffMs) * time.Millisecond,
+		MaxDelay:    time.Duration(r.MaxBackoffMs) * time.Millisecond,
+		RetryOn:     fastlsa.RetryTransient,
+	}
 }
 
 // jobView is the JSON shape of a job for the async API.
@@ -40,7 +68,9 @@ type jobView struct {
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`
-	Error     string     `json:"error,omitempty"`
+	// Attempts counts executions started so far (> 1 means the job retried).
+	Attempts int    `json:"attempts,omitempty"`
+	Error    string `json:"error,omitempty"`
 	// Result carries the endpoint-shaped response once the job succeeded.
 	Result any `json:"result,omitempty"`
 }
@@ -53,6 +83,7 @@ func viewOf(info fastlsa.JobInfo, result any) jobView {
 		State:     info.State.String(),
 		RequestID: info.RequestID,
 		Submitted: info.Submitted,
+		Attempts:  info.Attempts,
 		Error:     info.Err,
 		Result:    result,
 	}
@@ -70,7 +101,7 @@ func viewOf(info fastlsa.JobInfo, result any) jobView {
 // outcome, DELETE it to cancel.
 func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var req jobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeJSON(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
@@ -120,9 +151,10 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		Priority:  req.Priority,
 		Timeout:   time.Duration(req.TimeoutSec * float64(time.Second)),
 		RequestID: obs.RequestID(r.Context()),
+		Retry:     req.Retry.policy(),
 	})
 	if err != nil {
-		writeErr(w, errStatus(err), "%v", err)
+		s.writeTaskErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, viewOf(j.Info(), nil))
@@ -202,6 +234,9 @@ type batchRequest struct {
 	} `json:"pairs"`
 	// TimeoutSec, when > 0, bounds each pair's lifetime individually.
 	TimeoutSec float64 `json:"timeoutSec"`
+	// Retry applies per unit: a pair whose attempt hits a transient fault
+	// re-queues without failing the batch.
+	Retry *retrySpec `json:"retry,omitempty"`
 }
 
 // batchResponse is the POST /v1/batch reply: per-pair outcomes, indexed as
@@ -222,7 +257,7 @@ type batchUnit struct {
 // outcome. A client disconnect cancels the unfinished remainder.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeJSON(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
@@ -251,16 +286,17 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Timeout:   time.Duration(req.TimeoutSec * float64(time.Second)),
 		Context:   r.Context(),
 		RequestID: obs.RequestID(r.Context()),
+		Retry:     req.Retry.policy(),
 	})
 	if err != nil {
-		writeErr(w, errStatus(err), "%v", err)
+		s.writeTaskErr(w, err)
 		return
 	}
 	s.batchSizes.Observe(float64(b.Size()))
 	results, err := b.Wait(r.Context())
 	if err != nil {
 		b.Cancel()
-		writeErr(w, errStatus(err), "%v", err)
+		s.writeTaskErr(w, err)
 		return
 	}
 	resp := batchResponse{BatchID: b.ID(), Units: make([]batchUnit, len(results))}

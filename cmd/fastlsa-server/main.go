@@ -3,7 +3,8 @@
 //
 // Endpoints:
 //
-//	GET    /healthz        liveness probe
+//	GET    /healthz        liveness probe (200 for the process lifetime)
+//	GET    /readyz         readiness probe (503 once shutdown drain begins)
 //	GET    /v1/matrices    available scoring matrices
 //	POST   /v1/align       pairwise alignment (global, ends-free, or local)
 //	POST   /v1/msa         progressive multiple sequence alignment
@@ -19,8 +20,17 @@
 // All alignment work — synchronous or async — runs through a bounded job
 // engine: a saturated queue rejects with 503 rather than queueing without
 // bound, and cancelled or abandoned requests stop consuming CPU promptly.
-// On SIGINT/SIGTERM the server stops accepting work, drains in-flight jobs
-// until the drain deadline, then cancels the remainder and exits.
+// Overload 503s carry a Retry-After header and retryAfterMs JSON hint, and a
+// breaker sheds synchronous requests while the p95 queue wait is over
+// -breaker-wait (async submissions still queue). Jobs and batches accept a
+// "retry" policy that re-runs attempts lost to transient faults. On
+// SIGINT/SIGTERM /readyz starts failing, the server stops accepting work,
+// drains in-flight jobs until the drain deadline, then cancels the remainder
+// and exits.
+//
+// Resilience rehearsal: FASTLSA_FAULTS arms the fault-injection harness
+// (internal/fault) at startup — e.g.
+// FASTLSA_FAULTS="core.fillTile:panic:0.01" — see docs/RESILIENCE.md.
 //
 // Observability: every request is logged as one structured (JSON) record
 // with an X-Request-ID that is honored when the client sent one, echoed in
@@ -56,6 +66,8 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"fastlsa/internal/fault"
 )
 
 func main() {
@@ -70,6 +82,8 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 0, "job queue bound; full queues reject with 503 (0 = 4x workers)")
 		maxResults = flag.Int("max-results", 0, "retained jobs that keep their full result payload (0 = 64)")
 		maxBatch   = flag.Int("max-batch", 64, "maximum pairs per batch request")
+		brkWait    = flag.Duration("breaker-wait", 5*time.Second, "p95 queue wait that trips the overload breaker (negative disables)")
+		brkCool    = flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker sheds before re-measuring")
 		drainSec   = flag.Int("drain", 30, "shutdown drain deadline in seconds")
 		debugAddr  = flag.String("debug-addr", "", "listen address for pprof and expvar (empty = disabled)")
 		quiet      = flag.Bool("quiet", false, "disable per-request access logs")
@@ -81,6 +95,15 @@ func main() {
 		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 
+	// Arm the fault-injection harness when FASTLSA_FAULTS is set, so chaos
+	// rehearsals run against the real binary. Disarmed (the default) every
+	// injection point is a zero-allocation no-op.
+	if armed, err := fault.ArmFromEnv(os.Getenv); err != nil {
+		log.Fatalf("%s: %v", fault.EnvSpec, err)
+	} else if armed {
+		log.Printf("fault injection armed: %s=%q (sites: %v)", fault.EnvSpec, fault.Armed(), fault.Sites())
+	}
+
 	app := newServer(serverConfig{
 		MaxSequenceLen:     *maxLen,
 		MaxBodyBytes:       *maxBody,
@@ -90,6 +113,8 @@ func main() {
 		QueueDepth:         *queueDepth,
 		MaxRetainedResults: *maxResults,
 		MaxBatch:           *maxBatch,
+		BreakerWait:        *brkWait,
+		BreakerCooldown:    *brkCool,
 		Logger:             logger,
 	})
 	srv := &http.Server{
@@ -124,9 +149,12 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting connections, let in-flight requests
-	// and queued jobs finish until the drain deadline, then cancel the rest.
+	// Graceful shutdown: fail /readyz first so load balancers stop routing
+	// here (while /healthz stays 200 — the process is alive and draining),
+	// then stop accepting connections, let in-flight requests and queued jobs
+	// finish until the drain deadline, and cancel the rest.
 	stop()
+	app.beginDrain()
 	drain := time.Duration(*drainSec) * time.Second
 	log.Printf("shutting down (drain deadline %s)", drain)
 	dctx, cancel := context.WithTimeout(context.Background(), drain)

@@ -1,0 +1,279 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"fastlsa/internal/fault"
+)
+
+// TestRetryAfterOnQueueFull saturates a tiny engine and requires every
+// queue-full 503 to carry both the Retry-After header and the retryAfterMs
+// JSON hint.
+func TestRetryAfterOnQueueFull(t *testing.T) {
+	srv := httptest.NewServer(newServer(serverConfig{
+		DefaultWorkers: 1, EngineWorkers: 1, QueueDepth: 1,
+	}))
+	defer srv.Close()
+
+	sawHint := false
+	for i := 0; i < 8; i++ {
+		resp, out := postJSON(t, srv.URL+"/v1/jobs", slowAlignJob(6000))
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			continue
+		}
+		ra := resp.Header.Get("Retry-After")
+		if ra == "" {
+			t.Fatalf("503 without Retry-After header: %v", out)
+		}
+		if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+			t.Fatalf("Retry-After %q is not a positive integer of seconds", ra)
+		}
+		ms, ok := out["retryAfterMs"].(float64)
+		if !ok || ms < 1 {
+			t.Fatalf("503 body lacks a positive retryAfterMs: %v", out)
+		}
+		sawHint = true
+	}
+	if !sawHint {
+		t.Fatal("queue never saturated; no 503 observed")
+	}
+}
+
+// TestReadyzFlipsDuringDrain: /readyz fails once the drain begins while
+// /healthz keeps reporting live.
+func TestReadyzFlipsDuringDrain(t *testing.T) {
+	app := newServer(serverConfig{DefaultWorkers: 1})
+	srv := httptest.NewServer(app)
+	defer srv.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz before drain = %d, want 200", got)
+	}
+	app.beginDrain()
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain = %d, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d, want 200 (liveness is separate)", got)
+	}
+}
+
+// TestBreakerTripAndRecovery unit-tests the overload breaker: a window of
+// unhealthy p95 queue waits trips it, sync requests shed while open, and it
+// closes after the cooldown.
+func TestBreakerTripAndRecovery(t *testing.T) {
+	b := newBreaker(10*time.Millisecond, 80*time.Millisecond, 16)
+	now := time.Now()
+	if !b.allow(now) {
+		t.Fatal("fresh breaker must be closed")
+	}
+	for i := 0; i < 16; i++ {
+		b.observe(50 * time.Millisecond)
+	}
+	if b.trips.Load() != 1 {
+		t.Fatalf("trips = %d after unhealthy window, want 1", b.trips.Load())
+	}
+	if b.allow(time.Now()) {
+		t.Fatal("tripped breaker must shed")
+	}
+	if b.shed.Load() != 1 {
+		t.Fatalf("shed = %d, want 1", b.shed.Load())
+	}
+	if b.state() != 1 {
+		t.Fatalf("state = %v while open, want 1", b.state())
+	}
+	if rem := b.remaining(time.Now()); rem <= 0 || rem > 80*time.Millisecond {
+		t.Fatalf("remaining = %v, want (0, 80ms]", rem)
+	}
+	// After the cooldown it closes and re-measures on a fresh window: a few
+	// healthy samples must not re-trip.
+	time.Sleep(100 * time.Millisecond)
+	if !b.allow(time.Now()) {
+		t.Fatal("breaker still open after cooldown")
+	}
+	for i := 0; i < 16; i++ {
+		b.observe(time.Millisecond)
+	}
+	if b.trips.Load() != 1 {
+		t.Fatalf("healthy window re-tripped: trips = %d", b.trips.Load())
+	}
+	if b.state() != 0 {
+		t.Fatalf("state = %v while closed, want 0", b.state())
+	}
+}
+
+// TestBreakerDisabled: a negative threshold disables shedding entirely.
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(-1, 0, 0)
+	for i := 0; i < 200; i++ {
+		b.observe(time.Hour)
+	}
+	if !b.allow(time.Now()) {
+		t.Fatal("disabled breaker shed a request")
+	}
+}
+
+// TestBreakerShedsSyncRequests forces the server's breaker open and requires
+// synchronous endpoints to answer 503 + Retry-After without touching the
+// engine, while async job submissions still queue.
+func TestBreakerShedsSyncRequests(t *testing.T) {
+	app := newServer(serverConfig{DefaultWorkers: 1, BreakerWait: time.Millisecond})
+	srv := httptest.NewServer(app)
+	defer srv.Close()
+
+	for i := 0; i < 128; i++ {
+		app.breaker.observe(time.Second)
+	}
+	rejected := app.eng.Stats().Rejected
+
+	resp, out := postJSON(t, srv.URL+"/v1/align",
+		`{"a":"ACGT","b":"ACGT","matrix":"dna","gap":{"extend":-4}}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("sync status under open breaker = %d, want 503 (%v)", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("shed response lacks Retry-After: %v", out)
+	}
+	if got := app.eng.Stats().Rejected; got != rejected {
+		t.Fatalf("shed request reached the engine (rejected %d -> %d)", rejected, got)
+	}
+	if app.breaker.shed.Load() == 0 {
+		t.Fatal("shed counter did not move")
+	}
+
+	// Async submissions are not shed — their callers opted into queueing.
+	jresp, jout := postJSON(t, srv.URL+"/v1/jobs", `{
+		"type": "align",
+		"align": {"a": "ACGT", "b": "ACGT", "matrix": "dna", "gap": {"extend": -4}}
+	}`)
+	if jresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit under open breaker = %d, want 202 (%v)", jresp.StatusCode, jout)
+	}
+}
+
+// TestJobRetrySurfacesAttempts arms a worker fault that fails every attempt
+// and checks the whole retry story end-to-end: the job view reports
+// MaxAttempts attempts, /v1/stats counts the re-queues, and /metrics exports
+// them.
+func TestJobRetrySurfacesAttempts(t *testing.T) {
+	if err := fault.Arm("engine.worker:error", 1); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	defer fault.Disarm()
+
+	srv := testServer(t)
+	resp, out := postJSON(t, srv.URL+"/v1/jobs", `{
+		"type": "align",
+		"retry": {"maxAttempts": 3, "backoffMs": 1},
+		"align": {"a": "ACGT", "b": "ACGT", "matrix": "dna", "gap": {"extend": -4}}
+	}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %v", resp.StatusCode, out)
+	}
+	id := out["id"].(string)
+	done := pollJob(t, srv.URL+"/v1/jobs/"+id, "failed", 10*time.Second)
+	if got, _ := done["attempts"].(float64); got != 3 {
+		t.Fatalf("attempts = %v, want 3: %v", done["attempts"], done)
+	}
+
+	sresp, stats := doJSON(t, http.MethodGet, srv.URL+"/v1/stats", "")
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", sresp.StatusCode)
+	}
+	if got, _ := stats["retries"].(float64); got < 2 {
+		t.Fatalf("stats retries = %v, want >= 2", stats["retries"])
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	for _, metric := range []string{
+		"fastlsa_engine_retries_total",
+		"fastlsa_breaker_state",
+		"fastlsa_breaker_shed_total",
+		"fastlsa_engine_queue_wait_seconds",
+	} {
+		if !strings.Contains(string(body), metric) {
+			t.Errorf("/metrics lacks %s", metric)
+		}
+	}
+}
+
+// TestInjectedDecodeFault: an armed server.decode site must surface as a
+// client-level 400, never a 500, and never submit a job.
+func TestInjectedDecodeFault(t *testing.T) {
+	if err := fault.Arm("server.decode:error", 1); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	defer fault.Disarm()
+
+	app := newServer(serverConfig{DefaultWorkers: 1})
+	srv := httptest.NewServer(app)
+	defer srv.Close()
+
+	resp, out := postJSON(t, srv.URL+"/v1/align",
+		`{"a":"ACGT","b":"ACGT","matrix":"dna","gap":{"extend":-4}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status under decode fault = %d, want 400 (%v)", resp.StatusCode, out)
+	}
+	if got := app.eng.Stats().Submitted; got != 0 {
+		t.Fatalf("decode fault leaked %d job submissions", got)
+	}
+}
+
+// TestBatchRetryZeroFailedUnits is the server-side slice of the acceptance
+// scenario: with a worker fault striking ~30% of attempts, a batch submitted
+// with a retry policy completes with zero failed units.
+func TestBatchRetryZeroFailedUnits(t *testing.T) {
+	if err := fault.Arm("engine.worker:error:0.3", 7); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	defer fault.Disarm()
+
+	srv := httptest.NewServer(newServer(serverConfig{
+		DefaultWorkers: 1, EngineWorkers: 4, QueueDepth: 64,
+	}))
+	defer srv.Close()
+	var pairs []string
+	for i := 0; i < 16; i++ {
+		pairs = append(pairs, `{"a":"ACGTACGTACGT","b":"ACGTTCGTACGA"}`)
+	}
+	resp, out := postJSON(t, srv.URL+"/v1/batch", `{
+		"matrix": "dna", "gap": {"extend": -4},
+		"retry": {"maxAttempts": 8, "backoffMs": 1},
+		"pairs": [`+strings.Join(pairs, ",")+`]
+	}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %v", resp.StatusCode, out)
+	}
+	units, _ := out["units"].([]any)
+	if len(units) != 16 {
+		t.Fatalf("units = %d, want 16", len(units))
+	}
+	for i, u := range units {
+		um := u.(map[string]any)
+		if e, _ := um["error"].(string); e != "" {
+			t.Errorf("unit %d failed despite retry: %s", i, e)
+		}
+	}
+}

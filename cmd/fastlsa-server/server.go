@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"fastlsa"
@@ -36,6 +37,16 @@ type serverConfig struct {
 	MaxRetainedResults int
 	// MaxBatch caps the units of one POST /v1/batch request (0 selects 64).
 	MaxBatch int
+	// BreakerWait is the p95 queue-wait threshold that trips the overload
+	// breaker shedding synchronous requests (0 selects 5s; negative disables
+	// the breaker).
+	BreakerWait time.Duration
+	// BreakerCooldown is how long a tripped breaker sheds before it closes
+	// and re-measures (0 selects 5s).
+	BreakerCooldown time.Duration
+	// BreakerWindow is the sliding sample window the p95 is computed over
+	// (0 selects 128 pickups).
+	BreakerWindow int
 	// Logger, when non-nil, receives one structured access-log record per
 	// request (request id, route, status, latency).
 	Logger *slog.Logger
@@ -53,6 +64,9 @@ func (c serverConfig) withDefaults() serverConfig {
 	}
 	if c.MaxBatch == 0 {
 		c.MaxBatch = 64
+	}
+	if c.BreakerWait == 0 {
+		c.BreakerWait = 5 * time.Second
 	}
 	return c
 }
@@ -75,8 +89,14 @@ type server struct {
 	reg        *obs.Registry
 	httpm      *obs.HTTPMetrics
 	batchSizes *obs.Histogram
-	logger     *slog.Logger
-	start      time.Time
+	// queueWait tracks per-attempt queue waits; breaker sheds synchronous
+	// requests when its p95 crosses cfg.BreakerWait (see resilience.go).
+	queueWait *obs.Histogram
+	breaker   *breaker
+	// draining flips /readyz to 503 during shutdown while /healthz stays OK.
+	draining atomic.Bool
+	logger   *slog.Logger
+	start    time.Time
 }
 
 // newServer builds the HTTP handler tree backed by a fresh job engine.
@@ -85,26 +105,37 @@ func newServer(cfg serverConfig) *server {
 	s := &server{
 		cfg:     cfg,
 		metrics: &fastlsa.Counters{},
-		eng: fastlsa.NewEngine(fastlsa.EngineConfig{
-			Workers:            cfg.EngineWorkers,
-			QueueDepth:         cfg.QueueDepth,
-			MaxRetained:        cfg.MaxRetained,
-			MaxRetainedResults: cfg.MaxRetainedResults,
-		}),
-		reg:    obs.NewRegistry(),
-		logger: cfg.Logger,
-		start:  time.Now(),
+		breaker: newBreaker(cfg.BreakerWait, cfg.BreakerCooldown, cfg.BreakerWindow),
+		reg:     obs.NewRegistry(),
+		logger:  cfg.Logger,
+		start:   time.Now(),
 	}
 	s.httpm = obs.NewHTTPMetrics(s.reg, "fastlsa")
 	s.batchSizes = s.reg.Histogram("fastlsa_batch_size",
 		"Units per admitted POST /v1/batch request.",
 		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+	s.queueWait = s.reg.Histogram("fastlsa_engine_queue_wait_seconds",
+		"Queue wait per job attempt, observed at worker pickup.",
+		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30})
+	// Every job pickup feeds both the latency histogram and the overload
+	// breaker, which sheds synchronous requests while the p95 is unhealthy.
+	s.eng = fastlsa.NewEngine(fastlsa.EngineConfig{
+		Workers:            cfg.EngineWorkers,
+		QueueDepth:         cfg.QueueDepth,
+		MaxRetained:        cfg.MaxRetained,
+		MaxRetainedResults: cfg.MaxRetainedResults,
+		ObserveQueueWait: func(d time.Duration) {
+			s.queueWait.Observe(d.Seconds())
+			s.breaker.observe(d)
+		},
+	})
 	s.registerMetrics()
 
 	mux := http.NewServeMux()
 	s.handle(mux, "GET /healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}))
+	s.handle(mux, "GET /readyz", http.HandlerFunc(s.handleReadyz))
 	s.handle(mux, "GET /metrics", s.reg.Handler())
 	s.handle(mux, "GET /v1/matrices", http.HandlerFunc(handleMatrices))
 	s.handle(mux, "POST /v1/align", withLimits(cfg, s.handleAlign))
@@ -163,6 +194,18 @@ func (s *server) registerMetrics() {
 	s.reg.CounterFunc("fastlsa_engine_jobs_cancelled_total",
 		"Jobs cancelled before completion.",
 		engStat(func(st fastlsa.EngineStats) float64 { return float64(st.Cancelled) }))
+	s.reg.CounterFunc("fastlsa_engine_retries_total",
+		"Job attempt re-queues performed by retry policies.",
+		engStat(func(st fastlsa.EngineStats) float64 { return float64(st.Retries) }))
+	s.reg.GaugeFunc("fastlsa_breaker_state",
+		"Overload breaker state: 1 while open (shedding sync requests), 0 closed.",
+		func() float64 { return s.breaker.state() })
+	s.reg.CounterFunc("fastlsa_breaker_trips_total",
+		"Times the overload breaker tripped open on p95 queue wait.",
+		func() float64 { return float64(s.breaker.trips.Load()) })
+	s.reg.CounterFunc("fastlsa_breaker_shed_total",
+		"Synchronous requests shed by the open overload breaker.",
+		func() float64 { return float64(s.breaker.shed.Load()) })
 	s.reg.CounterFunc("fastlsa_engine_batches_total",
 		"Batch submissions admitted.",
 		engStat(func(st fastlsa.EngineStats) float64 { return float64(st.Batches) }))
@@ -205,14 +248,24 @@ func (s *server) registerMetrics() {
 		})
 }
 
-// shutdown drains the engine (used by main on SIGINT/SIGTERM).
-func (s *server) shutdown(ctx context.Context) error { return s.eng.Shutdown(ctx) }
+// shutdown flips readiness and drains the engine (used by main on
+// SIGINT/SIGTERM).
+func (s *server) shutdown(ctx context.Context) error {
+	s.beginDrain()
+	return s.eng.Shutdown(ctx)
+}
 
 // runSync executes task through the engine so the synchronous endpoints get
 // the same admission control and cancellation semantics as async jobs: the
 // job's context derives from the request, so a client disconnect or a
-// TimeoutHandler expiry abandons the computation.
+// TimeoutHandler expiry abandons the computation. An open overload breaker
+// sheds the request up front with a queue-full 503 (Retry-After attached by
+// writeTaskErr) instead of parking it behind an unhealthy queue.
 func (s *server) runSync(r *http.Request, kind string, task func(ctx context.Context) (any, error)) (any, error) {
+	if !s.breaker.allow(time.Now()) {
+		return nil, fmt.Errorf("%w: overload breaker open (p95 queue wait over %s)",
+			fastlsa.ErrQueueFull, s.cfg.BreakerWait)
+	}
 	j, err := s.eng.SubmitFunc(kind, task, fastlsa.JobOptions{
 		Context:   r.Context(),
 		RequestID: obs.RequestID(r.Context()),
@@ -252,9 +305,11 @@ func withLimits(cfg serverConfig, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// apiError is the uniform error envelope.
+// apiError is the uniform error envelope. RetryAfterMs accompanies overload
+// 503s (mirroring the Retry-After header, millisecond precision).
 type apiError struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	RetryAfterMs int64  `json:"retryAfterMs,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -324,7 +379,7 @@ type localSpan struct {
 
 func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	var req alignRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeJSON(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
@@ -342,7 +397,7 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.runSync(r, kind, task)
 	if err != nil {
-		writeErr(w, errStatus(err), "%v", err)
+		s.writeTaskErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -504,7 +559,7 @@ type msaResponse struct {
 
 func (s *server) handleMSA(w http.ResponseWriter, r *http.Request) {
 	var req msaRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeJSON(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
@@ -515,7 +570,7 @@ func (s *server) handleMSA(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.runSync(r, "msa", task)
 	if err != nil {
-		writeErr(w, errStatus(err), "%v", err)
+		s.writeTaskErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -652,7 +707,7 @@ type statsInfo struct {
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req searchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeJSON(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
@@ -663,7 +718,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.runSync(r, "search", task)
 	if err != nil {
-		writeErr(w, errStatus(err), "%v", err)
+		s.writeTaskErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)

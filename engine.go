@@ -2,6 +2,7 @@ package fastlsa
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -25,6 +26,10 @@ type (
 	Batch = engine.Batch
 	// BatchResult is one batch unit's outcome.
 	BatchResult = engine.BatchResult
+	// RetryPolicy re-queues a job after transient failures: max attempts,
+	// exponential backoff with jitter, and a retry-on classifier (see
+	// RetryTransient). Cancellation and deadline expiry never retry.
+	RetryPolicy = engine.RetryPolicy
 )
 
 // Job lifecycle stages.
@@ -44,7 +49,27 @@ var (
 	ErrEngineClosed = engine.ErrClosed
 	// ErrJobNotFound reports an unknown job id.
 	ErrJobNotFound = engine.ErrNotFound
+	// ErrJobPanic wraps the failure of a job whose task panicked. The panic
+	// is isolated to the job (the pool survives) and RetryTransient classifies
+	// it as retryable.
+	ErrJobPanic = engine.ErrJobPanic
 )
+
+// RetryTransient is the retry classifier for alignment jobs: it retries
+// panics (ErrJobPanic), injected faults, and transient resource pressure
+// (ErrBudgetExceeded — a budget race against concurrent runs can clear), but
+// never cancellation/deadline expiry, ErrInvalidInput, or ErrBudgetTooSmall
+// (deterministic: the same submission will fail the same way every attempt).
+// Use it as JobOptions.Retry.RetryOn.
+func RetryTransient(err error) bool {
+	if !engine.Retryable(err) {
+		return false
+	}
+	if errors.Is(err, ErrInvalidInput) || errors.Is(err, ErrBudgetTooSmall) {
+		return false
+	}
+	return true
+}
 
 // JobOptions tunes one submission to an Engine.
 type JobOptions struct {
@@ -59,6 +84,10 @@ type JobOptions struct {
 	// RequestID, when non-empty, ties the job to the originating request for
 	// log correlation; it is echoed in JobInfo.
 	RequestID string
+	// Retry, when enabled (MaxAttempts > 1), re-queues the job after
+	// retryable failures with exponential backoff. Pair it with RetryTransient
+	// as the RetryOn classifier for alignment work.
+	Retry RetryPolicy
 }
 
 func (jo JobOptions) submission(kind string, task engine.Task) engine.Submission {
@@ -68,6 +97,7 @@ func (jo JobOptions) submission(kind string, task engine.Task) engine.Submission
 		Timeout:   jo.Timeout,
 		Parent:    jo.Context,
 		RequestID: jo.RequestID,
+		Retry:     jo.Retry,
 		Task:      task,
 	}
 }
@@ -157,6 +187,7 @@ func (en *Engine) SubmitAlignBatch(pairs []SequencePair, opt Options, jo JobOpti
 		Timeout:   jo.Timeout,
 		Parent:    jo.Context,
 		RequestID: jo.RequestID,
+		Retry:     jo.Retry,
 		Tasks:     tasks,
 	})
 }
@@ -173,6 +204,7 @@ func (en *Engine) SubmitBatchFunc(kind string, tasks []func(ctx context.Context)
 		Timeout:   jo.Timeout,
 		Parent:    jo.Context,
 		RequestID: jo.RequestID,
+		Retry:     jo.Retry,
 		Tasks:     ts,
 	})
 }

@@ -283,6 +283,9 @@ func (s *solver) fillBlock(grid *gridCache, u, v int) error {
 // bottom-right corner to the top or left boundary. Oversized thin strips
 // fall back to a dedicated budget reservation.
 func (s *solver) baseCase(t rect, top, left kernel.Edge, state int) (exitR, exitC, exitState int, err error) {
+	if err := siteBaseCase.Hit(); err != nil {
+		return 0, 0, 0, err
+	}
 	s.c.AddBaseCase()
 	rows, cols := t.rows(), t.cols()
 	bt := s.tr.Begin()

@@ -155,6 +155,9 @@ func (s *solver) fillGridCacheParallel(grid *gridCache) error {
 // top/left endpoints, which the up-left neighbours own). worker and phase
 // only feed the trace span (phase = the tile diagonal's Figure 13 phase).
 func (s *solver) fillTile(t rect, trs, tcs []int, meshRows, meshCols []kernel.Edge, ti, tj, worker, phase int) error {
+	if err := siteFillTile.Hit(); err != nil {
+		return err
+	}
 	ft := s.tr.Begin()
 	r0, r1 := trs[ti], trs[ti+1]
 	c0, c1 := tcs[tj], tcs[tj+1]
@@ -236,6 +239,9 @@ func (s *solver) fillRectParallel(ra, rb []byte, top, left kernel.Edge, rt kerne
 		Cols:    C,
 		Workers: s.opt.workers,
 		ExecW: func(w, ti, tj int) error {
+			if err := siteFillTile.Hit(); err != nil {
+				return err
+			}
 			ft := s.tr.Begin()
 			if err := s.k.FillRegion(ra, rb, rt, trs[ti], trs[ti+1], tcs[tj], tcs[tj+1]); err != nil {
 				return err

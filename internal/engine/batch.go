@@ -83,6 +83,9 @@ type BatchSubmission struct {
 	Parent context.Context
 	// RequestID, when non-empty, ties every unit to the originating request.
 	RequestID string
+	// Retry, when enabled, applies to every unit independently: a unit whose
+	// attempt hits a retryable fault re-queues without failing the batch.
+	Retry RetryPolicy
 	// Tasks are the units (at least one required).
 	Tasks []Task
 }
@@ -127,6 +130,7 @@ func (e *Engine) SubmitBatch(sub BatchSubmission) (*Batch, error) {
 			Timeout:   sub.Timeout,
 			Parent:    bctx,
 			RequestID: sub.RequestID,
+			Retry:     sub.Retry,
 			Task:      t,
 		}, b.id, false)
 	}

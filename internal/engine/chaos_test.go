@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"fastlsa/internal/fault"
+)
+
+// armChaos arms the CI fault spec ($FASTLSA_FAULTS when set, a standing
+// default otherwise) for the duration of one chaos test. Non-chaos tests
+// never arm, so the deterministic suites are unaffected even when the chaos
+// CI job exports the variable for the whole test binary.
+func armChaos(t *testing.T, fallback string) {
+	t.Helper()
+	spec := os.Getenv(fault.EnvSpec)
+	if spec == "" {
+		spec = fallback
+	}
+	seed := int64(1)
+	if armed, err := fault.ArmFromEnv(os.Getenv); err != nil {
+		t.Fatalf("ArmFromEnv: %v", err)
+	} else if !armed {
+		if err := fault.Arm(spec, seed); err != nil {
+			t.Fatalf("Arm(%q): %v", spec, err)
+		}
+	}
+	t.Cleanup(fault.Disarm)
+	t.Logf("chaos spec: %q", fault.Armed())
+}
+
+// waitGoroutines polls until the goroutine count drops back to around base
+// (retry timers and watch goroutines need a moment to unwind).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+4 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d running, started with %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosEngineSurvivesStandingFaults runs a mixed workload — singleton
+// jobs, batches, cancellations, a final drain — with faults striking the
+// worker path, and asserts the invariants chaos must not break: every job
+// reaches a terminal state (no hangs), the engine shuts down cleanly, and no
+// goroutines leak. Individual job failures are expected and fine.
+func TestChaosEngineSurvivesStandingFaults(t *testing.T) {
+	armChaos(t, "engine.worker:panic:0.1,engine.worker:error:0.15,engine.worker:delay:200us:0.2")
+	base := runtime.NumGoroutine()
+
+	e := New(Config{Workers: 4, QueueDepth: 512})
+	retry := RetryPolicy{MaxAttempts: 4, BaseDelay: 500 * time.Microsecond, MaxDelay: 2 * time.Millisecond}
+
+	var wg sync.WaitGroup
+	terminal := func(j *Job) {
+		defer wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if _, err := j.Wait(ctx); ctx.Err() != nil {
+			t.Errorf("job %s hung: %v", j.ID(), err)
+		}
+	}
+
+	// Singleton jobs, some with retry, every third cancelled mid-flight.
+	for i := 0; i < 60; i++ {
+		sub := Submission{Kind: "chaos", Task: func(ctx context.Context) (any, error) {
+			time.Sleep(100 * time.Microsecond)
+			return "ok", nil
+		}}
+		if i%2 == 0 {
+			sub.Retry = retry
+		}
+		j, err := e.Submit(sub)
+		if err != nil {
+			continue // queue-full under injected delays is fine
+		}
+		if i%3 == 0 {
+			j.Cancel()
+		}
+		wg.Add(1)
+		go terminal(j)
+	}
+
+	// A few batches with retrying units.
+	for i := 0; i < 4; i++ {
+		tasks := make([]Task, 16)
+		for k := range tasks {
+			tasks[k] = func(ctx context.Context) (any, error) {
+				time.Sleep(50 * time.Microsecond)
+				return k, nil
+			}
+		}
+		b, err := e.SubmitBatch(BatchSubmission{Kind: "chaos-batch", Retry: retry, Tasks: tasks})
+		if err != nil {
+			continue
+		}
+		if i == 3 {
+			b.Cancel()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if _, err := b.Wait(ctx); ctx.Err() != nil {
+				t.Errorf("batch %s hung: %v", b.ID(), err)
+			}
+		}()
+	}
+
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown under chaos: %v", err)
+	}
+	fault.Disarm()
+	waitGoroutines(t, base)
+}

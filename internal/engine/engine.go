@@ -15,9 +15,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"time"
+
+	"fastlsa/internal/fault"
 )
 
 // Task is the unit of work a job runs: it must honour ctx — the engine
@@ -69,7 +72,79 @@ var (
 	ErrClosed = errors.New("engine: engine is shut down")
 	// ErrNotFound reports an unknown job id.
 	ErrNotFound = errors.New("engine: no such job")
+	// ErrJobPanic is the sentinel wrapped by the failure error of a job whose
+	// task panicked. Panics are isolated to the job (the pool survives) and
+	// classified as transient by the default retry policy.
+	ErrJobPanic = errors.New("engine: job panicked")
 )
+
+// siteWorker is the fault-injection point struck just before a worker runs a
+// task: armed (see internal/fault) it rehearses worker-side panics, delays
+// and transient errors without touching the task itself.
+var siteWorker = fault.NewSite("engine.worker")
+
+// RetryPolicy makes a job's transient failures survivable: a failed attempt
+// is re-queued (after an exponential backoff with jitter) instead of
+// finishing the job, until an attempt succeeds, MaxAttempts is exhausted, or
+// the failure is classified non-retryable. Cancellation and deadline expiry
+// are never retried — a cancelled job is a decision, not a fault.
+type RetryPolicy struct {
+	// MaxAttempts caps total executions of the task, first attempt included
+	// (<= 1 disables retrying).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it, with full jitter in [delay/2, delay) (0 selects 10ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (0 selects 2s).
+	MaxDelay time.Duration
+	// RetryOn classifies failures: return true to retry err. Nil selects
+	// Retryable (retry everything except cancellations). Callers with typed
+	// permanent errors — invalid input, a budget below the algorithm's floor —
+	// should exclude them here; panics (ErrJobPanic) and injected faults
+	// (fault.ErrInjected) are worth retrying.
+	RetryOn func(error) bool
+}
+
+// enabled reports whether the policy can ever retry.
+func (p RetryPolicy) enabled() bool { return p.MaxAttempts > 1 }
+
+// shouldRetry classifies err for the given completed attempt count.
+func (p RetryPolicy) shouldRetry(attempts int, err error) bool {
+	if !p.enabled() || attempts >= p.MaxAttempts || err == nil || isCancellation(err) {
+		return false
+	}
+	if p.RetryOn != nil {
+		return p.RetryOn(err)
+	}
+	return Retryable(err)
+}
+
+// backoff returns the delay before retry number retries (1-based):
+// exponential growth from BaseDelay, capped at MaxDelay, with full jitter in
+// [d/2, d) so synchronized failures do not retry in lockstep.
+func (p RetryPolicy) backoff(retries int) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		d = 10 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	for i := 1; i < retries && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+}
+
+// Retryable is the default retry classification: cancellations and deadline
+// expiries never retry; every other failure — panics (ErrJobPanic), injected
+// faults, transient resource races — does. Supply RetryPolicy.RetryOn to
+// also exclude errors known to be deterministic.
+func Retryable(err error) bool { return err != nil && !isCancellation(err) }
 
 // Config tunes an Engine. The zero value is usable: GOMAXPROCS workers, a
 // queue of 4x that, and retention of the last 256 finished jobs.
@@ -88,6 +163,13 @@ type Config struct {
 	// hundreds of full alignment responses in memory (<= 0 selects 64; set
 	// >= MaxRetained to keep every retained result).
 	MaxRetainedResults int
+	// ObserveQueueWait, when non-nil, receives the queue wait of every job
+	// attempt the moment a worker picks it up (time since it last entered the
+	// queue). Servers feed this to overload detectors — the breaker that sheds
+	// synchronous requests when the p95 queue wait crosses a threshold — and
+	// latency histograms. Called outside the engine lock; must be fast and
+	// safe for concurrent use.
+	ObserveQueueWait func(time.Duration)
 }
 
 // Submission describes one job.
@@ -108,6 +190,9 @@ type Submission struct {
 	// log correlation; it is echoed in Info and available to observability
 	// layers.
 	RequestID string
+	// Retry, when enabled (MaxAttempts > 1), re-queues the job after
+	// retryable failures instead of finishing it.
+	Retry RetryPolicy
 	// Task is the work to run (required).
 	Task Task
 }
@@ -130,6 +215,9 @@ type Info struct {
 	Batch string
 	// RequestID is the originating request's id ("" when none was supplied).
 	RequestID string
+	// Attempts counts executions started so far (0 while queued, 1 for a job
+	// that never retried, up to RetryPolicy.MaxAttempts).
+	Attempts int
 }
 
 // Job is a handle on a submitted job.
@@ -141,6 +229,7 @@ type Job struct {
 	requestID string
 	seq       uint64
 	task      Task
+	retry     RetryPolicy
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -150,12 +239,17 @@ type Job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+	attempts  int
 	result    any
 	err       error
 	done      chan struct{}
 
 	// index is the heap slot while queued (-1 once popped or abandoned).
 	index int
+	// queuedAt is when the job last entered the queue (submission or retry
+	// re-queue); workers derive the per-attempt queue wait from it. Guarded
+	// by the engine lock, like index.
+	queuedAt time.Time
 }
 
 // ID returns the engine-assigned job id.
@@ -175,6 +269,7 @@ func (j *Job) Info() Info {
 		Finished:  j.finished,
 		Batch:     j.batch,
 		RequestID: j.requestID,
+		Attempts:  j.attempts,
 	}
 	if j.err != nil {
 		info.Err = j.err.Error()
@@ -213,8 +308,12 @@ func (j *Job) Result() (result any, err error, ok bool) {
 }
 
 // Cancel requests cancellation: a queued job finishes immediately as
-// Cancelled; a running job's context is cancelled and the kernels abort at
-// their next poll. Idempotent; a no-op on finished jobs.
+// Cancelled — releasing its queue slot for new admissions, batch units
+// included — and a running job's context is cancelled so the kernels abort
+// at their next poll. Cancel is idempotent, and on a job that has already
+// finished (any terminal state) it is a strict no-op: the state, result,
+// error and timestamps are unchanged. Both properties are regression-tested
+// in engine_test.go.
 func (j *Job) Cancel() { j.cancel() }
 
 // Stats is a snapshot of the engine's counters.
@@ -234,6 +333,9 @@ type Stats struct {
 	Succeeded int64 `json:"succeeded"`
 	Failed    int64 `json:"failed"`
 	Cancelled int64 `json:"cancelled"`
+	// Retries counts attempt re-queues performed by retry policies; a job
+	// that failed twice and then succeeded contributes 2.
+	Retries int64 `json:"retries"`
 	// Batches counts admitted batch submissions; BatchUnits the jobs they
 	// fanned out into (each unit is also counted in Submitted).
 	Batches    int64 `json:"batches"`
@@ -260,8 +362,13 @@ type Engine struct {
 	succ       int64
 	failed     int64
 	cancels    int64
+	retries    int64
 	batches    int64
 	batchUnits int64
+	// retryBackoff counts jobs sitting out a retry backoff (neither queued
+	// nor running). Workers must not exit while any remain, or a drain-style
+	// Shutdown would report completion with work still pending.
+	retryBackoff int
 
 	wg sync.WaitGroup
 }
@@ -348,10 +455,12 @@ func (e *Engine) enqueueLocked(sub Submission, batch string, register bool) *Job
 		requestID: sub.RequestID,
 		seq:       e.nextSeq,
 		task:      sub.Task,
+		retry:     sub.Retry,
 		state:     Queued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 		index:     -1,
+		queuedAt:  time.Now(),
 	}
 	if sub.Timeout > 0 {
 		j.ctx, j.cancel = context.WithTimeout(parent, sub.Timeout)
@@ -385,15 +494,18 @@ func (e *Engine) watch(j *Job) {
 	}
 }
 
-// worker is the pool loop: pop the best queued job, run it, repeat.
+// worker is the pool loop: pop the best queued job, run it, repeat. Workers
+// drain retry backoffs too: they exit only once the engine is closed, the
+// queue is empty AND no job is waiting out a backoff (such a job re-enters
+// the queue when its timer fires).
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for {
 		e.mu.Lock()
-		for e.queue.Len() == 0 && !e.closed {
+		for e.queue.Len() == 0 && !(e.closed && e.retryBackoff == 0) {
 			e.cond.Wait()
 		}
-		if e.queue.Len() == 0 && e.closed {
+		if e.queue.Len() == 0 {
 			e.mu.Unlock()
 			return
 		}
@@ -404,30 +516,80 @@ func (e *Engine) worker() {
 			e.mu.Unlock()
 			continue
 		}
+		wait := time.Since(j.queuedAt)
 		j.mu.Lock()
 		j.state = Running
 		j.started = time.Now()
+		j.attempts++
+		attempt := j.attempts
 		j.mu.Unlock()
 		e.running++
 		e.mu.Unlock()
 
+		if obs := e.cfg.ObserveQueueWait; obs != nil {
+			obs(wait)
+		}
 		result, err := e.runTask(j)
 
 		e.mu.Lock()
 		e.running--
+		// Retries continue during a drain (Shutdown's contract is to finish
+		// accepted work); the drain deadline's hard cancel ends them, since
+		// cancellation is never retried.
+		if j.retry.shouldRetry(attempt, err) && j.ctx.Err() == nil {
+			e.scheduleRetryLocked(j, attempt)
+			e.mu.Unlock()
+			continue
+		}
 		e.finishLocked(j, result, err)
 		e.mu.Unlock()
 	}
 }
 
-// runTask executes the task, converting panics into errors so one bad job
-// cannot take down the pool.
+// scheduleRetryLocked parks j for its backoff and re-queues it when the
+// timer fires. Callers hold e.mu. While parked the job reports Queued but
+// holds no heap slot; cancellation during the backoff is handled by watch
+// (which finishes Queued jobs whose context died), and the timer then finds
+// the job terminal and only drops the backoff count.
+func (e *Engine) scheduleRetryLocked(j *Job, attempt int) {
+	e.retries++
+	e.retryBackoff++
+	j.mu.Lock()
+	j.state = Queued
+	j.mu.Unlock()
+	delay := j.retry.backoff(attempt)
+	time.AfterFunc(delay, func() {
+		e.mu.Lock()
+		e.retryBackoff--
+		requeued := false
+		j.mu.Lock()
+		if j.state == Queued && j.ctx.Err() == nil {
+			requeued = true
+		}
+		j.mu.Unlock()
+		if requeued {
+			j.queuedAt = time.Now()
+			heap.Push(&e.queue, j)
+		}
+		e.mu.Unlock()
+		// Wake a worker for the re-queued job, or — when the engine is
+		// draining — let the workers re-check their exit condition.
+		e.cond.Broadcast()
+	})
+}
+
+// runTask executes the task, converting panics into errors (wrapping
+// ErrJobPanic) so one bad job cannot take down the pool. The engine.worker
+// fault-injection site strikes here, before the task runs.
 func (e *Engine) runTask(j *Job) (result any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			result, err = nil, fmt.Errorf("engine: job %s panicked: %v", j.id, r)
+			result, err = nil, fmt.Errorf("%w: job %s: %v", ErrJobPanic, j.id, r)
 		}
 	}()
+	if err := siteWorker.Hit(); err != nil {
+		return nil, err
+	}
 	return j.task(j.ctx)
 }
 
@@ -573,6 +735,7 @@ func (e *Engine) Stats() Stats {
 		Succeeded:   e.succ,
 		Failed:      e.failed,
 		Cancelled:   e.cancels,
+		Retries:     e.retries,
 		Batches:     e.batches,
 		BatchUnits:  e.batchUnits,
 	}

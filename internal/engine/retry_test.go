@@ -1,0 +1,351 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fastlsa/internal/fault"
+)
+
+var errFlaky = errors.New("flaky")
+
+// flakyTask fails its first failures attempts, then succeeds.
+func flakyTask(failures int) (Task, *atomic.Int64) {
+	var calls atomic.Int64
+	return func(ctx context.Context) (any, error) {
+		if n := calls.Add(1); n <= int64(failures) {
+			return nil, fmt.Errorf("attempt %d: %w", n, errFlaky)
+		}
+		return "ok", nil
+	}, &calls
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	e := New(Config{Workers: 2, QueueDepth: 8})
+	defer shutdownNow(t, e)
+
+	task, calls := flakyTask(2)
+	j, err := e.Submit(Submission{
+		Kind:  "test",
+		Retry: RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		Task:  task,
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	res, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if res != "ok" {
+		t.Fatalf("result = %v, want ok", res)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("task ran %d times, want 3", got)
+	}
+	if got := j.Info().Attempts; got != 3 {
+		t.Fatalf("Info().Attempts = %d, want 3", got)
+	}
+	if got := e.Stats().Retries; got != 2 {
+		t.Fatalf("Stats().Retries = %d, want 2", got)
+	}
+}
+
+func TestRetryExhaustionFailsWithLastError(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 8})
+	defer shutdownNow(t, e)
+
+	task, calls := flakyTask(100)
+	j, err := e.Submit(Submission{
+		Kind:  "test",
+		Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond},
+		Task:  task,
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := j.Wait(context.Background()); !errors.Is(err, errFlaky) {
+		t.Fatalf("Wait err = %v, want errFlaky", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("task ran %d times, want exactly MaxAttempts=3", got)
+	}
+	if st := j.Info().State; st != Failed {
+		t.Fatalf("state = %v, want failed", st)
+	}
+}
+
+func TestRetryDisabledByDefault(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 8})
+	defer shutdownNow(t, e)
+
+	task, calls := flakyTask(100)
+	j, _ := e.Submit(Submission{Kind: "test", Task: task})
+	if _, err := j.Wait(context.Background()); err == nil {
+		t.Fatal("want failure")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("zero-value policy ran the task %d times, want 1", got)
+	}
+}
+
+func TestRetryPanicUsesDefaultClassifier(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 8})
+	defer shutdownNow(t, e)
+
+	var calls atomic.Int64
+	j, _ := e.Submit(Submission{
+		Kind:  "test",
+		Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond},
+		Task: func(ctx context.Context) (any, error) {
+			if calls.Add(1) == 1 {
+				panic("first attempt explodes")
+			}
+			return "recovered", nil
+		},
+	})
+	res, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if res != "recovered" || calls.Load() != 2 {
+		t.Fatalf("res = %v after %d calls, want recovered after 2", res, calls.Load())
+	}
+}
+
+func TestRetryNeverRetriesCancellation(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 8})
+	defer shutdownNow(t, e)
+
+	started := make(chan struct{}, 1)
+	j, _ := e.Submit(Submission{
+		Kind:  "test",
+		Retry: RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond},
+		Task:  blockerTask(started, nil),
+	})
+	<-started
+	j.Cancel()
+	if _, err := j.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait err = %v, want context.Canceled", err)
+	}
+	if got := j.Info().Attempts; got != 1 {
+		t.Fatalf("cancelled job ran %d attempts, want 1", got)
+	}
+	if got := e.Stats().Retries; got != 0 {
+		t.Fatalf("Stats().Retries = %d, want 0", got)
+	}
+}
+
+func TestRetryRespectsClassifier(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 8})
+	defer shutdownNow(t, e)
+
+	task, calls := flakyTask(100)
+	j, _ := e.Submit(Submission{
+		Kind: "test",
+		Retry: RetryPolicy{
+			MaxAttempts: 5,
+			BaseDelay:   time.Millisecond,
+			RetryOn:     func(err error) bool { return !errors.Is(err, errFlaky) },
+		},
+		Task: task,
+	})
+	if _, err := j.Wait(context.Background()); !errors.Is(err, errFlaky) {
+		t.Fatalf("Wait err = %v, want errFlaky", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("classified-permanent failure ran %d attempts, want 1", got)
+	}
+}
+
+func TestRetryCancelDuringBackoff(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 8})
+	defer shutdownNow(t, e)
+
+	task, _ := flakyTask(100)
+	j, _ := e.Submit(Submission{
+		Kind: "test",
+		// A long backoff parks the job; Cancel must finish it immediately
+		// rather than waiting out the timer.
+		Retry: RetryPolicy{MaxAttempts: 10, BaseDelay: 30 * time.Second, MaxDelay: 30 * time.Second},
+		Task:  task,
+	})
+
+	// Wait for the first attempt to fail and the job to park as Queued.
+	deadline := time.Now().Add(5 * time.Second)
+	for j.Info().Attempts == 0 || j.Info().State != Queued {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never parked for backoff: %+v", j.Info())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	j.Cancel()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := j.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait err = %v, want context.Canceled", err)
+	}
+}
+
+func TestShutdownDrainsRetryBackoff(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 8})
+
+	task, _ := flakyTask(1)
+	j, err := e.Submit(Submission{
+		Kind:  "test",
+		Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: 20 * time.Millisecond},
+		Task:  task,
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Shutdown immediately: the drain must wait out the backoff and run the
+	// retry rather than declaring completion with work pending.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	res, jerr, ok := j.Result()
+	if !ok || jerr != nil || res != "ok" {
+		t.Fatalf("after drain: result = (%v, %v, %v), want (ok, nil, true)", res, jerr, ok)
+	}
+}
+
+func TestRetryOnInjectedWorkerFault(t *testing.T) {
+	// An armed engine.worker error is transparent to the task and retried.
+	if err := fault.Arm("engine.worker:error", 1); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	armed := true
+	defer func() {
+		if armed {
+			fault.Disarm()
+		}
+	}()
+
+	e := New(Config{Workers: 1, QueueDepth: 8})
+	defer shutdownNow(t, e)
+
+	var calls atomic.Int64
+	j, _ := e.Submit(Submission{
+		Kind:  "test",
+		Retry: RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond},
+		Task: func(ctx context.Context) (any, error) {
+			calls.Add(1)
+			return "ran", nil
+		},
+	})
+
+	// With probability 1 the fault fires every attempt; disarm after the
+	// second failure so a later attempt can get through.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Retries < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("faulted attempts never retried: %+v", e.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fault.Disarm()
+	armed = false
+
+	res, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if res != "ran" || calls.Load() == 0 {
+		t.Fatalf("res = %v (task calls %d), want ran", res, calls.Load())
+	}
+	info := j.Info()
+	if info.Attempts < 3 {
+		t.Fatalf("Attempts = %d, want >= 3 (two faulted + one clean)", info.Attempts)
+	}
+}
+
+// TestCancelFinishedJobNoop pins the documented Cancel semantics: on a job
+// already in a terminal state, Cancel is an idempotent no-op — state, result,
+// error and timestamps are untouched.
+func TestCancelFinishedJobNoop(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 8})
+	defer shutdownNow(t, e)
+
+	j, _ := e.Submit(Submission{Kind: "test", Task: func(ctx context.Context) (any, error) {
+		return "done", nil
+	}})
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	before := j.Info()
+
+	j.Cancel()
+	j.Cancel() // and idempotent
+	after := j.Info()
+
+	if after.State != Succeeded {
+		t.Fatalf("Cancel changed state of a finished job: %v", after.State)
+	}
+	if after != before {
+		t.Fatalf("Cancel disturbed a finished job:\nbefore %+v\nafter  %+v", before, after)
+	}
+	res, err, ok := j.Result()
+	if !ok || err != nil || res != "done" {
+		t.Fatalf("result after Cancel = (%v, %v, %v), want (done, nil, true)", res, err, ok)
+	}
+}
+
+// TestQueuedBatchUnitCancelReleasesSlot pins the other documented Cancel
+// property: cancelling a still-queued batch unit frees its queue slot for new
+// admissions immediately, without waiting for a worker.
+func TestQueuedBatchUnitCancelReleasesSlot(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 2})
+	defer shutdownNow(t, e)
+
+	// Occupy the only worker so batch units stay queued.
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	blocker, err := e.Submit(Submission{Kind: "blocker", Task: blockerTask(started, release)})
+	if err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	<-started
+	defer func() { close(release); blocker.Wait(context.Background()) }()
+
+	b, err := e.SubmitBatch(BatchSubmission{
+		Kind:  "batch",
+		Tasks: []Task{blockerTask(nil, release), blockerTask(nil, release)},
+	})
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+
+	// Queue is now full: a further submission must be rejected.
+	if _, err := e.Submit(Submission{Kind: "probe", Task: blockerTask(nil, release)}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("probe submit err = %v, want ErrQueueFull", err)
+	}
+
+	// Cancel one queued unit; its slot must free promptly.
+	b.jobs[0].Cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		j, err := e.Submit(Submission{Kind: "probe", Task: func(ctx context.Context) (any, error) { return nil, nil }})
+		if err == nil {
+			j.Cancel()
+			break
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("probe submit err = %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled batch unit never released its queue slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := b.jobs[0].Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled unit err = %v, want context.Canceled", err)
+	}
+}

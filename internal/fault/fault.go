@@ -1,0 +1,387 @@
+// Package fault is a stdlib-only fault-injection harness: named injection
+// points ("sites") compiled into the production code paths that can be armed
+// at runtime to inject panics, errors, delays, or cancellations with
+// seeded-deterministic probability. Disarmed — the default — a site costs one
+// atomic pointer load and zero allocations (pinned by an AllocsPerRun guard,
+// like the obs trace guard), so sites can sit on DP fill hot paths.
+//
+// Sites are package-level values registered once:
+//
+//	var siteFillTile = fault.NewSite("core.fillTile")
+//
+// and hit where the fault should strike:
+//
+//	if err := siteFillTile.Hit(); err != nil { return err }
+//
+// Arming is driven by a spec string, typically from the FASTLSA_FAULTS
+// environment variable (see ArmFromEnv):
+//
+//	FASTLSA_FAULTS="core.fillTile:panic:0.01,engine.worker:delay:50ms:0.1"
+//
+// Spec grammar (comma-separated entries):
+//
+//	point:panic[:prob]        panic with an InjectedPanic value
+//	point:error[:prob]        return an error wrapping ErrInjected
+//	point:cancel[:prob]       return an error wrapping context.Canceled
+//	point:delay:dur[:prob]    sleep dur, then continue (other rules may fire)
+//
+// point is an exact site name, "*" (every site), or a "prefix.*" wildcard
+// ("core.*" matches every site in core). prob defaults to 1. Probabilities
+// are evaluated against a per-site splitmix64 stream seeded from the global
+// seed and the site name, so a fixed (spec, seed) pair yields a reproducible
+// firing sequence per site.
+//
+// The registry of known sites (Sites) is what chaos harnesses iterate: the CI
+// chaos job arms "*:panic:p,*:delay:d:q" to strike every registered point.
+// See docs/RESILIENCE.md.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error. Retry
+// classifiers treat it as transient (errors.Is(err, fault.ErrInjected)).
+var ErrInjected = errors.New("fault: injected error")
+
+// InjectedPanic is the value thrown by panic-kind faults, so recover sites
+// and tests can tell an injected panic from a genuine bug.
+type InjectedPanic struct {
+	// Site is the injection point that fired.
+	Site string
+}
+
+func (p InjectedPanic) String() string { return "fault: injected panic at " + p.Site }
+
+// IsInjectedPanic reports whether a recovered panic value came from this
+// package.
+func IsInjectedPanic(v any) bool {
+	switch v.(type) {
+	case InjectedPanic, *InjectedPanic:
+		return true
+	}
+	return false
+}
+
+// Kind enumerates the fault actions a rule can take.
+type Kind int
+
+const (
+	// KindPanic throws an InjectedPanic.
+	KindPanic Kind = iota + 1
+	// KindError returns an error wrapping ErrInjected.
+	KindError
+	// KindCancel returns an error wrapping context.Canceled, rehearsing the
+	// cancellation paths without a real cancelled context.
+	KindCancel
+	// KindDelay sleeps for the rule's duration, then lets evaluation
+	// continue (a site can both delay and, by a later rule, fail).
+	KindDelay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindError:
+		return "error"
+	case KindCancel:
+		return "cancel"
+	case KindDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// rule is one armed behaviour at one site.
+type rule struct {
+	kind  Kind
+	prob  float64
+	delay time.Duration
+}
+
+// arming is the per-site armed state: the matching rules plus a dedicated
+// splitmix64 stream. A nil *arming (the default) means the site is disarmed.
+type arming struct {
+	site  string
+	rules []rule
+	state atomic.Uint64 // splitmix64 state; advanced per probability draw
+}
+
+// next draws one uniform float64 in [0, 1) from the site's stream.
+func (a *arming) next() float64 {
+	// splitmix64: an atomic add of the golden-gamma constant gives each draw
+	// a unique state value; the finalizer mixes it into a uniform word.
+	z := a.state.Add(0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// fire evaluates the rules in spec order. Delay rules sleep and fall
+// through; the first panic/error/cancel rule that fires ends evaluation.
+func (a *arming) fire() error {
+	for i := range a.rules {
+		r := &a.rules[i]
+		if r.prob < 1 && a.next() >= r.prob {
+			continue
+		}
+		switch r.kind {
+		case KindDelay:
+			time.Sleep(r.delay)
+		case KindPanic:
+			panic(InjectedPanic{Site: a.site})
+		case KindError:
+			return fmt.Errorf("%w at %s", ErrInjected, a.site)
+		case KindCancel:
+			return fmt.Errorf("fault: injected cancellation at %s: %w", a.site, context.Canceled)
+		}
+	}
+	return nil
+}
+
+// Site is one named injection point. Create sites with NewSite (typically as
+// package-level vars) and call Hit on the guarded path.
+type Site struct {
+	name string
+	arm  atomic.Pointer[arming]
+}
+
+// Name returns the site's registered name.
+func (s *Site) Name() string { return s.name }
+
+// Hit evaluates the site: disarmed it returns nil at the cost of one atomic
+// load; armed it may sleep, return an injected error, or panic with an
+// InjectedPanic, according to the armed rules. Nil-receiver safe.
+func (s *Site) Hit() error {
+	if s == nil {
+		return nil
+	}
+	a := s.arm.Load()
+	if a == nil {
+		return nil
+	}
+	return a.fire()
+}
+
+// registry holds every known site and the currently armed spec, so sites
+// registered after Arm still pick up their rules.
+var registry struct {
+	mu    sync.Mutex
+	sites map[string]*Site
+	spec  []specEntry // nil when disarmed
+	raw   string
+	seed  int64
+}
+
+// specEntry is one parsed spec clause.
+type specEntry struct {
+	point string // exact name, "*", or "prefix.*"
+	rule  rule
+}
+
+func (e specEntry) matches(name string) bool {
+	if e.point == "*" || e.point == name {
+		return true
+	}
+	if p, ok := strings.CutSuffix(e.point, "*"); ok {
+		return strings.HasPrefix(name, p)
+	}
+	return false
+}
+
+// NewSite registers (or returns the existing) site with the given name. If a
+// spec is currently armed, the new site is armed immediately, so late-
+// registered points still participate in a standing chaos run.
+func NewSite(name string) *Site {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.sites == nil {
+		registry.sites = make(map[string]*Site)
+	}
+	if s, ok := registry.sites[name]; ok {
+		return s
+	}
+	s := &Site{name: name}
+	registry.sites[name] = s
+	if registry.spec != nil {
+		s.arm.Store(armingFor(s.name, registry.spec, registry.seed))
+	}
+	return s
+}
+
+// Lookup returns the registered site with the given name, or nil.
+func Lookup(name string) *Site {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	return registry.sites[name]
+}
+
+// Sites lists every registered site name, sorted.
+func Sites() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]string, 0, len(registry.sites))
+	for name := range registry.sites {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Armed returns the currently armed spec string ("" when disarmed).
+func Armed() string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	return registry.raw
+}
+
+// armingFor builds the armed state of one site under a parsed spec, or nil
+// when no clause matches. The site's stream is seeded from the global seed
+// and the site name, so each site's firing sequence is independent of every
+// other site's and reproducible for a fixed (spec, seed).
+func armingFor(name string, spec []specEntry, seed int64) *arming {
+	var rules []rule
+	for _, e := range spec {
+		if e.matches(name) {
+			rules = append(rules, e.rule)
+		}
+	}
+	if len(rules) == 0 {
+		return nil
+	}
+	a := &arming{site: name, rules: rules}
+	h := uint64(1469598103934665603) // FNV-1a over the name
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	a.state.Store(uint64(seed) ^ h)
+	return a
+}
+
+// Arm parses spec and arms every matching registered site (and any site
+// registered later). seed makes the probability streams reproducible. An
+// empty spec is equivalent to Disarm. A parse error leaves the previous
+// arming untouched.
+func Arm(spec string, seed int64) error {
+	parsed, err := parseSpec(spec)
+	if err != nil {
+		return err
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	registry.spec, registry.raw, registry.seed = parsed, spec, seed
+	if parsed == nil {
+		registry.raw = ""
+	}
+	for name, s := range registry.sites {
+		if parsed == nil {
+			s.arm.Store(nil)
+			continue
+		}
+		s.arm.Store(armingFor(name, parsed, seed))
+	}
+	return nil
+}
+
+// Disarm returns every site to its zero-overhead no-op state.
+func Disarm() { _ = Arm("", 0) }
+
+// EnvSpec and EnvSeed are the environment variables ArmFromEnv reads.
+const (
+	EnvSpec = "FASTLSA_FAULTS"
+	EnvSeed = "FASTLSA_FAULT_SEED"
+)
+
+// ArmFromEnv arms the spec in $FASTLSA_FAULTS (seed from
+// $FASTLSA_FAULT_SEED, default 1), reporting whether anything was armed.
+// With the variable unset or empty it leaves the harness disarmed.
+func ArmFromEnv(getenv func(string) string) (bool, error) {
+	spec := getenv(EnvSpec)
+	if strings.TrimSpace(spec) == "" {
+		return false, nil
+	}
+	seed := int64(1)
+	if s := getenv(EnvSeed); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return false, fmt.Errorf("fault: %s=%q: %v", EnvSeed, s, err)
+		}
+		seed = v
+	}
+	if err := Arm(spec, seed); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// parseSpec parses the comma-separated fault grammar; see the package doc.
+func parseSpec(spec string) ([]specEntry, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var out []specEntry
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		parts := strings.Split(clause, ":")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("fault: clause %q: want point:kind[:arg][:prob]", clause)
+		}
+		e := specEntry{point: parts[0], rule: rule{prob: 1}}
+		if e.point == "" {
+			return nil, fmt.Errorf("fault: clause %q: empty point", clause)
+		}
+		rest := parts[2:]
+		switch parts[1] {
+		case "panic":
+			e.rule.kind = KindPanic
+		case "error":
+			e.rule.kind = KindError
+		case "cancel":
+			e.rule.kind = KindCancel
+		case "delay":
+			e.rule.kind = KindDelay
+			if len(rest) == 0 {
+				return nil, fmt.Errorf("fault: clause %q: delay needs a duration", clause)
+			}
+			d, err := time.ParseDuration(rest[0])
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("fault: clause %q: bad duration %q", clause, rest[0])
+			}
+			e.rule.delay = d
+			rest = rest[1:]
+		default:
+			return nil, fmt.Errorf("fault: clause %q: unknown kind %q (want panic, error, cancel or delay)", clause, parts[1])
+		}
+		switch len(rest) {
+		case 0:
+		case 1:
+			p, err := strconv.ParseFloat(rest[0], 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("fault: clause %q: bad probability %q (want [0, 1])", clause, rest[0])
+			}
+			e.rule.prob = p
+		default:
+			return nil, fmt.Errorf("fault: clause %q: trailing fields after probability", clause)
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}

@@ -1,0 +1,274 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// arm is a test helper that arms spec and restores the disarmed state.
+func arm(t *testing.T, spec string, seed int64) {
+	t.Helper()
+	if err := Arm(spec, seed); err != nil {
+		t.Fatalf("Arm(%q): %v", spec, err)
+	}
+	t.Cleanup(Disarm)
+}
+
+func TestDisarmedSiteIsNoop(t *testing.T) {
+	s := NewSite("test.noop")
+	for i := 0; i < 100; i++ {
+		if err := s.Hit(); err != nil {
+			t.Fatalf("disarmed Hit returned %v", err)
+		}
+	}
+	var nilSite *Site
+	if err := nilSite.Hit(); err != nil {
+		t.Fatalf("nil site Hit returned %v", err)
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	s := NewSite("test.err")
+	arm(t, "test.err:error", 7)
+	err := s.Hit()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err %v does not wrap ErrInjected", err)
+	}
+}
+
+func TestCancelInjection(t *testing.T) {
+	s := NewSite("test.cancel")
+	arm(t, "test.cancel:cancel:1", 7)
+	if err := s.Hit(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v does not wrap context.Canceled", err)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	s := NewSite("test.panic")
+	arm(t, "test.panic:panic", 7)
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("no panic injected")
+		}
+		if !IsInjectedPanic(v) {
+			t.Fatalf("panic value %v is not an InjectedPanic", v)
+		}
+		if v.(InjectedPanic).Site != "test.panic" {
+			t.Fatalf("panic site = %q", v.(InjectedPanic).Site)
+		}
+	}()
+	_ = s.Hit()
+}
+
+func TestDelayInjection(t *testing.T) {
+	s := NewSite("test.delay")
+	arm(t, "test.delay:delay:30ms", 7)
+	start := time.Now()
+	if err := s.Hit(); err != nil {
+		t.Fatalf("delay-only site returned %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay of 30ms slept only %s", d)
+	}
+}
+
+func TestDelayThenError(t *testing.T) {
+	// A delay rule falls through to later rules on the same site.
+	s := NewSite("test.multi")
+	arm(t, "test.multi:delay:1ms,test.multi:error", 7)
+	if err := s.Hit(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err %v does not wrap ErrInjected after delay", err)
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	s := NewSite("test.seeded")
+	outcomes := func(seed int64) []bool {
+		arm(t, "test.seeded:error:0.3", seed)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = s.Hit() != nil
+		}
+		return out
+	}
+	a := outcomes(42)
+	b := outcomes(42)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged under identical seed", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	// 200 draws at p=0.3: expect ~60; a loose band catches a broken PRNG.
+	if fired < 25 || fired > 110 {
+		t.Fatalf("p=0.3 fired %d/200 times", fired)
+	}
+	c := outcomes(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical firing sequences")
+	}
+}
+
+func TestWildcards(t *testing.T) {
+	s1 := NewSite("wild.alpha")
+	s2 := NewSite("wild.beta")
+	s3 := NewSite("tame.gamma")
+
+	arm(t, "wild.*:error", 7)
+	if err := s1.Hit(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("prefix wildcard missed wild.alpha: %v", err)
+	}
+	if err := s2.Hit(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("prefix wildcard missed wild.beta: %v", err)
+	}
+	if err := s3.Hit(); err != nil {
+		t.Fatalf("prefix wildcard hit tame.gamma: %v", err)
+	}
+
+	arm(t, "*:error", 7)
+	if err := s3.Hit(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("global wildcard missed tame.gamma: %v", err)
+	}
+}
+
+func TestLateRegistrationIsArmed(t *testing.T) {
+	arm(t, "late.*:error", 7)
+	s := NewSite("late.site")
+	if err := s.Hit(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("late-registered site not armed: %v", err)
+	}
+	Disarm()
+	if err := s.Hit(); err != nil {
+		t.Fatalf("Disarm left site armed: %v", err)
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	s := NewSite("env.site")
+	env := map[string]string{EnvSpec: "env.site:error", EnvSeed: "9"}
+	armed, err := ArmFromEnv(func(k string) string { return env[k] })
+	if err != nil || !armed {
+		t.Fatalf("ArmFromEnv = (%v, %v), want (true, nil)", armed, err)
+	}
+	t.Cleanup(Disarm)
+	if err := s.Hit(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("env-armed site not firing: %v", err)
+	}
+
+	Disarm()
+	armed, err = ArmFromEnv(func(string) string { return "" })
+	if err != nil || armed {
+		t.Fatalf("empty env ArmFromEnv = (%v, %v), want (false, nil)", armed, err)
+	}
+	if _, err := ArmFromEnv(func(k string) string {
+		if k == EnvSpec {
+			return "bogus"
+		}
+		return ""
+	}); err == nil {
+		t.Fatal("bad env spec accepted")
+	}
+}
+
+func TestSpecParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"nokind",
+		"p:flood",
+		"p:delay",          // missing duration
+		"p:delay:notadur",  // bad duration
+		"p:error:2",        // probability out of range
+		"p:error:-0.1",     // negative probability
+		"p:error:0.5:junk", // trailing fields
+		":error",           // empty point
+	} {
+		if err := Arm(spec, 1); err == nil {
+			Disarm()
+			t.Errorf("Arm(%q) accepted", spec)
+		}
+	}
+	// A parse error must not disturb the existing arming.
+	s := NewSite("test.sticky")
+	arm(t, "test.sticky:error", 7)
+	if err := Arm("broken", 1); err == nil {
+		t.Fatal("broken spec accepted")
+	}
+	if err := s.Hit(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("failed Arm disturbed previous arming: %v", err)
+	}
+}
+
+func TestSitesAndLookup(t *testing.T) {
+	s := NewSite("test.lookup")
+	if Lookup("test.lookup") != s {
+		t.Fatal("Lookup did not return the registered site")
+	}
+	if NewSite("test.lookup") != s {
+		t.Fatal("NewSite is not idempotent")
+	}
+	found := false
+	for _, name := range Sites() {
+		if name == "test.lookup" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Sites() does not list test.lookup")
+	}
+}
+
+// TestDisarmedZeroAlloc is the acceptance guard: a disarmed site on a hot
+// path must not allocate (mirrors the obs disabled-trace guard).
+func TestDisarmedZeroAlloc(t *testing.T) {
+	Disarm()
+	s := NewSite("test.hotpath")
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := s.Hit(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disarmed site allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkDisarmedHit measures the disarmed fast path: one atomic load.
+func BenchmarkDisarmedHit(b *testing.B) {
+	Disarm()
+	s := NewSite("bench.hotpath")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Hit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArmedMiss measures an armed site whose probability never fires
+// (one PRNG draw per rule).
+func BenchmarkArmedMiss(b *testing.B) {
+	s := NewSite("bench.armed")
+	if err := Arm("bench.armed:error:0", 1); err != nil {
+		b.Fatal(err)
+	}
+	defer Disarm()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Hit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

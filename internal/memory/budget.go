@@ -8,7 +8,15 @@ package memory
 import (
 	"fmt"
 	"sync/atomic"
+
+	"fastlsa/internal/fault"
 )
+
+// siteReserve is the fault-injection point on every budget reservation: an
+// injected error rehearses a lost budget race (Reserve fails with a
+// transient, retryable error; TryReserve reports false), even on the
+// nil/unlimited budget.
+var siteReserve = fault.NewSite("memory.reserve")
 
 // Budget tracks allocation of DPM-entry-sized units against a fixed total.
 // A nil *Budget means "unlimited" and all operations succeed.
@@ -48,6 +56,9 @@ func (b *Budget) Reserve(n int64) error {
 	if n < 0 {
 		return fmt.Errorf("memory: Reserve(%d): negative size", n)
 	}
+	if err := siteReserve.Hit(); err != nil {
+		return fmt.Errorf("memory: Reserve(%d): %w", n, err)
+	}
 	if b == nil {
 		return nil
 	}
@@ -70,6 +81,9 @@ func (b *Budget) Reserve(n int64) error {
 // ErrExceeded as fatal. Negative sizes always fail. Safe for concurrent use.
 func (b *Budget) TryReserve(n int64) bool {
 	if n < 0 {
+		return false
+	}
+	if siteReserve.Hit() != nil {
 		return false
 	}
 	if b == nil {

@@ -16,6 +16,21 @@ func FuzzReadFASTA(f *testing.F) {
 	f.Add("; comment\n>x\n\n")
 	f.Add("ACGT")
 	f.Add(">")
+	// Malformed headers: empty, unterminated, whitespace-only, non-ASCII.
+	f.Add(">\nACGT\n")
+	f.Add(">a")
+	f.Add("> \t \nACGT\n")
+	f.Add(">a\xffb\nACGT\n")
+	// Partial and degenerate records: header with no residues, a record cut
+	// mid-stream, residues before any header, blank-line and CRLF mixes,
+	// interior whitespace in residue lines.
+	f.Add(">a\n")
+	f.Add(">a\nACGT\n>b")
+	f.Add("ACGT\n>a\nACGT\n")
+	f.Add("\n\n>a\n\nAC\n\nGT\n\n")
+	f.Add(">a\r\nAC\r\nGT\r\n")
+	f.Add(">a\nAC GT\n")
+	f.Add(">a\nacgt\nNRYK\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		recs, err := seq.ReadFASTA(strings.NewReader(in), seq.DNAIUPAC)
 		if err != nil {

@@ -12,11 +12,39 @@
 package wavefront
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrTilePanic is the sentinel wrapped by the error Run returns when a tile's
+// Exec panicked. The panic is confined to that run: the worker that caught it
+// keeps draining (so the dependency counters never wedge), the remaining
+// tiles are cancelled, and Run returns normally — callers' deferred cleanup
+// (budget releases, pool returns) executes as for any other tile error.
+var ErrTilePanic = errors.New("wavefront: tile panicked")
+
+// PanicError is the error Run returns for a panicking tile. It wraps
+// ErrTilePanic (test with errors.Is) and carries the tile, the recovered
+// value and the goroutine stack at the point of the panic.
+type PanicError struct {
+	// R, C locate the tile that panicked.
+	R, C int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("wavefront: tile (%d,%d) panicked: %v", e.R, e.C, e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrTilePanic) work through the chain.
+func (e *PanicError) Unwrap() error { return ErrTilePanic }
 
 // Grid describes a tile grid execution.
 type Grid struct {
@@ -81,6 +109,22 @@ func (g *Grid) Run() error {
 		wg        sync.WaitGroup
 	)
 
+	// exec runs one tile with panic isolation: a panicking Exec must not take
+	// down the process (the pool goroutines are not covered by any caller's
+	// recover) and must not skip the completion bookkeeping below, or the
+	// dependency counters would never drain and Run would hang.
+	exec := func(lane, r, c int) (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = &PanicError{R: r, C: c, Value: v, Stack: debug.Stack()}
+			}
+		}()
+		if g.ExecW != nil {
+			return g.ExecW(lane, r, c)
+		}
+		return g.Exec(r, c)
+	}
+
 	complete := func(idx int) {
 		// Release dependents; enqueue any that become ready.
 		r, c := idx/g.Cols, idx%g.Cols
@@ -107,13 +151,7 @@ func (g *Grid) Run() error {
 				r, c := idx/g.Cols, idx%g.Cols
 				skipped := g.Skip != nil && g.Skip(r, c)
 				if !skipped && !cancelled.Load() {
-					var err error
-					if g.ExecW != nil {
-						err = g.ExecW(lane, r, c)
-					} else {
-						err = g.Exec(r, c)
-					}
-					if err != nil {
+					if err := exec(lane, r, c); err != nil {
 						if cancelled.CompareAndSwap(false, true) {
 							firstErr.Store(err)
 						}

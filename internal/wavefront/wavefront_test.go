@@ -197,3 +197,54 @@ func TestRunManyWorkers(t *testing.T) {
 		t.Fatalf("executed %d", n.Load())
 	}
 }
+
+// TestRunTilePanicIsolated: a panic inside one tile must fail the run with a
+// PanicError wrapping ErrTilePanic — never crash the process or wedge the
+// scheduler — and the remaining tiles must be cancelled, not executed.
+func TestRunTilePanicIsolated(t *testing.T) {
+	var executed atomic.Int64
+	g := &wavefront.Grid{Rows: 8, Cols: 8, Workers: 4, Exec: func(r, c int) error {
+		if r == 2 && c == 2 {
+			panic("injected tile failure")
+		}
+		executed.Add(1)
+		return nil
+	}}
+	err := g.Run()
+	if err == nil {
+		t.Fatal("panicking tile produced no error")
+	}
+	if !errors.Is(err, wavefront.ErrTilePanic) {
+		t.Fatalf("error %v does not wrap ErrTilePanic", err)
+	}
+	var pe *wavefront.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a *PanicError", err)
+	}
+	if pe.R != 2 || pe.C != 2 {
+		t.Errorf("panic attributed to tile (%d,%d), want (2,2)", pe.R, pe.C)
+	}
+	if pe.Value != "injected tile failure" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError value/stack not captured: %v / %d bytes", pe.Value, len(pe.Stack))
+	}
+	// Cancellation: the 38 tiles strictly dependent on (2,2) can never run,
+	// and in-flight-or-later tiles may be shed; all that is guaranteed is
+	// progress stopped early and Run still returned (no wedge).
+	if n := executed.Load(); n >= 8*8-1 {
+		t.Errorf("executed %d tiles after a panic at (2,2)", n)
+	}
+
+	// The scheduler is per-run state: a fresh run on the same shape must be
+	// unaffected by the previous panic.
+	var n atomic.Int64
+	g2 := &wavefront.Grid{Rows: 8, Cols: 8, Workers: 4, Exec: func(r, c int) error {
+		n.Add(1)
+		return nil
+	}}
+	if err := g2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 64 {
+		t.Fatalf("follow-up run executed %d tiles, want 64", n.Load())
+	}
+}
