@@ -268,7 +268,7 @@ func BenchmarkLocalLinearSpace(b *testing.B) {
 	}
 }
 
-func BenchmarkE11_Variants(b *testing.B) {
+func BenchmarkE12_Variants(b *testing.B) {
 	const n = 2000
 	x, y := benchPair(b, n, seq.DNA)
 	gap := scoring.Linear(-4)

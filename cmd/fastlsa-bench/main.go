@@ -1,5 +1,5 @@
 // Command fastlsa-bench regenerates the paper's evaluation tables and
-// figures (experiments E1-E10; see DESIGN.md §3 for the index and
+// figures (experiments E1-E12; see DESIGN.md §3 for the index and
 // EXPERIMENTS.md for recorded results). Each subcommand prints one
 // experiment's rows; "all" runs the whole suite.
 //
@@ -18,7 +18,8 @@
 //	speedup     E7: parallel speedup vs P
 //	efficiency  E8: parallel efficiency vs problem size
 //	tilesweep   E9: (k, u, v) tiling and the three wavefront phases
-//	bounds      E10: theorem-bound verification
+//	search      E10: q-gram seed filter vs brute-force corpus scan
+//	bounds      E11: theorem-bound verification
 //	all         every experiment above
 //
 // Flags (apply where meaningful):
@@ -47,7 +48,7 @@ import (
 var experimentIDs = map[string]string{
 	"example": "E1", "opcounts": "E2", "table3": "E3", "seqtime": "E4",
 	"ksweep": "E5", "memsweep": "E6", "speedup": "E7", "efficiency": "E8",
-	"tilesweep": "E9", "bounds": "E10",
+	"tilesweep": "E9", "search": "E10", "bounds": "E11", "variants": "E12",
 }
 
 func main() {
@@ -61,7 +62,7 @@ func main() {
 		jsonPath = flag.String("json", "", "also write machine-readable results to this file (schema fastlsa-bench/v1; see docs/OBSERVABILITY.md)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fastlsa-bench <experiment>[,<experiment>...] [flags]\nexperiments: example opcounts table3 seqtime ksweep memsweep speedup efficiency tilesweep bounds all\n\n")
+		fmt.Fprintf(os.Stderr, "usage: fastlsa-bench <experiment>[,<experiment>...] [flags]\nexperiments: example opcounts table3 seqtime ksweep memsweep speedup efficiency tilesweep search bounds all\n\n")
 		flag.PrintDefaults()
 	}
 	if len(os.Args) < 2 {
@@ -115,6 +116,8 @@ func main() {
 			return bench.ExperimentEfficiency(out, *p, *large)
 		case "tilesweep":
 			return bench.ExperimentTileSweep(out, *n, *p)
+		case "search":
+			return bench.ExperimentSearch(out, sizeList)
 		case "bounds":
 			return bench.ExperimentBounds(out)
 		case "variants":
@@ -130,7 +133,7 @@ func main() {
 	if cmd == "all" {
 		names = []string{
 			"example", "opcounts", "table3", "seqtime", "ksweep",
-			"memsweep", "speedup", "efficiency", "tilesweep", "bounds", "variants", "theory",
+			"memsweep", "speedup", "efficiency", "tilesweep", "search", "bounds", "variants", "theory",
 		}
 	}
 	for _, name := range names {

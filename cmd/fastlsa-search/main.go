@@ -10,6 +10,11 @@
 // Example:
 //
 //	fastlsa-search -matrix dna -gap -12 -top 10 -evalues query.fa db.fa
+//	fastlsa-search -matrix dna -q 8 -min-score 1400 query.fa corpus.fa
+//
+// -q builds a q-gram seed-filter index over the database before scanning, so
+// entries that cannot reach -min-score are pruned without alignment (lossless;
+// see docs/SEARCH.md). The funnel line reports how far each stage narrowed.
 package main
 
 import (
@@ -33,17 +38,18 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel workers for the database scan (0 = all CPUs)")
 		seed       = flag.Int64("stats-seed", 1, "seed for the statistics fit")
 		width      = flag.Int("width", 60, "alignment columns per output block")
+		qgram      = flag.Int("q", 0, "build a q-gram seed-filter index over the database (0 = off, -1 = per-alphabet default)")
 	)
 	flag.Parse()
 	if err := run(*matrixName, *alphaName, *gapPen, *topK, *alignments, *minScore,
-		*maxEValue, *evalues, *workers, *seed, *width, flag.Args()); err != nil {
+		*maxEValue, *evalues, *workers, *qgram, *seed, *width, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "fastlsa-search:", err)
 		os.Exit(1)
 	}
 }
 
 func run(matrixName, alphaName string, gapPen, topK, alignments int, minScore int64,
-	maxEValue float64, evalues bool, workers int, seed int64, width int, args []string) error {
+	maxEValue float64, evalues bool, workers, qgram int, seed int64, width int, args []string) error {
 
 	if len(args) != 2 {
 		return fmt.Errorf("want: query.fasta database.fasta")
@@ -81,6 +87,19 @@ func run(matrixName, alphaName string, gapPen, topK, alignments int, minScore in
 		MaxEValue:  maxEValue,
 		Workers:    workers,
 	}
+	var probe *fastlsa.SearchProbe
+	if qgram != 0 {
+		if qgram < 0 {
+			qgram = 0 // BuildIndex picks the per-alphabet default
+		}
+		ix, err := fastlsa.BuildIndex(db, qgram)
+		if err != nil {
+			return fmt.Errorf("index: %w", err)
+		}
+		probe = &fastlsa.SearchProbe{}
+		opt.Index = ix
+		opt.Probe = probe
+	}
 	if evalues || maxEValue > 0 {
 		params, err := fastlsa.EstimateStatistics(matrix, opt.Gap, 0, 0, seed)
 		if err != nil {
@@ -98,7 +117,12 @@ func run(matrixName, alphaName string, gapPen, topK, alignments int, minScore in
 		fmt.Println("no hits")
 		return nil
 	}
-	fmt.Printf("query %s (%d residues) vs %d database records\n\n", query.ID, query.Len(), len(db))
+	fmt.Printf("query %s (%d residues) vs %d database records\n", query.ID, query.Len(), len(db))
+	if probe != nil {
+		fmt.Printf("filter: %d scanned -> %d candidates (%.1f%% pass, seed floor %d grams)\n",
+			probe.Scanned, probe.Candidates, 100*probe.Selectivity, probe.SeedFloor)
+	}
+	fmt.Println()
 	fmt.Printf("%-4s %-20s %8s", "#", "id", "score")
 	if opt.Stats != nil {
 		fmt.Printf(" %12s %8s", "e-value", "bits")

@@ -37,31 +37,43 @@ func writeSearchFixtures(t *testing.T) (queryPath, dbPath string) {
 
 func TestRunSearch(t *testing.T) {
 	q, db := writeSearchFixtures(t)
-	if err := run("dna", "", -12, 5, 1, 0, 0, false, 1, 1, 60, []string{q, db}); err != nil {
+	if err := run("dna", "", -12, 5, 1, 0, 0, false, 1, 0, 1, 60, []string{q, db}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSearchWithEValues(t *testing.T) {
 	q, db := writeSearchFixtures(t)
-	if err := run("dna", "", -12, 5, 1, 0, 1e-3, false, 1, 1, 60, []string{q, db}); err != nil {
+	if err := run("dna", "", -12, 5, 1, 0, 1e-3, false, 1, 0, 1, 60, []string{q, db}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSearchFiltered(t *testing.T) {
+	q, db := writeSearchFixtures(t)
+	// -1 selects the per-alphabet default q; results must match the brute
+	// scan because the filter is lossless.
+	if err := run("dna", "", -12, 5, 1, 0, 0, false, 1, -1, 1, 60, []string{q, db}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("dna", "", -12, 5, 1, 0, 0, false, 1, 8, 1, 60, []string{q, db}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSearchErrors(t *testing.T) {
 	q, db := writeSearchFixtures(t)
-	if err := run("dna", "", -12, 5, 1, 0, 0, false, 1, 1, 60, []string{q}); err == nil {
+	if err := run("dna", "", -12, 5, 1, 0, 0, false, 1, 0, 1, 60, []string{q}); err == nil {
 		t.Fatal("missing db arg must fail")
 	}
-	if err := run("warp", "", -12, 5, 1, 0, 0, false, 1, 1, 60, []string{q, db}); err == nil {
+	if err := run("warp", "", -12, 5, 1, 0, 0, false, 1, 0, 1, 60, []string{q, db}); err == nil {
 		t.Fatal("unknown matrix must fail")
 	}
-	if err := run("dna", "", -12, 5, 1, 0, 0, false, 1, 1, 60, []string{"/nope.fa", db}); err == nil {
+	if err := run("dna", "", -12, 5, 1, 0, 0, false, 1, 0, 1, 60, []string{"/nope.fa", db}); err == nil {
 		t.Fatal("missing query file must fail")
 	}
 	// Linear-phase gap makes the statistics fit fail cleanly.
-	if err := run("dna", "", -1, 5, 1, 0, 0, true, 1, 1, 60, []string{q, db}); err == nil {
+	if err := run("dna", "", -1, 5, 1, 0, 0, true, 1, 0, 1, 60, []string{q, db}); err == nil {
 		t.Fatal("linear-phase statistics must fail")
 	}
 }

@@ -7,6 +7,13 @@
 //
 //	fastlsa-seqgen -n 10000 -alphabet dna -seed 7 > ref.fa
 //	fastlsa-seqgen -n 50000 -pair -sub 0.1 -ins 0.02 -del 0.02 > pair.fa
+//	fastlsa-seqgen -n 300 -corpus 2000 -homologs 5 -seed 7 > corpus.fa
+//
+// Corpus mode (-corpus N) emits a search benchmark database: N background
+// sequences plus -homologs mutated copies of a reference query planted at
+// evenly spaced positions (IDs ending in "_hom"). The query itself is NOT
+// written; regenerate it with the same -n/-alphabet/-seed and no -corpus,
+// which makes corpus and query reproducible independently.
 package main
 
 import (
@@ -30,13 +37,15 @@ func main() {
 		indelExt  = flag.Float64("indel-ext", 0.5, "pair: indel run extension probability")
 		width     = flag.Int("width", 70, "FASTA line width")
 		id        = flag.String("id", "seq", "sequence identifier prefix")
+		corpus    = flag.Int("corpus", 0, "emit a search corpus of this many sequences (0 = disabled)")
+		homologs  = flag.Int("homologs", 0, "corpus: planted homologs of the seed query")
 	)
 	flag.Parse()
 
 	cfg := genConfig{
 		n: *n, alphaName: *alphaName, seed: *seed, pair: *pair,
 		sub: *sub, ins: *ins, del: *del, indelRun: *indelRun, indelExt: *indelExt,
-		id: *id,
+		id: *id, corpus: *corpus, homologs: *homologs,
 	}
 	seqs, err := generate(cfg)
 	if err != nil {
@@ -57,6 +66,8 @@ type genConfig struct {
 	indelRun      int
 	indelExt      float64
 	id            string
+	corpus        int
+	homologs      int
 }
 
 // generate produces the requested sequence set.
@@ -68,15 +79,18 @@ func generate(cfg genConfig) ([]*fastlsa.Sequence, error) {
 	if cfg.n <= 0 {
 		return nil, fmt.Errorf("length %d must be positive", cfg.n)
 	}
-	if !cfg.pair {
-		return []*fastlsa.Sequence{fastlsa.RandomSequence(cfg.id, cfg.n, alphabet, cfg.seed)}, nil
-	}
 	model := fastlsa.MutationModel{
 		SubstitutionRate: cfg.sub,
 		InsertionRate:    cfg.ins,
 		DeletionRate:     cfg.del,
 		MaxIndelRun:      cfg.indelRun,
 		IndelExtend:      cfg.indelExt,
+	}
+	if cfg.corpus > 0 {
+		return generateCorpus(cfg, alphabet, model)
+	}
+	if !cfg.pair {
+		return []*fastlsa.Sequence{fastlsa.RandomSequence(cfg.id, cfg.n, alphabet, cfg.seed)}, nil
 	}
 	a, b, err := fastlsa.HomologousPair(cfg.n, alphabet, model, cfg.seed)
 	if err != nil {
@@ -85,6 +99,41 @@ func generate(cfg genConfig) ([]*fastlsa.Sequence, error) {
 	a.ID = cfg.id + "_ref"
 	b.ID = cfg.id + "_hom"
 	return []*fastlsa.Sequence{a, b}, nil
+}
+
+// generateCorpus emits cfg.corpus sequences: background entries seeded
+// per-index (so any prefix of the corpus is stable as it grows) with
+// cfg.homologs mutated copies of the seed query planted at evenly spaced
+// positions. The reference query uses the bare cfg.seed, identical to what a
+// plain `fastlsa-seqgen -n ... -seed ...` run would emit.
+func generateCorpus(cfg genConfig, alphabet *fastlsa.Alphabet, model fastlsa.MutationModel) ([]*fastlsa.Sequence, error) {
+	if cfg.homologs < 0 || cfg.homologs > cfg.corpus {
+		return nil, fmt.Errorf("homologs %d must be in [0, %d]", cfg.homologs, cfg.corpus)
+	}
+	ref := fastlsa.RandomSequence(cfg.id, cfg.n, alphabet, cfg.seed)
+	planted := make(map[int]bool, cfg.homologs)
+	if cfg.homologs > 0 {
+		stride := cfg.corpus / cfg.homologs
+		for h := 0; h < cfg.homologs; h++ {
+			planted[h*stride+stride/2] = true
+		}
+	}
+	seqs := make([]*fastlsa.Sequence, 0, cfg.corpus)
+	for i := 0; i < cfg.corpus; i++ {
+		id := fmt.Sprintf("%s_%04d", cfg.id, i)
+		if planted[i] {
+			hom, err := model.Mutate(id+"_hom", ref, cfg.seed+int64(i)+1)
+			if err != nil {
+				return nil, err
+			}
+			seqs = append(seqs, hom)
+			continue
+		}
+		// Offset background seeds past the homolog range so no background
+		// entry shares a stream with a mutation channel.
+		seqs = append(seqs, fastlsa.RandomSequence(id, cfg.n, alphabet, cfg.seed+int64(cfg.corpus)+int64(i)+1))
+	}
+	return seqs, nil
 }
 
 func fatal(err error) {

@@ -40,6 +40,73 @@ func TestGeneratePair(t *testing.T) {
 	}
 }
 
+func TestGenerateCorpus(t *testing.T) {
+	cfg := genConfig{
+		n: 150, alphaName: "dna", seed: 7, id: "c",
+		sub: 0.05, ins: 0.01, del: 0.01, indelRun: 4, indelExt: 0.3,
+		corpus: 40, homologs: 4,
+	}
+	seqs, err := generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 40 {
+		t.Fatalf("corpus size %d, want 40", len(seqs))
+	}
+	homs := 0
+	for _, s := range seqs {
+		if s.ID[len(s.ID)-4:] == "_hom" {
+			homs++
+		}
+	}
+	if homs != 4 {
+		t.Fatalf("%d planted homologs, want 4", homs)
+	}
+	// The query is regenerable independently: a plain single-sequence run
+	// with the same n/alphabet/seed emits the reference the homologs mutate.
+	query, err := generate(genConfig{n: 150, alphaName: "dna", seed: 7, id: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqs {
+		if seqs[i].String() != again[i].String() || seqs[i].ID != again[i].ID {
+			t.Fatalf("corpus entry %d not deterministic", i)
+		}
+	}
+	// Homologs must actually resemble the query: identical length scale and
+	// shared q-grams well above background.
+	ix, err := fastlsa.BuildIndex(seqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, _, err := ix.Candidates(query[0], fastlsa.DNASimple, fastlsa.Linear(-12), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := make(map[int]int, len(cands))
+	for _, c := range cands {
+		shared[c.Entry] = c.Shared
+	}
+	for i, s := range seqs {
+		if s.ID[len(s.ID)-4:] == "_hom" && shared[i] < 20 {
+			t.Fatalf("homolog %s shares only %d grams with the query", s.ID, shared[i])
+		}
+	}
+}
+
+func TestGenerateCorpusErrors(t *testing.T) {
+	if _, err := generate(genConfig{n: 10, alphaName: "dna", corpus: 5, homologs: 9}); err == nil {
+		t.Fatal("homologs > corpus must fail")
+	}
+	if _, err := generate(genConfig{n: 10, alphaName: "dna", corpus: 5, homologs: -1}); err == nil {
+		t.Fatal("negative homologs must fail")
+	}
+}
+
 func TestGenerateErrors(t *testing.T) {
 	if _, err := generate(genConfig{n: 0, alphaName: "dna"}); err == nil {
 		t.Fatal("zero length must fail")

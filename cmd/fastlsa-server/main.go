@@ -9,6 +9,7 @@
 //	POST   /v1/align       pairwise alignment (global, ends-free, or local)
 //	POST   /v1/msa         progressive multiple sequence alignment
 //	POST   /v1/search      homology search with optional E-value statistics
+//	GET    /v1/search      streaming corpus search (NDJSON; needs -corpus)
 //	POST   /v1/jobs        submit an async job (align, msa or search)
 //	GET    /v1/jobs        list retained jobs, newest first
 //	GET    /v1/jobs/{id}   poll one job (result included once succeeded)
@@ -27,6 +28,13 @@
 // SIGINT/SIGTERM /readyz starts failing, the server stops accepting work,
 // drains in-flight jobs until the drain deadline, then cancels the remainder
 // and exits.
+//
+// Corpus search: -corpus loads a FASTA database at startup and builds a
+// q-gram seed-filter index over it once (see docs/SEARCH.md). GET /v1/search
+// (and POST bodies with no inline database) then search the corpus through
+// the lossless filter → verify → reconstruct pipeline; GET and ?stream=1
+// responses stream NDJSON hits as they are found. -search-rate arms
+// per-client token-bucket rate limiting on /v1/search (429 + Retry-After).
 //
 // Resilience rehearsal: FASTLSA_FAULTS arms the fault-injection harness
 // (internal/fault) at startup — e.g.
@@ -67,6 +75,7 @@ import (
 	"syscall"
 	"time"
 
+	"fastlsa"
 	"fastlsa/internal/fault"
 )
 
@@ -87,6 +96,12 @@ func main() {
 		drainSec   = flag.Int("drain", 30, "shutdown drain deadline in seconds")
 		debugAddr  = flag.String("debug-addr", "", "listen address for pprof and expvar (empty = disabled)")
 		quiet      = flag.Bool("quiet", false, "disable per-request access logs")
+
+		corpusPath  = flag.String("corpus", "", "FASTA corpus to index at startup for GET /v1/search")
+		corpusAlpha = flag.String("corpus-alphabet", "dna", "corpus alphabet (dna or protein)")
+		corpusQ     = flag.Int("corpus-q", 0, "q-gram length of the corpus index (0 = per-alphabet default)")
+		searchRate  = flag.Float64("search-rate", 0, "per-client /v1/search requests per second (0 = unlimited)")
+		searchBurst = flag.Int("search-burst", 10, "per-client /v1/search burst size")
 	)
 	flag.Parse()
 
@@ -104,6 +119,23 @@ func main() {
 		log.Printf("fault injection armed: %s=%q (sites: %v)", fault.EnvSpec, fault.Armed(), fault.Sites())
 	}
 
+	var corpus *fastlsa.Corpus
+	if *corpusPath != "" {
+		alphabet, err := fastlsa.ParseAlphabet(*corpusAlpha)
+		if err != nil {
+			log.Fatalf("-corpus-alphabet: %v", err)
+		}
+		corpus, err = fastlsa.LoadCorpus(*corpusPath, alphabet, *corpusQ)
+		if err != nil {
+			log.Fatalf("-corpus: %v", err)
+		}
+		ix := corpus.Index
+		log.Printf("corpus %s: %d sequences (%d residues), q=%d index with %d grams / %d postings (load %s, build %s)",
+			*corpusPath, corpus.Len(), ix.Residues(), ix.Q(), ix.DistinctGrams(), ix.Postings(),
+			corpus.LoadDur.Round(time.Millisecond), corpus.BuildDur.Round(time.Millisecond))
+	}
+
+	timeout := time.Duration(*timeoutSec) * time.Second
 	app := newServer(serverConfig{
 		MaxSequenceLen:     *maxLen,
 		MaxBodyBytes:       *maxBody,
@@ -116,10 +148,26 @@ func main() {
 		BreakerWait:        *brkWait,
 		BreakerCooldown:    *brkCool,
 		Logger:             logger,
+		Corpus:             corpus,
+		SearchRate:         *searchRate,
+		SearchBurst:        *searchBurst,
+		StreamTimeout:      timeout,
+	})
+	// The TimeoutHandler buffers whole responses (it never exposes
+	// http.Flusher), which would defeat per-hit flushing — streaming search
+	// requests route around it and carry their deadline on the request
+	// context instead (serverConfig.StreamTimeout).
+	buffered := http.TimeoutHandler(app, timeout, `{"error":"request timed out"}`)
+	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/search" && wantsStream(r) {
+			app.ServeHTTP(w, r)
+			return
+		}
+		buffered.ServeHTTP(w, r)
 	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           http.TimeoutHandler(app, time.Duration(*timeoutSec)*time.Second, `{"error":"request timed out"}`),
+		Handler:           root,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -50,6 +50,19 @@ type serverConfig struct {
 	// Logger, when non-nil, receives one structured access-log record per
 	// request (request id, route, status, latency).
 	Logger *slog.Logger
+	// Corpus, when non-nil, is the pre-indexed sequence database served by
+	// corpus searches (GET /v1/search, and POST /v1/search bodies with no
+	// inline database). Loaded once at startup via the -corpus flag.
+	Corpus *fastlsa.Corpus
+	// SearchRate and SearchBurst configure per-client token-bucket rate
+	// limiting on /v1/search (tokens per second and bucket size). A rate of
+	// 0 disables limiting.
+	SearchRate  float64
+	SearchBurst int
+	// StreamTimeout bounds a streaming search request; streaming responses
+	// bypass the buffering http.TimeoutHandler, so the deadline rides on
+	// the request context instead (0 = 5 minutes).
+	StreamTimeout time.Duration
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -67,6 +80,9 @@ func (c serverConfig) withDefaults() serverConfig {
 	}
 	if c.BreakerWait == 0 {
 		c.BreakerWait = 5 * time.Second
+	}
+	if c.StreamTimeout == 0 {
+		c.StreamTimeout = 5 * time.Minute
 	}
 	return c
 }
@@ -97,6 +113,10 @@ type server struct {
 	draining atomic.Bool
 	logger   *slog.Logger
 	start    time.Time
+	// corpus is the pre-indexed search database (nil without -corpus);
+	// limiter rate-limits /v1/search per client (nil = unlimited).
+	corpus  *fastlsa.Corpus
+	limiter *rateLimiter
 }
 
 // newServer builds the HTTP handler tree backed by a fresh job engine.
@@ -109,6 +129,8 @@ func newServer(cfg serverConfig) *server {
 		reg:     obs.NewRegistry(),
 		logger:  cfg.Logger,
 		start:   time.Now(),
+		corpus:  cfg.Corpus,
+		limiter: newRateLimiter(cfg.SearchRate, cfg.SearchBurst),
 	}
 	s.httpm = obs.NewHTTPMetrics(s.reg, "fastlsa")
 	s.batchSizes = s.reg.Histogram("fastlsa_batch_size",
@@ -141,6 +163,7 @@ func newServer(cfg serverConfig) *server {
 	s.handle(mux, "POST /v1/align", withLimits(cfg, s.handleAlign))
 	s.handle(mux, "POST /v1/msa", withLimits(cfg, s.handleMSA))
 	s.handle(mux, "POST /v1/search", withLimits(cfg, s.handleSearch))
+	s.handle(mux, "GET /v1/search", http.HandlerFunc(s.handleSearchGET))
 	s.handle(mux, "POST /v1/jobs", withLimits(cfg, s.handleJobSubmit))
 	s.handle(mux, "GET /v1/jobs", http.HandlerFunc(s.handleJobList))
 	s.handle(mux, "GET /v1/jobs/{id}", http.HandlerFunc(s.handleJobGet))
@@ -237,6 +260,31 @@ func (s *server) registerMetrics() {
 	s.reg.GaugeFunc("fastlsa_align_peak_grid_entries",
 		"Largest grid-cache row count observed by any single run.",
 		func() float64 { return float64(s.metrics.PeakGridEntries.Load()) })
+	s.reg.CounterFunc("fastlsa_search_scanned_total",
+		"Database entries considered by corpus searches.",
+		func() float64 { return float64(s.metrics.SearchScanned.Load()) })
+	s.reg.CounterFunc("fastlsa_search_candidates_total",
+		"Entries that survived the q-gram seed filter.",
+		func() float64 { return float64(s.metrics.SearchCandidates.Load()) })
+	s.reg.CounterFunc("fastlsa_search_examined_total",
+		"Entries scored by the exact verify stage.",
+		func() float64 { return float64(s.metrics.SearchExamined.Load()) })
+	s.reg.CounterFunc("fastlsa_search_rate_limited_total",
+		"Search requests rejected 429 by the per-client rate limit.",
+		func() float64 {
+			if s.limiter == nil {
+				return 0
+			}
+			return float64(s.limiter.limited.Load())
+		})
+	if s.corpus != nil {
+		s.reg.GaugeFunc("fastlsa_corpus_entries",
+			"Sequences in the loaded search corpus.",
+			func() float64 { return float64(s.corpus.Len()) })
+		s.reg.GaugeFunc("fastlsa_corpus_index_postings",
+			"Posting-list entries in the corpus q-gram index.",
+			func() float64 { return float64(s.corpus.Index.Postings()) })
+	}
 	s.reg.GaugeFunc("fastlsa_align_cells_per_second",
 		"Service-lifetime average DP cell throughput.",
 		func() float64 {
@@ -685,6 +733,18 @@ type searchResponse struct {
 	Hits []searchHit `json:"hits"`
 	// Stats echoes the fitted parameters when FitStats was set.
 	Stats *statsInfo `json:"stats,omitempty"`
+	// Funnel reports the filter → verify funnel of a corpus search.
+	Funnel *funnelInfo `json:"funnel,omitempty"`
+}
+
+// funnelInfo is the seed-filter funnel of one corpus search: how many
+// entries the probe scanned, how many survived the filter, and how many the
+// exact kernel actually scored.
+type funnelInfo struct {
+	Scanned     int     `json:"scanned"`
+	Candidates  int     `json:"candidates"`
+	Examined    int64   `json:"examined"`
+	Selectivity float64 `json:"selectivity"`
 }
 
 type searchHit struct {
@@ -706,9 +766,29 @@ type statsInfo struct {
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if !s.allowSearch(w, r) {
+		return
+	}
 	var req searchRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if wantsStream(r) {
+		if s.corpus == nil {
+			writeErr(w, http.StatusUnprocessableEntity, "streaming search requires a loaded corpus (start the server with -corpus)")
+			return
+		}
+		if len(req.Database) != 0 {
+			writeErr(w, http.StatusBadRequest, "streaming search runs against the loaded corpus; omit the inline database")
+			return
+		}
+		cq, err := s.corpusQueryFromRequest(req)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.serveSearchStream(w, r, cq)
 		return
 	}
 	task, err := s.searchTask(req)
@@ -730,7 +810,17 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 func (s *server) searchTask(req searchRequest) (func(ctx context.Context) (any, error), error) {
 	cfg := s.cfg
 	if len(req.Database) == 0 {
-		return nil, fmt.Errorf("empty database")
+		// No inline database: search the loaded corpus through the
+		// seed-filter pipeline (buffered response; GET and ?stream=1 give
+		// the NDJSON stream).
+		if s.corpus == nil {
+			return nil, fmt.Errorf("empty database")
+		}
+		cq, err := s.corpusQueryFromRequest(req)
+		if err != nil {
+			return nil, err
+		}
+		return s.corpusSearchTask(cq, s.metrics.Derive(nil), nil), nil
 	}
 	matrixName := req.Matrix
 	if matrixName == "" {

@@ -10,6 +10,7 @@ import (
 	"fastlsa/internal/core"
 	"fastlsa/internal/fm"
 	"fastlsa/internal/hirschberg"
+	"fastlsa/internal/index"
 	"fastlsa/internal/kernel"
 	"fastlsa/internal/memory"
 	"fastlsa/internal/msa"
@@ -65,6 +66,15 @@ type (
 	MSA = msa.Result
 	// SearchHit is one ranked database match from Search.
 	SearchHit = search.Hit
+	// Index is a q-gram inverted index over a sequence database — the
+	// lossless seed filter behind corpus-scale Search (BuildIndex).
+	Index = index.Index
+	// Corpus is a sequence database paired with its Index (LoadCorpus /
+	// NewCorpus), the cached substrate of a search server.
+	Corpus = index.Corpus
+	// SearchProbe is the filter-phase accounting of an indexed search
+	// (entries scanned, candidates kept, prune reasons, selectivity).
+	SearchProbe = index.Probe
 	// GumbelParams are fitted extreme-value statistics for local scores.
 	GumbelParams = significance.Params
 	// EditOp is one operation of an edit script (Alignment.EditScript).
@@ -86,6 +96,13 @@ const (
 	SpanNameFillBlock = obs.SpanFillBlock
 	// SpanNameTraceback is one traceback walk.
 	SpanNameTraceback = obs.SpanTraceback
+	// SpanNameSearchFilter is the q-gram index probe of a corpus search.
+	SpanNameSearchFilter = obs.SpanSearchFilter
+	// SpanNameSearchVerify is the score-only verify scan of a corpus search.
+	SpanNameSearchVerify = obs.SpanSearchVerify
+	// SpanNameSearchReconstruct is the exact-alignment reconstruction of the
+	// leading search hits.
+	SpanNameSearchReconstruct = obs.SpanSearchReconstruct
 )
 
 // Alphabets and scoring tables.
@@ -607,11 +624,27 @@ type SearchOptions struct {
 	Stats *GumbelParams
 	// Workers parallelises the database scan.
 	Workers int
-	// Counters, when non-nil, accumulates the scan's DP work.
+	// Counters, when non-nil, accumulates the scan's DP work and the search
+	// funnel (scanned / candidates / examined).
 	Counters *Counters
 	// Context, when non-nil, bounds the search the same way Options.Context
 	// bounds an alignment run.
 	Context context.Context
+	// Index, when non-nil, is a q-gram index built over exactly this
+	// database (BuildIndex(db, q) or Corpus.Index): the seed filter prunes
+	// entries that provably cannot reach MinScore and the verify scan
+	// early-abandons entries whose score upper bound falls below the running
+	// top-K floor. Both prunes are lossless: the hits are identical to an
+	// index-free search.
+	Index *Index
+	// Probe, when non-nil, receives the filter-phase accounting of an
+	// indexed search (untouched when Index is nil).
+	Probe *SearchProbe
+	// OnHit, when non-nil, streams provisional hits as the scan finds them
+	// (serialised, unordered; the final ranked hits are the return value).
+	OnHit func(SearchHit)
+	// Trace, when non-nil, records filter/verify/reconstruct phase spans.
+	Trace *Trace
 }
 
 // Search ranks database sequences by optimal local alignment score against
@@ -640,5 +673,36 @@ func Search(query *Sequence, db []*Sequence, opt SearchOptions) ([]SearchHit, er
 		Workers:    opt.Workers,
 		Pairwise:   core.Options{Workers: 1},
 		Counters:   opt.Counters,
+		Index:      opt.Index,
+		Probe:      opt.Probe,
+		OnHit:      opt.OnHit,
+		Trace:      opt.Trace,
 	})
+}
+
+// BuildIndex builds a q-gram inverted index over the database for use as
+// SearchOptions.Index (q <= 0 selects a per-alphabet default: the largest q
+// whose gram space stays small). The index is immutable once built and safe
+// for concurrent searches.
+func BuildIndex(db []*Sequence, q int) (*Index, error) {
+	ix, err := index.Build(db, q)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidInput, err)
+	}
+	return ix, nil
+}
+
+// NewCorpus indexes an in-memory sequence set (q <= 0 selects the default).
+func NewCorpus(seqs []*Sequence, q int) (*Corpus, error) {
+	c, err := index.New(seqs, q)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidInput, err)
+	}
+	return c, nil
+}
+
+// LoadCorpus reads a FASTA file and indexes it — the server's -corpus
+// startup path (nil alphabet selects DNA; q <= 0 selects the default).
+func LoadCorpus(path string, a *Alphabet, q int) (*Corpus, error) {
+	return index.Load(path, a, q)
 }

@@ -17,7 +17,7 @@ import (
 	"fastlsa/internal/theory"
 )
 
-// This file implements the paper-reproduction experiments E1-E10 (see
+// This file implements the paper-reproduction experiments E1-E12 (see
 // DESIGN.md §3 for the experiment index). Each function generates its
 // workloads, runs the measured configurations, and prints a table whose
 // rows correspond to the rows/series of the paper's table or figure.
@@ -375,11 +375,11 @@ func ExperimentTileSweep(w io.Writer, n, p int) error {
 	return t.Fprint(w)
 }
 
-// ExperimentBounds (E10) checks the Appendix A theorems empirically and
+// ExperimentBounds (E11) checks the Appendix A theorems empirically and
 // prints measured-vs-bound rows; it returns an error if any bound is
 // violated.
 func ExperimentBounds(w io.Writer) error {
-	t := NewTable("E10: Theorem bounds (measured cells vs analytical bound)",
+	t := NewTable("E11: Theorem bounds (measured cells vs analytical bound)",
 		"config", "cells", "bound", "ok")
 	violated := false
 	for _, tc := range []struct {
@@ -418,7 +418,7 @@ func ExperimentBounds(w io.Writer) error {
 	return nil
 }
 
-// ExperimentVariants (E11, extension ablation) compares the full-matrix
+// ExperimentVariants (E12, extension ablation) compares the full-matrix
 // variants and accelerators this repository adds around the paper: the
 // score-matrix FM, the traceback-bit compact FM (§2.1's "three bits per
 // entry" remark), adaptive banded alignment, Hirschberg, and FastLSA — all
@@ -434,7 +434,7 @@ func ExperimentVariants(w io.Writer, n int) error {
 	}
 	gap := scoring.Linear(-4)
 	full := int64(a.Len()+1) * int64(b.Len()+1)
-	t := NewTable(fmt.Sprintf("E11: variant ablation (m=n~%d, full matrix = %d entries)", n, full),
+	t := NewTable(fmt.Sprintf("E12: variant ablation (m=n~%d, full matrix = %d entries)", n, full),
 		"variant", "ms", "cells", "peak-entries", "score")
 
 	type variant struct {

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fastlsa/internal/index"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/search"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/stats"
+)
+
+// searchCorpus builds a deterministic DNA corpus of n entries with planted
+// homologs of the returned query, mirroring `fastlsa-seqgen -corpus`.
+func searchCorpus(n int) (*seq.Sequence, []*seq.Sequence, error) {
+	const length = 300
+	const homologs = 5
+	query := seq.Random("query", length, seq.DNA, 42)
+	// Rates low enough that every homolog clears the minScore=1400 floor
+	// (expected score ~1460 at length 300 with DNASimple / gap -12).
+	model := seq.MutationModel{
+		SubstitutionRate: 0.005,
+		InsertionRate:    0.001,
+		DeletionRate:     0.001,
+		MaxIndelRun:      4,
+		IndelExtend:      0.3,
+	}
+	db := make([]*seq.Sequence, n)
+	stride := n / homologs
+	for i := range db {
+		if stride > 0 && i%stride == stride/2 && i/stride < homologs {
+			hom, err := model.Mutate(fmt.Sprintf("hom_%04d", i), query, int64(i)+1)
+			if err != nil {
+				return nil, nil, err
+			}
+			db[i] = hom
+			continue
+		}
+		db[i] = seq.Random(fmt.Sprintf("bg_%04d", i), length, seq.DNA, int64(n+i)+1)
+	}
+	return query, db, nil
+}
+
+// ExperimentSearch (E10) measures the q-gram seed filter against the brute
+// database scan across corpus sizes: identical hits (the filter is lossless),
+// a shrinking examined fraction, and a growing wall-clock speedup.
+func ExperimentSearch(w io.Writer, sizes []int) error {
+	if len(sizes) == 0 {
+		sizes = []int{250, 500, 1000, 2000}
+	}
+	const minScore = 1400 // seed floor 118 grams at q=8, qlen 300 (DNASimple, gap -12)
+	t := NewTable("E10: q-gram seed filter vs brute-force scan (DNA, len 300, minScore 1400)",
+		"corpus", "brute", "filtered", "speedup", "cand", "examined", "pass%", "recall")
+	for _, n := range sizes {
+		query, db, err := searchCorpus(n)
+		if err != nil {
+			return err
+		}
+		opt := search.Options{
+			Matrix:   scoring.DNASimple,
+			Gap:      scoring.Linear(-12),
+			TopK:     10,
+			MinScore: minScore,
+		}
+
+		start := time.Now()
+		brute, err := search.Query(query, db, opt)
+		if err != nil {
+			return err
+		}
+		bruteDur := time.Since(start)
+
+		ix, err := index.Build(db, 0)
+		if err != nil {
+			return err
+		}
+		var counters stats.Counters
+		var probe index.Probe
+		opt.Index, opt.Probe, opt.Counters = ix, &probe, &counters
+		start = time.Now()
+		filtered, err := search.Query(query, db, opt)
+		if err != nil {
+			return err
+		}
+		filtDur := time.Since(start)
+
+		recall := len(filtered) == len(brute)
+		for i := range brute {
+			if !recall {
+				break
+			}
+			recall = filtered[i].Index == brute[i].Index && filtered[i].Score == brute[i].Score
+		}
+		if !recall {
+			return fmt.Errorf("bench: filtered search lost hits at corpus %d (got %d, want %d)",
+				n, len(filtered), len(brute))
+		}
+		t.AddRow(n,
+			bruteDur.Round(time.Millisecond), filtDur.Round(time.Millisecond),
+			fmt.Sprintf("%.1fx", float64(bruteDur)/float64(filtDur)),
+			probe.Candidates, counters.SearchExamined.Load(),
+			fmt.Sprintf("%.1f", 100*probe.Selectivity), recall)
+	}
+	t.AddNote("cand = entries past the seed filter; examined = entries actually aligned before early abandon")
+	t.AddNote("recall asserts the filtered hit list equals the brute-force one (hard failure otherwise)")
+	return t.Fprint(w)
+}

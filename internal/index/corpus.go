@@ -1,0 +1,64 @@
+package index
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"fastlsa/internal/seq"
+)
+
+// Corpus is a sequence database paired with its q-gram index — the cached
+// search substrate a server loads once at startup (-corpus) and reuses
+// across every request, instead of re-reading and re-indexing per query.
+type Corpus struct {
+	// Seqs are the database entries, in file order.
+	Seqs []*seq.Sequence
+	// Index is the q-gram inverted index over Seqs.
+	Index *Index
+	// Path is the FASTA file the corpus was loaded from ("" for in-memory
+	// corpora built with New).
+	Path string
+	// LoadDur and BuildDur record how long the FASTA parse and the index
+	// build took, for startup logs.
+	LoadDur, BuildDur time.Duration
+}
+
+// New indexes an in-memory sequence set (q = 0 selects DefaultQ).
+func New(seqs []*seq.Sequence, q int) (*Corpus, error) {
+	start := time.Now()
+	ix, err := Build(seqs, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{Seqs: seqs, Index: ix, BuildDur: time.Since(start)}, nil
+}
+
+// Load reads a FASTA corpus and indexes it (q = 0 selects DefaultQ for the
+// alphabet; a nil alphabet selects DNA, matching seq.ReadFASTA).
+func Load(path string, a *seq.Alphabet, q int) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: corpus: %w", err)
+	}
+	defer f.Close()
+	start := time.Now()
+	seqs, err := seq.ReadFASTA(f, a)
+	if err != nil {
+		return nil, fmt.Errorf("index: corpus %s: %w", path, err)
+	}
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("index: corpus %s holds no sequences", path)
+	}
+	loadDur := time.Since(start)
+	c, err := New(seqs, q)
+	if err != nil {
+		return nil, fmt.Errorf("index: corpus %s: %w", path, err)
+	}
+	c.Path = path
+	c.LoadDur = loadDur
+	return c, nil
+}
+
+// Len reports the number of corpus entries.
+func (c *Corpus) Len() int { return len(c.Seqs) }

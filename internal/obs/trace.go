@@ -39,6 +39,14 @@ const (
 	SpanFillBlock = "fill-block"
 	// SpanTraceback covers one base-case traceback walk.
 	SpanTraceback = "traceback"
+	// SpanSearchFilter covers the q-gram index probe of a corpus search.
+	SpanSearchFilter = "search-filter"
+	// SpanSearchVerify covers the score-only verify scan over the
+	// candidates (or the whole database on a brute-force search).
+	SpanSearchVerify = "search-verify"
+	// SpanSearchReconstruct covers the exact-alignment reconstruction of
+	// the leading hits.
+	SpanSearchReconstruct = "search-reconstruct"
 )
 
 // Span categories (the "cat" field of Chrome trace events).
@@ -49,6 +57,8 @@ const (
 	CatWavefront = "wavefront"
 	// CatHTTP tags request-level spans recorded by servers.
 	CatHTTP = "http"
+	// CatSearch tags corpus-search phase spans.
+	CatSearch = "search"
 )
 
 // DefaultTraceSpans is the default ring-buffer capacity of a Trace. At ~80

@@ -1,0 +1,242 @@
+package search_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"fastlsa/internal/core"
+	"fastlsa/internal/index"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/search"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/significance"
+	"fastlsa/internal/stats"
+)
+
+// recallCorpus builds a deterministic corpus with planted homologs of the
+// query at several identity levels, plus unrelated background.
+func recallCorpus(t *testing.T, query *seq.Sequence, size int) []*seq.Sequence {
+	t.Helper()
+	db := make([]*seq.Sequence, size)
+	for i := range db {
+		db[i] = seq.Random(fmt.Sprintf("bg%d", i), 200+i%80, seq.DNA, 7000+int64(i))
+	}
+	rates := []float64{0.01, 0.04, 0.08, 0.15, 0.25}
+	for j, r := range rates {
+		model := seq.MutationModel{SubstitutionRate: r, InsertionRate: r / 4, DeletionRate: r / 4, MaxIndelRun: 3, IndelExtend: 0.3}
+		hom, err := model.Mutate(fmt.Sprintf("hom%d", j), query, int64(600+j))
+		if err != nil {
+			t.Fatal(err)
+		}
+		db[(j+1)*size/(len(rates)+1)] = hom
+	}
+	return db
+}
+
+// TestRecallMatchesBruteForce is the satellite recall property: for any
+// MinScore and any worker count, a seed-filtered search returns the exact
+// Hit slice of the brute-force reference scan.
+func TestRecallMatchesBruteForce(t *testing.T) {
+	query := seq.Random("query", 250, seq.DNA, 42)
+	db := recallCorpus(t, query, 250)
+	ix, err := index.Build(db, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, minScore := range []int64{0, 1, 300, 700, 1000, 5000} {
+		opt := search.Options{
+			Matrix:     scoring.DNASimple,
+			Gap:        scoring.Linear(-12),
+			TopK:       8,
+			Alignments: 2,
+			MinScore:   minScore,
+			Workers:    1,
+			Pairwise:   core.Options{Workers: 1},
+		}
+		brute, err := search.Query(query, db, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, 0} {
+			fopt := opt
+			fopt.Workers = workers
+			fopt.Index = ix
+			var probe index.Probe
+			fopt.Probe = &probe
+			filtered, err := search.Query(query, db, fopt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(brute, filtered) {
+				t.Fatalf("minScore=%d workers=%d: filtered hits differ from brute force\nbrute:    %+v\nfiltered: %+v",
+					minScore, workers, brute, filtered)
+			}
+			if probe.Scanned != len(db) {
+				t.Fatalf("probe not filled: %+v", probe)
+			}
+		}
+	}
+}
+
+// TestRecallWithEValueFilter pins the subtle interaction between the
+// early-abandon floor and the E-value eligibility filter: the floor may only
+// count hits that pass every filter, or entries the brute-force scan would
+// have kept get abandoned.
+func TestRecallWithEValueFilter(t *testing.T) {
+	params, err := significance.Estimate(scoring.DNASimple, scoring.Linear(-12), significance.Options{
+		SampleLen: 120, Samples: 40, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := seq.Random("query", 250, seq.DNA, 43)
+	db := recallCorpus(t, query, 150)
+	ix, err := index.Build(db, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxE := range []float64{0, 10, 1e-3} {
+		opt := search.Options{
+			Matrix:     scoring.DNASimple,
+			Gap:        scoring.Linear(-12),
+			TopK:       4,
+			Alignments: 1,
+			MinScore:   100,
+			Workers:    2,
+			Stats:      &params,
+			MaxEValue:  maxE,
+			Pairwise:   core.Options{Workers: 1},
+		}
+		brute, err := search.Query(query, db, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fopt := opt
+		fopt.Index = ix
+		filtered, err := search.Query(query, db, fopt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(brute, filtered) {
+			t.Fatalf("maxE=%g: filtered hits differ from brute force\nbrute:    %+v\nfiltered: %+v", maxE, brute, filtered)
+		}
+	}
+}
+
+// TestOnHitCoversFinalHits checks the streaming contract: every hit in the
+// final ranked slice was reported through OnHit during the scan (possibly
+// alongside provisional hits that were later displaced).
+func TestOnHitCoversFinalHits(t *testing.T) {
+	query := seq.Random("query", 250, seq.DNA, 44)
+	db := recallCorpus(t, query, 120)
+	ix, err := index.Build(db, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, withIndex := range []bool{false, true} {
+		streamed := map[int]bool{} // OnHit is serialised: plain map is safe
+		opt := search.Options{
+			Matrix:     scoring.DNASimple,
+			Gap:        scoring.Linear(-12),
+			TopK:       5,
+			Alignments: 1,
+			MinScore:   100,
+			Workers:    4,
+			Pairwise:   core.Options{Workers: 1},
+			OnHit:      func(h search.Hit) { streamed[h.Index] = true },
+		}
+		if withIndex {
+			opt.Index = ix
+		}
+		hits, err := search.Query(query, db, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hits) == 0 {
+			t.Fatal("no hits")
+		}
+		for _, h := range hits {
+			if !streamed[h.Index] {
+				t.Fatalf("index=%v: final hit %d (%s, score %d) never streamed through OnHit", withIndex, h.Index, h.ID, h.Score)
+			}
+		}
+	}
+}
+
+// TestCancelledSearchStopsScan exercises the per-entry cancellation poll in
+// the verify workers: a cancelled run context aborts the scan with the
+// context error instead of finishing the corpus.
+func TestCancelledSearchStopsScan(t *testing.T) {
+	query := seq.Random("query", 200, seq.DNA, 45)
+	db := recallCorpus(t, query, 60)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var root stats.Counters
+	opt := search.Options{
+		Matrix:   scoring.DNASimple,
+		Gap:      scoring.Linear(-12),
+		Workers:  2,
+		Pairwise: core.Options{Workers: 1},
+		Counters: root.Derive(ctx),
+	}
+	if _, err := search.Query(query, db, opt); err != context.Canceled {
+		t.Fatalf("cancelled scan returned %v, want context.Canceled", err)
+	}
+	if root.SearchExamined.Load() != 0 {
+		t.Fatalf("cancelled scan still examined %d entries", root.SearchExamined.Load())
+	}
+}
+
+// TestFilteredSearchExaminesFewer pins the funnel accounting: with a
+// selective threshold the verify stage must touch well under the full
+// corpus, and the counters must record the funnel.
+func TestFilteredSearchExaminesFewer(t *testing.T) {
+	query := seq.Random("query", 250, seq.DNA, 46)
+	model := seq.MutationModel{SubstitutionRate: 0.005, InsertionRate: 0.001, DeletionRate: 0.001, MaxIndelRun: 2, IndelExtend: 0.2}
+	db := make([]*seq.Sequence, 200)
+	for i := range db {
+		db[i] = seq.Random(fmt.Sprintf("bg%d", i), 250, seq.DNA, 9000+int64(i))
+	}
+	hom, err := model.Mutate("hom", query, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db[137] = hom
+	ix, err := index.Build(db, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c stats.Counters
+	var probe index.Probe
+	hits, err := search.Query(query, db, search.Options{
+		Matrix:   scoring.DNASimple,
+		Gap:      scoring.Linear(-12),
+		TopK:     5,
+		MinScore: 1150,
+		Workers:  2,
+		Pairwise: core.Options{Workers: 1},
+		Counters: &c,
+		Index:    ix,
+		Probe:    &probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Index != 137 {
+		t.Fatalf("hits = %+v, want only the planted homolog", hits)
+	}
+	if c.SearchScanned.Load() != 200 {
+		t.Fatalf("scanned %d", c.SearchScanned.Load())
+	}
+	if got := c.SearchCandidates.Load(); got >= 40 {
+		t.Fatalf("filter kept %d of 200 entries; expected <20%%", got)
+	}
+	if ex := c.SearchExamined.Load(); ex > c.SearchCandidates.Load() || ex == 0 {
+		t.Fatalf("examined %d of %d candidates", ex, c.SearchCandidates.Load())
+	}
+	if probe.Selectivity <= 0 || probe.SeedFloor <= 0 {
+		t.Fatalf("probe accounting: %+v", probe)
+	}
+}

@@ -45,6 +45,15 @@ type Counters struct {
 	// actually ran after budget-driven shrinking (0 executed on a sequential
 	// fallback). Equal values mean no fill was degraded.
 	PlannedFillTiles, ExecutedFillTiles atomic.Int64
+	// SearchScanned counts database entries considered by corpus searches
+	// (the index probe's scan, or every entry on a brute-force scan).
+	SearchScanned atomic.Int64
+	// SearchCandidates counts entries that survived the q-gram seed filter.
+	// SearchCandidates / SearchScanned is the filter selectivity.
+	SearchCandidates atomic.Int64
+	// SearchExamined counts entries actually scored by the exact kernel at
+	// the verify stage (candidates minus early-abandoned ones).
+	SearchExamined atomic.Int64
 
 	// cancelDone and cancelCtx carry the run's cancellation signal
 	// (AttachContext). The kernels poll Cancelled between row sweeps; a nil
@@ -217,6 +226,27 @@ func (c *Counters) AddExecutedFillTiles(n int64) {
 	}
 }
 
+// AddSearchScanned records n database entries considered by a corpus scan.
+func (c *Counters) AddSearchScanned(n int64) {
+	for ; c != nil; c = c.parent {
+		c.SearchScanned.Add(n)
+	}
+}
+
+// AddSearchCandidates records n entries surviving the seed filter.
+func (c *Counters) AddSearchCandidates(n int64) {
+	for ; c != nil; c = c.parent {
+		c.SearchCandidates.Add(n)
+	}
+}
+
+// AddSearchExamined records n entries scored by the exact verify stage.
+func (c *Counters) AddSearchExamined(n int64) {
+	for ; c != nil; c = c.parent {
+		c.SearchExamined.Add(n)
+	}
+}
+
 // ObserveGridEntries raises the peak grid-entry watermark to n if larger.
 func (c *Counters) ObserveGridEntries(n int64) {
 	for ; c != nil; c = c.parent {
@@ -254,6 +284,9 @@ type Snapshot struct {
 	SeqFillFallbacks  int64 `json:"seq_fill_fallbacks"`
 	PlannedFillTiles  int64 `json:"planned_fill_tiles"`
 	ExecutedFillTiles int64 `json:"executed_fill_tiles"`
+	SearchScanned     int64 `json:"search_scanned"`
+	SearchCandidates  int64 `json:"search_candidates"`
+	SearchExamined    int64 `json:"search_examined"`
 }
 
 // Snapshot copies the current counter values.
@@ -275,16 +308,20 @@ func (c *Counters) Snapshot() Snapshot {
 		SeqFillFallbacks:  c.SeqFillFallbacks.Load(),
 		PlannedFillTiles:  c.PlannedFillTiles.Load(),
 		ExecutedFillTiles: c.ExecutedFillTiles.Load(),
+		SearchScanned:     c.SearchScanned.Load(),
+		SearchCandidates:  c.SearchCandidates.Load(),
+		SearchExamined:    c.SearchExamined.Load(),
 	}
 }
 
 // String implements fmt.Stringer.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("cells=%d trace=%d base=%d general=%d tiles=%d(p1=%d p2=%d p3=%d planned=%d ran=%d) peakGrid=%d shrinks=%d seqFalls=%d",
+	return fmt.Sprintf("cells=%d trace=%d base=%d general=%d tiles=%d(p1=%d p2=%d p3=%d planned=%d ran=%d) peakGrid=%d shrinks=%d seqFalls=%d search=%d/%d/%d",
 		s.Cells, s.TracebackSteps, s.BaseCases, s.GeneralCases,
 		s.FillTiles, s.Phase1Tiles, s.Phase2Tiles, s.Phase3Tiles,
 		s.PlannedFillTiles, s.ExecutedFillTiles, s.PeakGridEntries,
-		s.MeshShrinks, s.SeqFillFallbacks)
+		s.MeshShrinks, s.SeqFillFallbacks,
+		s.SearchScanned, s.SearchCandidates, s.SearchExamined)
 }
 
 // Timer measures named phases of a run.
