@@ -26,7 +26,7 @@ func main() {
 	var (
 		matrixName = flag.String("matrix", "blosum62", "scoring matrix: table1, mdm78, blosum62, dna, dna-strict")
 		alphaName  = flag.String("alphabet", "", "residue alphabet: dna or protein (default: the matrix's alphabet)")
-		algoName   = flag.String("algorithm", "auto", "engine: auto, fastlsa, fm, hirschberg, compact")
+		algoName   = flag.String("algorithm", "auto", "engine: auto, fastlsa, fm, hirschberg, compact, wfa")
 		modeName   = flag.String("mode", "global", "ends-free mode: global, overlap, fit-b-in-a, fit-a-in-b")
 		gapPen     = flag.Int("gap", -10, "linear gap penalty per gapped position (negative)")
 		open       = flag.Int("open", 0, "affine gap-open penalty (non-positive; 0 keeps the linear model)")
@@ -138,6 +138,8 @@ func run(matrixName, alphaName, algoName, modeName string, gapPen, open, extend,
 			return err
 		}
 	default:
+		var route fastlsa.RouteInfo
+		opt.Route = &route
 		al, err := fastlsa.Align(a, b, opt)
 		if err != nil {
 			return err
@@ -146,6 +148,9 @@ func run(matrixName, alphaName, algoName, modeName string, gapPen, open, extend,
 			return err
 		}
 		fmt.Printf("cigar: %s\n", al.Path.CIGAR())
+		if showStats && route.Backend != "" {
+			fmt.Printf("backend: %s (%s)\n", route.Backend, route.Reason)
+		}
 	}
 
 	if showStats {

@@ -35,10 +35,11 @@ func doJSON(t *testing.T, method, url, body string) (*http.Response, map[string]
 
 // slowAlignJob is a job body whose alignment is large enough to stay busy
 // for a while (n x n cells), so cancellation and queue pressure are
-// observable.
+// observable. The FastLSA backend is pinned: under auto the router would
+// send this identical pair to WFA, which finishes it in microseconds.
 func slowAlignJob(n int) string {
 	seq := strings.Repeat("ACGT", n/4)
-	return fmt.Sprintf(`{"type":"align","align":{"a":%q,"b":%q,"matrix":"dna","gap":{"extend":-4},"workers":1}}`, seq, seq)
+	return fmt.Sprintf(`{"type":"align","align":{"a":%q,"b":%q,"matrix":"dna","gap":{"extend":-4},"workers":1,"algorithm":"fastlsa"}}`, seq, seq)
 }
 
 func pollJob(t *testing.T, url string, want string, deadline time.Duration) map[string]any {

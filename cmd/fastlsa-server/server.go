@@ -105,6 +105,10 @@ type server struct {
 	reg        *obs.Registry
 	httpm      *obs.HTTPMetrics
 	batchSizes *obs.Histogram
+	// backendTotal counts served global alignments by aligner backend and
+	// routing reason, so dashboards can watch how often AlgoAuto picks the
+	// WFA kernel versus FastLSA (docs/BACKENDS.md).
+	backendTotal *obs.CounterVec
 	// queueWait tracks per-attempt queue waits; breaker sheds synchronous
 	// requests when its p95 crosses cfg.BreakerWait (see resilience.go).
 	queueWait *obs.Histogram
@@ -136,6 +140,9 @@ func newServer(cfg serverConfig) *server {
 	s.batchSizes = s.reg.Histogram("fastlsa_batch_size",
 		"Units per admitted POST /v1/batch request.",
 		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+	s.backendTotal = s.reg.CounterVec("fastlsa_backend_total",
+		"Global alignments served, by aligner backend and routing reason.",
+		"backend", "reason")
 	s.queueWait = s.reg.Histogram("fastlsa_engine_queue_wait_seconds",
 		"Queue wait per job attempt, observed at worker pickup.",
 		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30})
@@ -393,7 +400,7 @@ type alignRequest struct {
 	Matrix       string  `json:"matrix"`   // default blosum62
 	Gap          gapSpec `json:"gap"`
 	Mode         string  `json:"mode"`      // global (default), overlap, fit-b-in-a, fit-a-in-b
-	Algorithm    string  `json:"algorithm"` // auto (default), fastlsa, fm, hirschberg, compact
+	Algorithm    string  `json:"algorithm"` // auto (default), fastlsa, fm, hirschberg, compact, wfa
 	Local        bool    `json:"local"`
 	Workers      int     `json:"workers"`
 	MemoryBudget int64   `json:"memoryBudget"`
@@ -413,6 +420,12 @@ type alignResponse struct {
 	RowB       string     `json:"rowB,omitempty"`
 	Local      *localSpan `json:"local,omitempty"`
 	CellsSpent int64      `json:"cellsComputed"`
+	// Backend and RouteReason report which aligner backend served a global
+	// run and why it was chosen ("explicit" for a forced algorithm,
+	// AlgoAuto's divergence verdict otherwise; docs/BACKENDS.md). Omitted
+	// for local runs, which do not route.
+	Backend     string `json:"backend,omitempty"`
+	RouteReason string `json:"routeReason,omitempty"`
 	// Trace is the run's Chrome trace_event JSON (load it in
 	// chrome://tracing or Perfetto) when the request asked for one.
 	Trace json.RawMessage `json:"trace,omitempty"`
@@ -508,18 +521,25 @@ func (s *server) alignTask(req alignRequest) (func(ctx context.Context) (any, er
 			return resp, nil
 		}
 
+		var route fastlsa.RouteInfo
+		o.Route = &route
 		al, err := fastlsa.Align(a, b, o)
+		if route.Backend != "" {
+			s.backendTotal.With(route.Backend, route.Reason).Inc()
+		}
 		if err != nil {
 			return nil, err
 		}
 		st := al.Stats()
 		resp := alignResponse{
-			Score:      al.Score,
-			CIGAR:      al.Path.CIGAR(),
-			Columns:    st.Columns,
-			Identity:   st.Identity,
-			CellsSpent: counters.Cells.Load(),
-			Trace:      traceJSON(),
+			Score:       al.Score,
+			CIGAR:       al.Path.CIGAR(),
+			Columns:     st.Columns,
+			Identity:    st.Identity,
+			CellsSpent:  counters.Cells.Load(),
+			Backend:     route.Backend,
+			RouteReason: route.Reason,
+			Trace:       traceJSON(),
 		}
 		if req.IncludeRows {
 			resp.RowA, resp.RowB = al.Rows()

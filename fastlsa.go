@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"fastlsa/internal/align"
+	"fastlsa/internal/backend"
 	"fastlsa/internal/core"
 	"fastlsa/internal/fm"
 	"fastlsa/internal/hirschberg"
@@ -20,6 +21,7 @@ import (
 	"fastlsa/internal/seq"
 	"fastlsa/internal/significance"
 	"fastlsa/internal/stats"
+	"fastlsa/internal/wfa"
 )
 
 // Re-exported substrate types. These aliases make the internal packages'
@@ -103,6 +105,11 @@ const (
 	// SpanNameSearchReconstruct is the exact-alignment reconstruction of the
 	// leading search hits.
 	SpanNameSearchReconstruct = obs.SpanSearchReconstruct
+	// SpanNameBackendRoute is the backend routing decision of one Align
+	// call; its tags carry the chosen backend and the routing reason.
+	SpanNameBackendRoute = obs.SpanBackendRoute
+	// SpanNameWFAFill is the per-score wavefront loop of a WFA run.
+	SpanNameWFAFill = obs.SpanWFAFill
 )
 
 // Alphabets and scoring tables.
@@ -229,13 +236,28 @@ func InvertEditScript(a *Sequence, ops []EditOp) ([]EditOp, error) {
 	return align.InvertEditScript(a, ops)
 }
 
-// Algorithm selects the alignment engine.
+// Algorithm selects the alignment engine. Every non-auto value names one
+// registered backend (internal/backend); AlgoAuto is the router.
 type Algorithm int
 
 const (
-	// AlgoAuto picks FastLSA with parameters adapted to MemoryBudget (the
-	// paper's headline mode: as fast or faster than both baselines, space
-	// bounded by the budget).
+	// AlgoAuto routes each run to a backend — the paper's headline adaptive
+	// mode, extended with a WFA fast path. Global-mode pairs whose scoring
+	// system is WFA-compatible (uniform match/mismatch matrix, see AlgoWFA)
+	// and whose estimated identity (a bounded q-gram sample of both
+	// sequences) is at least backend.RouteIdentityThreshold (90%) run on
+	// the O(ns) wavefront backend; everything else — ends-free modes,
+	// non-uniform matrices, short or divergent or unestimable pairs — runs
+	// FastLSA with parameters planned against MemoryBudget. Explicit K or
+	// BaseCells overrides take precedence over the divergence estimate:
+	// they are FastLSA parameters, so setting either pins the run to the
+	// FastLSA backend, where they act as planning inputs re-validated
+	// against the budget (never past it). An auto-routed WFA run that
+	// outgrows MemoryBudget mid-flight is rerun on budget-planned FastLSA
+	// instead of failing. Every decision is observable: Options.Route, the
+	// backend.route trace span, and the server's
+	// fastlsa_backend_total{backend,reason} metric all report the chosen
+	// backend and reason (docs/BACKENDS.md lists the full rule table).
 	AlgoAuto Algorithm = iota
 	// AlgoFastLSA forces FastLSA with the explicit K/BaseCells parameters.
 	AlgoFastLSA
@@ -248,43 +270,56 @@ const (
 	// direction bits instead of stored scores — one eighth the footprint).
 	// Linear gap models only.
 	AlgoCompact
+	// AlgoWFA forces the wavefront backend: exact gap-affine alignment in
+	// O(ns) time, orders of magnitude faster than any mn-cell DP on
+	// low-divergence pairs. Requires a uniform scoring matrix (one match
+	// score on the diagonal, one mismatch score off it — "dna" and
+	// "dna-strict" qualify) and global mode.
+	AlgoWFA
 )
 
-// String implements fmt.Stringer.
-func (a Algorithm) String() string {
-	switch a {
-	case AlgoAuto:
-		return "auto"
-	case AlgoFastLSA:
-		return "fastlsa"
-	case AlgoFullMatrix:
-		return "fm"
-	case AlgoHirschberg:
-		return "hirschberg"
-	case AlgoCompact:
-		return "compact"
-	default:
-		return fmt.Sprintf("Algorithm(%d)", int(a))
+// algoNames and algoValues are derived from the backend registry at init
+// time: enum value i+1 names registry slot i, so a new backend is one
+// Register call plus one constant (pinned by the round-trip test).
+var (
+	algoNames  map[Algorithm]string
+	algoValues map[string]Algorithm
+)
+
+func init() {
+	infos := backend.All()
+	algoNames = make(map[Algorithm]string, len(infos)+1)
+	algoValues = make(map[string]Algorithm, 2*len(infos)+2)
+	algoNames[AlgoAuto] = "auto"
+	algoValues["auto"] = AlgoAuto
+	algoValues[""] = AlgoAuto
+	for i, info := range infos {
+		algo := Algorithm(i + 1)
+		algoNames[algo] = info.Name
+		algoValues[info.Name] = algo
+		for _, alias := range info.Aliases {
+			algoValues[alias] = algo
+		}
 	}
 }
 
-// ParseAlgorithm resolves an algorithm name ("auto", "fastlsa", "fm",
-// "full-matrix", "hirschberg").
-func ParseAlgorithm(name string) (Algorithm, error) {
-	switch name {
-	case "auto", "":
-		return AlgoAuto, nil
-	case "fastlsa", "lsa":
-		return AlgoFastLSA, nil
-	case "fm", "full-matrix", "nw", "needleman-wunsch":
-		return AlgoFullMatrix, nil
-	case "hirschberg", "mm", "myers-miller":
-		return AlgoHirschberg, nil
-	case "compact", "fm-bits", "traceback-bits":
-		return AlgoCompact, nil
-	default:
-		return 0, badInput("unknown algorithm %q", name)
+// String implements fmt.Stringer; non-auto values render their backend's
+// canonical registry name.
+func (a Algorithm) String() string {
+	if name, ok := algoNames[a]; ok {
+		return name
 	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm resolves an algorithm name or alias ("auto", "fastlsa",
+// "fm", "full-matrix", "hirschberg", "compact", "wfa", ...). The accepted
+// set derives from the backend registry.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	if a, ok := algoValues[name]; ok {
+		return a, nil
+	}
+	return 0, badInput("unknown algorithm %q", name)
 }
 
 // Input-classification sentinels (test with errors.Is). They let callers —
@@ -346,6 +381,26 @@ type Options struct {
 	// may safely be shared by concurrent runs with different contexts; the
 	// shared Counters still accumulates every run's work.
 	Context context.Context
+	// Route, when non-nil, receives the backend routing decision of an
+	// Align call (the backend that actually ran and why — AlgoAuto's
+	// divergence verdict, or "explicit" for a forced Algorithm). It is
+	// written even when the run then fails, so error reports can name the
+	// backend. Like Trace it is per-run state: do not share one Route
+	// across concurrent runs.
+	Route *RouteInfo
+}
+
+// RouteInfo reports which backend served an Align call and why (see the
+// backend.Reason* constants in internal/backend; docs/BACKENDS.md lists
+// the rule table).
+type RouteInfo struct {
+	// Backend is the canonical backend name ("fastlsa", "wfa", ...).
+	Backend string `json:"backend"`
+	// Reason is the routing reason ("explicit", "low-divergence", ...).
+	Reason string `json:"reason"`
+	// Identity is the q-gram identity estimate that drove an AlgoAuto
+	// decision (0 when no estimate was made).
+	Identity float64 `json:"identity,omitempty"`
 }
 
 func (o Options) normalise() (Options, error) {
@@ -383,32 +438,28 @@ func (o Options) budget() (*memory.Budget, error) {
 	return memory.NewBudget(o.MemoryBudget)
 }
 
+// backendRequest translates Options into a backend-layer Request. planned
+// selects budget-planned FastLSA parameters (the AlgoAuto contract:
+// explicit K / BaseCells overrides become planning inputs there, re-run
+// through the whole feasibility check so an override can never push the run
+// past the budget the plan was sized for).
+func (o Options) backendRequest(planned bool) backend.Request {
+	return backend.Request{
+		Matrix:       o.Matrix,
+		Gap:          o.Gap,
+		Mode:         o.Mode,
+		Planned:      planned,
+		MemoryBudget: o.MemoryBudget,
+		Workers:      o.Workers,
+		K:            o.K,
+		BaseCells:    o.BaseCells,
+		Counters:     o.Counters,
+		Trace:        o.Trace,
+	}
+}
+
 func (o Options) coreOptions(m, n int) (core.Options, error) {
-	if o.Algorithm == AlgoAuto {
-		// Explicit K / BaseCells overrides are planning inputs, not
-		// post-hoc patches: PlanOptions re-runs the whole feasibility check
-		// with them (and the gap model's true footprint) so an override can
-		// never push the run past the budget the plan was sized for.
-		copt, err := core.PlanOptions(m, n, o.MemoryBudget, o.Workers, !o.Gap.IsLinear(), o.K, o.BaseCells)
-		if err != nil {
-			return core.Options{}, err
-		}
-		copt.Counters = o.Counters
-		copt.Trace = o.Trace
-		return copt, nil
-	}
-	b, err := o.budget()
-	if err != nil {
-		return core.Options{}, err
-	}
-	return core.Options{
-		K:         o.K,
-		BaseCells: o.BaseCells,
-		Budget:    b,
-		Workers:   o.Workers,
-		Counters:  o.Counters,
-		Trace:     o.Trace,
-	}, nil
+	return backend.CoreOptions(o.backendRequest(o.Algorithm == AlgoAuto), m, n)
 }
 
 // Align computes the optimal global alignment of a and b.
@@ -417,52 +468,70 @@ func Align(a, b *Sequence, opt Options) (*Alignment, error) {
 	if err != nil {
 		return nil, err
 	}
-	var res core.Result
-	switch opt.Algorithm {
-	case AlgoAuto, AlgoFastLSA:
-		copt, cerr := opt.coreOptions(a.Len(), b.Len())
-		if cerr != nil {
-			return nil, cerr
-		}
-		if opt.Mode.IsGlobal() {
-			res, err = core.Align(a, b, opt.Matrix, opt.Gap, copt)
-		} else {
-			res, err = core.AlignMode(a, b, opt.Matrix, opt.Gap, opt.Mode, copt)
-		}
-	case AlgoFullMatrix:
-		budget, berr := opt.budget()
-		if berr != nil {
-			return nil, berr
-		}
-		switch {
-		case !opt.Mode.IsGlobal():
-			res, err = fm.AlignMode(a, b, opt.Matrix, opt.Gap, opt.Mode, budget, opt.Counters)
-		case opt.Workers > 1 && opt.Gap.IsLinear():
-			res, err = fm.AlignParallel(a, b, opt.Matrix, opt.Gap, opt.Workers, budget, opt.Counters)
-		default:
-			res, err = fm.Align(a, b, opt.Matrix, opt.Gap, budget, opt.Counters)
-		}
-	case AlgoHirschberg:
-		if !opt.Mode.IsGlobal() {
-			return nil, badInput("ends-free modes support the auto, fastlsa and fm engines (got %v)", opt.Algorithm)
-		}
-		res, err = hirschberg.Align(a, b, opt.Matrix, opt.Gap, hirschberg.Options{BaseCells: opt.BaseCells}, opt.Counters)
-	case AlgoCompact:
-		if !opt.Mode.IsGlobal() {
-			return nil, badInput("ends-free modes support the auto, fastlsa and fm engines (got %v)", opt.Algorithm)
-		}
-		budget, berr := opt.budget()
-		if berr != nil {
-			return nil, berr
-		}
-		res, err = fm.AlignCompact(a, b, opt.Matrix, opt.Gap, budget, opt.Counters)
-	default:
-		return nil, badInput("unknown algorithm %v", opt.Algorithm)
+	res, route, err := dispatchAlign(a, b, opt)
+	if opt.Route != nil {
+		*opt.Route = route
 	}
 	if err != nil {
 		return nil, err
 	}
 	return align.New(a, b, res.Path, res.Score)
+}
+
+// routeAlign resolves which backend serves this run: the divergence-adaptive
+// router under AlgoAuto, or the named backend (capability-checked) when the
+// caller forced one. The decision is recorded as a backend.route span.
+func routeAlign(a, b *Sequence, opt Options) (RouteInfo, error) {
+	var route RouteInfo
+	start := opt.Trace.Begin()
+	if opt.Algorithm == AlgoAuto {
+		r := backend.Decide(a, b, opt.Matrix, opt.Gap, opt.Mode, opt.K != 0 || opt.BaseCells != 0)
+		route = RouteInfo{Backend: r.Backend, Reason: r.Reason, Identity: r.Identity}
+	} else {
+		name := opt.Algorithm.String()
+		bk, ok := backend.Lookup(name)
+		if !ok {
+			return RouteInfo{}, badInput("unknown algorithm %v", opt.Algorithm)
+		}
+		if !opt.Mode.IsGlobal() && !bk.Caps().EndsFree {
+			return RouteInfo{}, badInput("ends-free modes support the auto, fastlsa and fm engines (got %v)", opt.Algorithm)
+		}
+		if bk.Caps().UniformScoresOnly {
+			if _, werr := wfa.FromScoring(opt.Matrix, a.Alphabet, opt.Gap); werr != nil {
+				return RouteInfo{}, fmt.Errorf("%w: %w", ErrInvalidInput, werr)
+			}
+		}
+		route = RouteInfo{Backend: name, Reason: backend.ReasonExplicit}
+	}
+	opt.Trace.End(SpanNameBackendRoute, obs.CatBackend, start, obs.Tags{Backend: route.Backend, Reason: route.Reason})
+	return route, nil
+}
+
+// dispatchAlign routes the run and executes it on the chosen backend. An
+// auto-routed WFA run whose wavefronts outgrow the memory budget — possible
+// when the divergence estimate undershoots — reruns on budget-planned
+// FastLSA, which by construction fits any budget PlanOptions accepts.
+func dispatchAlign(a, b *Sequence, opt Options) (core.Result, RouteInfo, error) {
+	route, err := routeAlign(a, b, opt)
+	if err != nil {
+		return core.Result{}, route, err
+	}
+	run := func(r RouteInfo) (core.Result, error) {
+		bk, ok := backend.Lookup(r.Backend)
+		if !ok {
+			return core.Result{}, badInput("unknown backend %q", r.Backend)
+		}
+		planned := opt.Algorithm == AlgoAuto && r.Backend == backend.NameFastLSA
+		return bk.Align(a, b, opt.backendRequest(planned))
+	}
+	res, err := run(route)
+	if err != nil && opt.Algorithm == AlgoAuto && route.Backend == backend.NameWFA && errors.Is(err, ErrBudgetExceeded) {
+		route = RouteInfo{Backend: backend.NameFastLSA, Reason: backend.ReasonBudgetFallback, Identity: route.Identity}
+		start := opt.Trace.Begin()
+		opt.Trace.End(SpanNameBackendRoute, obs.CatBackend, start, obs.Tags{Backend: route.Backend, Reason: route.Reason})
+		res, err = run(route)
+	}
+	return res, route, err
 }
 
 // Score computes only the optimal alignment score, in linear space

@@ -1,0 +1,136 @@
+package backend
+
+import (
+	"fastlsa/internal/core"
+	"fastlsa/internal/fm"
+	"fastlsa/internal/hirschberg"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/wfa"
+)
+
+// The built-in backends, registered in the order the facade's Algorithm
+// enum expects. Each adapter reproduces the dispatch the facade's old
+// Algorithm switch performed, byte-for-byte (pinned by the equivalence
+// tests in the root package).
+func init() {
+	Register(Info{
+		Name:    NameFastLSA,
+		Aliases: []string{"lsa"},
+		Summary: "FastLSA k-row grid cache (the paper's algorithm); plans to the memory budget under auto",
+		Impl:    fastlsaBackend{},
+	})
+	Register(Info{
+		Name:    NameFullMatrix,
+		Aliases: []string{"full-matrix", "nw", "needleman-wunsch"},
+		Summary: "Needleman-Wunsch full matrix; wavefront-parallel under linear gaps",
+		Impl:    fmBackend{},
+	})
+	Register(Info{
+		Name:    NameHirschberg,
+		Aliases: []string{"mm", "myers-miller"},
+		Summary: "Hirschberg divide-and-conquer (Myers-Miller under affine gaps), linear space",
+		Impl:    hirschbergBackend{},
+	})
+	Register(Info{
+		Name:    NameCompact,
+		Aliases: []string{"fm-bits", "traceback-bits"},
+		Summary: "full matrix with traceback bits (paper §2.1), one eighth the footprint; linear gaps only",
+		Impl:    compactBackend{},
+	})
+	Register(Info{
+		Name:    NameWFA,
+		Aliases: []string{"wavefront"},
+		Summary: "wavefront alignment, O(ns) on low-divergence pairs; uniform match/mismatch matrices only",
+		Impl:    wfaBackend{},
+	})
+}
+
+type fastlsaBackend struct{}
+
+func (fastlsaBackend) Name() string { return NameFastLSA }
+
+func (fastlsaBackend) Caps() Capabilities {
+	return Capabilities{EndsFree: true, AffineGaps: true, LinearSpace: true, Parallel: true, PlansToBudget: true}
+}
+
+func (fastlsaBackend) Align(a, b *seq.Sequence, req Request) (fm.Result, error) {
+	copt, err := CoreOptions(req, a.Len(), b.Len())
+	if err != nil {
+		return fm.Result{}, err
+	}
+	if req.Mode.IsGlobal() {
+		return core.Align(a, b, req.Matrix, req.Gap, copt)
+	}
+	return core.AlignMode(a, b, req.Matrix, req.Gap, req.Mode, copt)
+}
+
+type fmBackend struct{}
+
+func (fmBackend) Name() string { return NameFullMatrix }
+
+func (fmBackend) Caps() Capabilities {
+	return Capabilities{EndsFree: true, AffineGaps: true, Parallel: true}
+}
+
+func (fmBackend) Align(a, b *seq.Sequence, req Request) (fm.Result, error) {
+	budget, err := req.Budget()
+	if err != nil {
+		return fm.Result{}, err
+	}
+	switch {
+	case !req.Mode.IsGlobal():
+		return fm.AlignMode(a, b, req.Matrix, req.Gap, req.Mode, budget, req.Counters)
+	case req.Workers > 1 && req.Gap.IsLinear():
+		return fm.AlignParallel(a, b, req.Matrix, req.Gap, req.Workers, budget, req.Counters)
+	default:
+		return fm.Align(a, b, req.Matrix, req.Gap, budget, req.Counters)
+	}
+}
+
+type hirschbergBackend struct{}
+
+func (hirschbergBackend) Name() string { return NameHirschberg }
+
+func (hirschbergBackend) Caps() Capabilities {
+	return Capabilities{AffineGaps: true, LinearSpace: true}
+}
+
+func (hirschbergBackend) Align(a, b *seq.Sequence, req Request) (fm.Result, error) {
+	return hirschberg.Align(a, b, req.Matrix, req.Gap, hirschberg.Options{BaseCells: req.BaseCells}, req.Counters)
+}
+
+type compactBackend struct{}
+
+func (compactBackend) Name() string { return NameCompact }
+
+func (compactBackend) Caps() Capabilities {
+	return Capabilities{}
+}
+
+func (compactBackend) Align(a, b *seq.Sequence, req Request) (fm.Result, error) {
+	budget, err := req.Budget()
+	if err != nil {
+		return fm.Result{}, err
+	}
+	return fm.AlignCompact(a, b, req.Matrix, req.Gap, budget, req.Counters)
+}
+
+type wfaBackend struct{}
+
+func (wfaBackend) Name() string { return NameWFA }
+
+func (wfaBackend) Caps() Capabilities {
+	return Capabilities{AffineGaps: true, LinearSpace: true, UniformScoresOnly: true}
+}
+
+func (wfaBackend) Align(a, b *seq.Sequence, req Request) (fm.Result, error) {
+	budget, err := req.Budget()
+	if err != nil {
+		return fm.Result{}, err
+	}
+	return wfa.Align(a, b, req.Matrix, req.Gap, wfa.Options{
+		Budget:   budget,
+		Counters: req.Counters,
+		Trace:    req.Trace,
+	})
+}

@@ -1,0 +1,92 @@
+package backend
+
+import (
+	"fastlsa/internal/align"
+	"fastlsa/internal/index"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/wfa"
+)
+
+// Routing reasons, surfaced through Options.Route, the backend.route trace
+// span and the fastlsa_backend_total{backend,reason} metric.
+const (
+	// ReasonExplicit: the caller forced a backend (Algorithm != AlgoAuto).
+	ReasonExplicit = "explicit"
+	// ReasonLowDivergence: the q-gram identity estimate cleared
+	// RouteIdentityThreshold, so the O(ns) WFA kernel wins.
+	ReasonLowDivergence = "low-divergence"
+	// ReasonHighDivergence: the identity estimate fell short, so the
+	// budget-planned FastLSA engine is the safe choice.
+	ReasonHighDivergence = "high-divergence"
+	// ReasonIncompatibleScoring: the matrix or gap model has no exact WFA
+	// penalty equivalent (wfa.FromScoring).
+	ReasonIncompatibleScoring = "incompatible-scoring"
+	// ReasonEndsFree: the request asked for an ends-free mode, which only
+	// FastLSA serves under auto.
+	ReasonEndsFree = "ends-free"
+	// ReasonExplicitParams: the caller pinned FastLSA parameters (K or
+	// BaseCells), which only make sense on the FastLSA backend.
+	ReasonExplicitParams = "explicit-params"
+	// ReasonSmallInput: the pair is too short for routing to matter (or for
+	// the q-gram estimate to be meaningful).
+	ReasonSmallInput = "small-input"
+	// ReasonNoEstimate: the divergence could not be estimated, so routing
+	// falls back to the engine that is never catastrophically wrong.
+	ReasonNoEstimate = "no-estimate"
+	// ReasonBudgetFallback: an auto-routed WFA run outgrew the memory
+	// budget mid-flight and was rerun on budget-planned FastLSA.
+	ReasonBudgetFallback = "budget-fallback"
+)
+
+// RouteIdentityThreshold is the estimated-identity floor for routing to
+// WFA under AlgoAuto. WFA's time and memory grow with the square of the
+// unit-cost distance (cells ≈ E²/e), so the threshold is deliberately
+// conservative: at 90% identity WFA is still far ahead of any mn-cell DP,
+// while below it the quadratic penalty growth starts to erode the win and
+// blow up wavefront memory (the time crossover sits near 70-75% identity;
+// docs/BACKENDS.md quantifies both curves).
+const RouteIdentityThreshold = 0.90
+
+// MinRouteLen is the per-sequence length floor for WFA routing: below it a
+// full DP is microseconds anyway and the q-gram estimate has too few grams
+// to mean anything.
+const MinRouteLen = 64
+
+// Route is one routing decision.
+type Route struct {
+	// Backend is the canonical name of the chosen backend.
+	Backend string
+	// Reason is one of the Reason* constants.
+	Reason string
+	// Identity is the q-gram identity estimate that drove the decision
+	// (0 when no estimate was made).
+	Identity float64
+}
+
+// Decide picks the backend for an AlgoAuto request: WFA for long,
+// WFA-compatible, low-divergence global pairs; budget-planned FastLSA for
+// everything else. explicitParams reports whether the caller pinned K or
+// BaseCells (FastLSA parameters, which force the FastLSA backend).
+func Decide(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, mode align.Mode, explicitParams bool) Route {
+	if !mode.IsGlobal() {
+		return Route{Backend: NameFastLSA, Reason: ReasonEndsFree}
+	}
+	if explicitParams {
+		return Route{Backend: NameFastLSA, Reason: ReasonExplicitParams}
+	}
+	if a == nil || b == nil || a.Len() < MinRouteLen || b.Len() < MinRouteLen {
+		return Route{Backend: NameFastLSA, Reason: ReasonSmallInput}
+	}
+	if !wfa.Compatible(m, a.Alphabet, gap) {
+		return Route{Backend: NameFastLSA, Reason: ReasonIncompatibleScoring}
+	}
+	identity, ok := index.EstimateIdentity(a, b, 0)
+	if !ok {
+		return Route{Backend: NameFastLSA, Reason: ReasonNoEstimate}
+	}
+	if identity >= RouteIdentityThreshold {
+		return Route{Backend: NameWFA, Reason: ReasonLowDivergence, Identity: identity}
+	}
+	return Route{Backend: NameFastLSA, Reason: ReasonHighDivergence, Identity: identity}
+}

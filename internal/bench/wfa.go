@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"fastlsa/internal/align"
+	"fastlsa/internal/backend"
+	"fastlsa/internal/index"
+	"fastlsa/internal/scoring"
+	"fastlsa/internal/seq"
+)
+
+// wfaDivergences is the divergence ladder E13 sweeps: the WFA kernel's
+// runtime is O((m+n)·s) in the optimal penalty s, so cost climbs with
+// divergence while FastLSA's O(mn) cost stays flat. The ladder brackets the
+// crossover from both sides.
+var wfaDivergences = []float64{0.001, 0.01, 0.05, 0.10, 0.20, 0.30}
+
+// ExperimentWFACrossover (E13) measures the FastLSA-vs-WFA crossover that
+// motivates divergence-adaptive routing (docs/BACKENDS.md): identical
+// DNA pairs of length n are mutated at increasing rates and aligned by both
+// engines under the same unit-cost-compatible scoring (DNA +5/-4, linear
+// -4). Each row reports the router's q-gram identity estimate and verdict
+// alongside the measured wall-clock of both engines, so the routing
+// threshold can be judged against the actual crossover point.
+func ExperimentWFACrossover(w io.Writer, n int) error {
+	if n == 0 {
+		n = 3000
+	}
+	matrix := scoring.DNASimple
+	gap := scoring.Linear(-4)
+	t := NewTable(fmt.Sprintf("E13: FastLSA vs WFA by divergence (dna n=%d, +5/-4, gap -4)", n),
+		"divergence", "identity-est", "route", "fastlsa-ms", "wfa-ms", "speedup", "wfa-cells", "same-score")
+	for _, d := range wfaDivergences {
+		model := seq.MutationModel{
+			SubstitutionRate: d,
+			InsertionRate:    d / 10,
+			DeletionRate:     d / 10,
+			MaxIndelRun:      4,
+			IndelExtend:      0.5,
+		}
+		a, b, err := seq.HomologousPair(n, seq.DNA, model, int64(1000*d)+13)
+		if err != nil {
+			return err
+		}
+		identity, ok := index.EstimateIdentity(a, b, 0)
+		identityCell := "n/a"
+		if ok {
+			identityCell = fmt.Sprintf("%.3f", identity)
+		}
+		route := backend.Decide(a, b, matrix, gap, align.Mode{}, false)
+
+		mf := Run(a, b, matrix, Config{Engine: EngineFastLSA, Gap: gap})
+		if mf.Err != nil {
+			return mf.Err
+		}
+		mw := Run(a, b, matrix, Config{Engine: EngineWFA, Gap: gap})
+		if mw.Err != nil {
+			return mw.Err
+		}
+		speedup := float64(mf.Duration) / float64(mw.Duration)
+		t.AddRow(d, identityCell, route.Backend,
+			float64(mf.Duration.Microseconds())/1000,
+			float64(mw.Duration.Microseconds())/1000,
+			speedup, mw.Stats.Cells, mf.Score == mw.Score)
+	}
+	t.AddNote("wfa-cells: wavefront entries expanded; FastLSA computes ~m*n cells at every divergence")
+	t.AddNote("route: AlgoAuto's verdict at threshold %.2f — wfa while the estimate stays above it", backend.RouteIdentityThreshold)
+	t.AddNote("speedup: fastlsa-ms / wfa-ms (>1 means WFA wins)")
+	return t.Fprint(w)
+}

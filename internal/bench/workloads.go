@@ -16,6 +16,7 @@ import (
 	"fastlsa/internal/scoring"
 	"fastlsa/internal/seq"
 	"fastlsa/internal/stats"
+	"fastlsa/internal/wfa"
 )
 
 // Workload is one benchmark problem: a homologous pair specification.
@@ -94,6 +95,7 @@ const (
 	EngineFMParallel Engine = "fm-par"
 	EngineHirschberg Engine = "hirschberg"
 	EngineFastLSA    Engine = "fastlsa"
+	EngineWFA        Engine = "wfa"
 )
 
 // Config is one measured configuration.
@@ -173,6 +175,10 @@ func Run(a, b *seq.Sequence, matrix *scoring.Matrix, cfg Config) Measurement {
 			TileCols:  cfg.TileCols,
 			Counters:  &c,
 		})
+		score = res.Score
+	case EngineWFA:
+		var res fm.Result
+		res, err = wfa.Align(a, b, matrix, gap, wfa.Options{Budget: budget, Counters: &c})
 		score = res.Score
 	default:
 		err = fmt.Errorf("bench: unknown engine %q", cfg.Engine)

@@ -1,0 +1,90 @@
+package index
+
+import (
+	"math"
+
+	"fastlsa/internal/seq"
+)
+
+// Windowing bounds of EstimateIdentity: at most identityWindow residues of
+// each sequence are examined, and at most identitySamples grams of the
+// longer window are probed, so an estimate costs O(window + samples) no
+// matter how long the inputs are.
+const (
+	identityWindow  = 1 << 20
+	identitySamples = 4096
+	// identityMaxCodes bounds the gram-count array (int32 per code).
+	identityMaxCodes = 1 << 18
+)
+
+// EstimateIdentity cheaply estimates the per-residue identity of a sequence
+// pair from shared q-gram content, the signal the backend router uses to
+// pick WFA for low-divergence pairs. q <= 0 selects DefaultQ for the
+// alphabet.
+//
+// The estimator counts the grams of the shorter sequence (one pass over a
+// bounded prefix window) and probes a bounded stride-sample of the longer
+// sequence's grams against those counts as a multiset (each hit consumes a
+// count, so repeats are not over-credited). If a fraction f of sampled
+// grams is shared, each residue independently surviving with probability p
+// makes a whole gram survive with p^q, so the estimate is f^(1/q).
+//
+// ok is false when no estimate is possible: mismatched or missing
+// alphabets, a sequence shorter than one gram, or a gram universe too large
+// to count. Callers must treat !ok as "unknown", not "divergent".
+func EstimateIdentity(a, b *seq.Sequence, q int) (identity float64, ok bool) {
+	if a == nil || b == nil || a.Alphabet == nil || b.Alphabet == nil ||
+		a.Alphabet.Name != b.Alphabet.Name {
+		return 0, false
+	}
+	al := a.Alphabet
+	if q <= 0 {
+		q = DefaultQ(al)
+	}
+	powQ := 1
+	for i := 0; i < q; i++ {
+		if powQ > identityMaxCodes/al.Size() {
+			return 0, false
+		}
+		powQ *= al.Size()
+	}
+	ra, rb := a.Residues, b.Residues
+	if len(ra) > identityWindow {
+		ra = ra[:identityWindow]
+	}
+	if len(rb) > identityWindow {
+		rb = rb[:identityWindow]
+	}
+	if len(ra) < q || len(rb) < q {
+		return 0, false
+	}
+	ref, probe := ra, rb
+	if len(rb) < len(ra) {
+		ref, probe = rb, ra
+	}
+	counts := make([]int32, powQ)
+	gramCodes(ref, al, q, powQ, func(code int) {
+		counts[code]++
+	})
+	total := len(probe) - q + 1
+	stride := 1
+	if total > identitySamples {
+		stride = total / identitySamples
+	}
+	samples, hits, i := 0, 0, 0
+	gramCodes(probe, al, q, powQ, func(code int) {
+		if i%stride == 0 {
+			samples++
+			if counts[code] > 0 {
+				counts[code]--
+				hits++
+			}
+		}
+		i++
+	})
+	if samples == 0 {
+		return 0, false
+	}
+	f := float64(hits) / float64(samples)
+	return math.Pow(f, 1/float64(q)), true
+}

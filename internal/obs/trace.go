@@ -47,6 +47,12 @@ const (
 	// SpanSearchReconstruct covers the exact-alignment reconstruction of
 	// the leading hits.
 	SpanSearchReconstruct = "search-reconstruct"
+	// SpanBackendRoute covers the backend routing decision of one facade
+	// Align call: AlgoAuto's divergence estimate, or the explicit pick. Its
+	// tags carry the chosen backend and the routing reason.
+	SpanBackendRoute = "backend.route"
+	// SpanWFAFill covers the per-score wavefront loop of a WFA run.
+	SpanWFAFill = "wfa-fill"
 )
 
 // Span categories (the "cat" field of Chrome trace events).
@@ -59,6 +65,10 @@ const (
 	CatHTTP = "http"
 	// CatSearch tags corpus-search phase spans.
 	CatSearch = "search"
+	// CatBackend tags backend-layer routing spans.
+	CatBackend = "backend"
+	// CatWFA tags wavefront-kernel spans.
+	CatWFA = "wfa"
 )
 
 // DefaultTraceSpans is the default ring-buffer capacity of a Trace. At ~80
@@ -77,6 +87,10 @@ type Tags struct {
 	// run's main goroutine). It becomes the Chrome thread id, so parallel
 	// tiles render on separate tracks.
 	Worker int
+	// Backend and Reason carry the routing decision of a backend.route
+	// span (which aligner backend the run was dispatched to, and why);
+	// empty on every other span kind.
+	Backend, Reason string
 }
 
 // Span is one recorded interval.
@@ -312,13 +326,19 @@ func (t *Trace) ChromeTrace() ([]byte, error) {
 			TID:  s.Tags.Worker,
 		}
 		if s.Tags != (Tags{}) {
-			args := make(map[string]any, 3)
+			args := make(map[string]any, 4)
 			if s.Tags.Rows != 0 || s.Tags.Cols != 0 {
 				args["rows"] = s.Tags.Rows
 				args["cols"] = s.Tags.Cols
 			}
 			if s.Tags.Phase != 0 {
 				args["phase"] = s.Tags.Phase
+			}
+			if s.Tags.Backend != "" {
+				args["backend"] = s.Tags.Backend
+			}
+			if s.Tags.Reason != "" {
+				args["reason"] = s.Tags.Reason
 			}
 			if len(args) > 0 {
 				ev.Args = args
