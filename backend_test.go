@@ -142,7 +142,7 @@ func TestAutoRouting(t *testing.T) {
 		if route.Backend != "wfa" || route.Reason != backend.ReasonLowDivergence {
 			t.Fatalf("route %+v", route)
 		}
-		if route.Identity < 0.90 {
+		if route.Identity < backend.RouteIdentityThreshold {
 			t.Fatalf("identity estimate %.3f below threshold", route.Identity)
 		}
 		want, err := fastlsa.Score(a, b, fastlsa.Options{Matrix: matrix, Gap: gap})

@@ -337,6 +337,36 @@ func BenchmarkE13_WFACrossover(b *testing.B) {
 	}
 }
 
+// BenchmarkE15_BiWFA compares the two wavefront modes in the low-divergence
+// band the router serves with WFA: BiWFA pays roughly 2x the time of the
+// unidirectional kernel (two passes plus recursion) for an order-of-magnitude
+// smaller peak memory — the full sweep with peak high-water marks is
+// `fastlsa-bench biwfa` (BENCH_E15_BIWFA.json).
+func BenchmarkE15_BiWFA(b *testing.B) {
+	const n = 2000
+	gap := scoring.Linear(-4)
+	for _, d := range []float64{0.01, 0.05} {
+		model := seq.MutationModel{
+			SubstitutionRate: d, InsertionRate: d / 10, DeletionRate: d / 10,
+			MaxIndelRun: 4, IndelExtend: 0.5,
+		}
+		x, y, err := seq.HomologousPair(n, seq.DNA, model, int64(1000*d)+13)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, eng := range []bench.Engine{bench.EngineWFA, bench.EngineBiWFA} {
+			b.Run(fmt.Sprintf("div=%.2f/%s", d, eng), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m := bench.Run(x, y, scoring.DNASimple, bench.Config{Engine: eng, Gap: gap})
+					if m.Err != nil {
+						b.Fatal(m.Err)
+					}
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkMSA(b *testing.B) {
 	ref := fastlsa.RandomSequence("r", 300, fastlsa.DNA, 51)
 	seqs := []*fastlsa.Sequence{ref}

@@ -38,7 +38,14 @@ func TestAutoRevalidatesOverrides(t *testing.T) {
 // parallel AlgoAuto run under a budget that cannot hold the default tile
 // mesh completes with the sequential run's exact score.
 func TestAutoParallelTightBudget(t *testing.T) {
-	a, b, err := fastlsa.HomologousPair(3000, fastlsa.DNA, fastlsa.DefaultHomology, 32)
+	// A clearly divergent pair: DefaultHomology (~15% substitutions) now
+	// estimates above the 0.75 routing threshold and AlgoAuto would serve
+	// it with the linear-space WFA backend, which never plans tiles. This
+	// test is about the FastLSA degradation ladder, so push the divergence
+	// past the threshold.
+	divergent := fastlsa.DefaultHomology
+	divergent.SubstitutionRate = 0.35
+	a, b, err := fastlsa.HomologousPair(3000, fastlsa.DNA, divergent, 32)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,5 +1,5 @@
 // Command fastlsa-bench regenerates the paper's evaluation tables and
-// figures (experiments E1-E13; see DESIGN.md §3 for the index and
+// figures (experiments E1-E15; see DESIGN.md §3 for the index and
 // EXPERIMENTS.md for recorded results). Each subcommand prints one
 // experiment's rows; "all" runs the whole suite.
 //
@@ -21,6 +21,7 @@
 //	search      E10: q-gram seed filter vs brute-force corpus scan
 //	bounds      E11: theorem-bound verification
 //	wfa         E13: FastLSA vs WFA crossover by divergence
+//	biwfa       E15: WFA vs BiWFA peak memory by divergence
 //	all         every experiment above
 //
 // Flags (apply where meaningful):
@@ -50,7 +51,7 @@ var experimentIDs = map[string]string{
 	"example": "E1", "opcounts": "E2", "table3": "E3", "seqtime": "E4",
 	"ksweep": "E5", "memsweep": "E6", "speedup": "E7", "efficiency": "E8",
 	"tilesweep": "E9", "search": "E10", "bounds": "E11", "variants": "E12",
-	"wfa": "E13",
+	"wfa": "E13", "biwfa": "E15",
 }
 
 func main() {
@@ -64,7 +65,7 @@ func main() {
 		jsonPath = flag.String("json", "", "also write machine-readable results to this file (schema fastlsa-bench/v1; see docs/OBSERVABILITY.md)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fastlsa-bench <experiment>[,<experiment>...] [flags]\nexperiments: example opcounts table3 seqtime ksweep memsweep speedup efficiency tilesweep search bounds variants wfa all\n\n")
+		fmt.Fprintf(os.Stderr, "usage: fastlsa-bench <experiment>[,<experiment>...] [flags]\nexperiments: example opcounts table3 seqtime ksweep memsweep speedup efficiency tilesweep search bounds variants wfa biwfa all\n\n")
 		flag.PrintDefaults()
 	}
 	if len(os.Args) < 2 {
@@ -126,6 +127,8 @@ func main() {
 			return bench.ExperimentVariants(out, *n)
 		case "wfa":
 			return bench.ExperimentWFACrossover(out, *n)
+		case "biwfa":
+			return bench.ExperimentBiWFA(out, *n)
 		case "theory":
 			return bench.ExperimentTheory(out)
 		default:
@@ -137,7 +140,7 @@ func main() {
 	if cmd == "all" {
 		names = []string{
 			"example", "opcounts", "table3", "seqtime", "ksweep",
-			"memsweep", "speedup", "efficiency", "tilesweep", "search", "bounds", "variants", "wfa", "theory",
+			"memsweep", "speedup", "efficiency", "tilesweep", "search", "bounds", "variants", "wfa", "biwfa", "theory",
 		}
 	}
 	for _, name := range names {

@@ -423,9 +423,12 @@ type alignResponse struct {
 	// Backend and RouteReason report which aligner backend served a global
 	// run and why it was chosen ("explicit" for a forced algorithm,
 	// AlgoAuto's divergence verdict otherwise; docs/BACKENDS.md). Omitted
-	// for local runs, which do not route.
-	Backend     string `json:"backend,omitempty"`
-	RouteReason string `json:"routeReason,omitempty"`
+	// for local runs, which do not route. RouteIdentity is the q-gram
+	// identity estimate that drove a divergence verdict (omitted when no
+	// estimate was made — forced algorithms, short pairs).
+	Backend       string  `json:"backend,omitempty"`
+	RouteReason   string  `json:"routeReason,omitempty"`
+	RouteIdentity float64 `json:"routeIdentity,omitempty"`
 	// Trace is the run's Chrome trace_event JSON (load it in
 	// chrome://tracing or Perfetto) when the request asked for one.
 	Trace json.RawMessage `json:"trace,omitempty"`
@@ -532,14 +535,15 @@ func (s *server) alignTask(req alignRequest) (func(ctx context.Context) (any, er
 		}
 		st := al.Stats()
 		resp := alignResponse{
-			Score:       al.Score,
-			CIGAR:       al.Path.CIGAR(),
-			Columns:     st.Columns,
-			Identity:    st.Identity,
-			CellsSpent:  counters.Cells.Load(),
-			Backend:     route.Backend,
-			RouteReason: route.Reason,
-			Trace:       traceJSON(),
+			Score:         al.Score,
+			CIGAR:         al.Path.CIGAR(),
+			Columns:       st.Columns,
+			Identity:      st.Identity,
+			CellsSpent:    counters.Cells.Load(),
+			Backend:       route.Backend,
+			RouteReason:   route.Reason,
+			RouteIdentity: route.Identity,
+			Trace:         traceJSON(),
 		}
 		if req.IncludeRows {
 			resp.RowA, resp.RowB = al.Rows()

@@ -110,6 +110,9 @@ const (
 	SpanNameBackendRoute = obs.SpanBackendRoute
 	// SpanNameWFAFill is the per-score wavefront loop of a WFA run.
 	SpanNameWFAFill = obs.SpanWFAFill
+	// SpanNameWFABi is one bidirectional (linear-space) WFA run: score
+	// pass, recursive split passes and path stitch together.
+	SpanNameWFABi = obs.SpanWFABi
 )
 
 // Alphabets and scoring tables.
@@ -245,8 +248,10 @@ const (
 	// mode, extended with a WFA fast path. Global-mode pairs whose scoring
 	// system is WFA-compatible (uniform match/mismatch matrix, see AlgoWFA)
 	// and whose estimated identity (a bounded q-gram sample of both
-	// sequences) is at least backend.RouteIdentityThreshold (90%) run on
-	// the O(ns) wavefront backend; everything else — ends-free modes,
+	// sequences) is at least backend.RouteIdentityThreshold (75%) run on
+	// the wavefront backend — O(ns) time and, since it serves the
+	// bidirectional BiWFA mode, O(s) memory; everything else — ends-free
+	// modes,
 	// non-uniform matrices, short or divergent or unestimable pairs — runs
 	// FastLSA with parameters planned against MemoryBudget. Explicit K or
 	// BaseCells overrides take precedence over the divergence estimate:

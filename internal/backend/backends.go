@@ -40,7 +40,7 @@ func init() {
 	Register(Info{
 		Name:    NameWFA,
 		Aliases: []string{"wavefront"},
-		Summary: "wavefront alignment, O(ns) on low-divergence pairs; uniform match/mismatch matrices only",
+		Summary: "bidirectional wavefront alignment (BiWFA), O(ns) time and O(s) memory on low-divergence pairs; uniform match/mismatch matrices only",
 		Impl:    wfaBackend{},
 	})
 }
@@ -128,7 +128,10 @@ func (wfaBackend) Align(a, b *seq.Sequence, req Request) (fm.Result, error) {
 	if err != nil {
 		return fm.Result{}, err
 	}
-	return wfa.Align(a, b, req.Matrix, req.Gap, wfa.Options{
+	// BiAlign is the bidirectional (meet-in-the-middle) mode: same scores
+	// and an equally optimal path as the unidirectional kernel, but O(s)
+	// memory instead of the O(s²) retained wavefront history.
+	return wfa.BiAlign(a, b, req.Matrix, req.Gap, wfa.Options{
 		Budget:   budget,
 		Counters: req.Counters,
 		Trace:    req.Trace,

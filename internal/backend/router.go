@@ -40,13 +40,17 @@ const (
 )
 
 // RouteIdentityThreshold is the estimated-identity floor for routing to
-// WFA under AlgoAuto. WFA's time and memory grow with the square of the
-// unit-cost distance (cells ≈ E²/e), so the threshold is deliberately
-// conservative: at 90% identity WFA is still far ahead of any mn-cell DP,
-// while below it the quadratic penalty growth starts to erode the win and
-// blow up wavefront memory (the time crossover sits near 70-75% identity;
-// docs/BACKENDS.md quantifies both curves).
-const RouteIdentityThreshold = 0.90
+// WFA under AlgoAuto. WFA's time grows with the square of the unit-cost
+// distance (cells ≈ E²/e), so the floor sits where the time crossover
+// against FastLSA's flat mn cost lives: the E13/E15 curves put it near
+// 0.70–0.75 identity. It used to be a memory-conservative 0.90 — the
+// unidirectional kernel retained its whole O(s²) wavefront history — but
+// the backend now serves the bidirectional BiWFA mode, whose memory is O(s)
+// and comfortably below FastLSA's own footprint everywhere near the
+// crossover, so time is the only axis left to be conservative about.
+// ErrBudgetExceeded still falls back to budget-planned FastLSA as the
+// safety net (ReasonBudgetFallback).
+const RouteIdentityThreshold = 0.75
 
 // MinRouteLen is the per-sequence length floor for WFA routing: below it a
 // full DP is microseconds anyway and the q-gram estimate has too few grams

@@ -70,3 +70,66 @@ func ExperimentWFACrossover(w io.Writer, n int) error {
 	t.AddNote("speedup: fastlsa-ms / wfa-ms (>1 means WFA wins)")
 	return t.Fprint(w)
 }
+
+// biwfaDivergences is the low-divergence band E15 sweeps — the regime the
+// router actually sends to the WFA backend, where the unidirectional
+// kernel's retained O(s²) history is largest relative to the work done.
+var biwfaDivergences = []float64{0.01, 0.02, 0.05}
+
+// ExperimentBiWFA (E15) measures what the bidirectional mode buys: both WFA
+// kernels aligned under per-run budgets whose high-water marks expose peak
+// retained entries. Unidirectional WFA keeps every wavefront for the
+// backtrace — O(s²) entries for optimal penalty s — while BiWFA keeps only a
+// bounded window per direction, O(s) — so the peak ratio should grow with
+// divergence and clear 10x across the band. FastLSA re-aligns each pair as
+// the score oracle.
+func ExperimentBiWFA(w io.Writer, n int) error {
+	if n == 0 {
+		n = 3000
+	}
+	matrix := scoring.DNASimple
+	gap := scoring.Linear(-4)
+	t := NewTable(fmt.Sprintf("E15: WFA vs BiWFA peak memory by divergence (dna n=%d, +5/-4, gap -4)", n),
+		"divergence", "wfa-ms", "biwfa-ms", "wfa-peak", "biwfa-peak", "mem-ratio", "same-score")
+	// Roomy enough that no run degrades or falls back: the comparison is
+	// about high-water marks, not budget pressure.
+	const roomy = int64(1) << 32
+	for _, d := range biwfaDivergences {
+		model := seq.MutationModel{
+			SubstitutionRate: d,
+			InsertionRate:    d / 10,
+			DeletionRate:     d / 10,
+			MaxIndelRun:      4,
+			IndelExtend:      0.5,
+		}
+		a, b, err := seq.HomologousPair(n, seq.DNA, model, int64(1000*d)+13)
+		if err != nil {
+			return err
+		}
+		mf := Run(a, b, matrix, Config{Engine: EngineFastLSA, Gap: gap})
+		if mf.Err != nil {
+			return mf.Err
+		}
+		mw := Run(a, b, matrix, Config{Engine: EngineWFA, Gap: gap, Budget: roomy})
+		if mw.Err != nil {
+			return mw.Err
+		}
+		mb := Run(a, b, matrix, Config{Engine: EngineBiWFA, Gap: gap, Budget: roomy})
+		if mb.Err != nil {
+			return mb.Err
+		}
+		ratio := 0.0
+		if mb.PeakMem > 0 {
+			ratio = float64(mw.PeakMem) / float64(mb.PeakMem)
+		}
+		same := mf.Score == mw.Score && mw.Score == mb.Score
+		t.AddRow(d,
+			float64(mw.Duration.Microseconds())/1000,
+			float64(mb.Duration.Microseconds())/1000,
+			mw.PeakMem, mb.PeakMem, ratio, same)
+	}
+	t.AddNote("peaks: budget high-water marks in 8-byte entries (reversed-residue scratch excluded, as in hirschberg)")
+	t.AddNote("mem-ratio: wfa-peak / biwfa-peak — the linear-space win the wfa backend's LinearSpace capability claims")
+	t.AddNote("same-score: both kernels match the FastLSA score exactly")
+	return t.Fprint(w)
+}

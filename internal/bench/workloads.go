@@ -96,6 +96,7 @@ const (
 	EngineHirschberg Engine = "hirschberg"
 	EngineFastLSA    Engine = "fastlsa"
 	EngineWFA        Engine = "wfa"
+	EngineBiWFA      Engine = "biwfa"
 )
 
 // Config is one measured configuration.
@@ -179,6 +180,10 @@ func Run(a, b *seq.Sequence, matrix *scoring.Matrix, cfg Config) Measurement {
 	case EngineWFA:
 		var res fm.Result
 		res, err = wfa.Align(a, b, matrix, gap, wfa.Options{Budget: budget, Counters: &c})
+		score = res.Score
+	case EngineBiWFA:
+		var res fm.Result
+		res, err = wfa.BiAlign(a, b, matrix, gap, wfa.Options{Budget: budget, Counters: &c})
 		score = res.Score
 	default:
 		err = fmt.Errorf("bench: unknown engine %q", cfg.Engine)

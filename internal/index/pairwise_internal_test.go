@@ -1,0 +1,68 @@
+package index
+
+import (
+	"testing"
+
+	"fastlsa/internal/seq"
+)
+
+// TestSampleStrideBounds: the probe stride must always yield between
+// identitySamples/2 and identitySamples probes (inclusive) once the gram
+// total exceeds the sample target, and probe every gram below it. The
+// truncating divide this replaces probed up to ~2x identitySamples on
+// totals just under an exact multiple of the target.
+func TestSampleStrideBounds(t *testing.T) {
+	totals := []int{
+		1, 2, identitySamples - 1, identitySamples, identitySamples + 1,
+		2*identitySamples - 1, // worst case of the old truncating stride
+		2 * identitySamples, 2*identitySamples + 1,
+		3*identitySamples - 1, 100 * identitySamples,
+		identityWindow, identityWindow - 7,
+	}
+	for _, total := range totals {
+		stride := sampleStride(total)
+		if stride < 1 {
+			t.Fatalf("total %d: stride %d < 1", total, stride)
+		}
+		samples := (total + stride - 1) / stride // probes at i = 0, stride, 2*stride, ...
+		if total <= identitySamples {
+			if samples != total {
+				t.Fatalf("total %d below target: %d samples, want all %d", total, samples, total)
+			}
+			continue
+		}
+		if samples > identitySamples {
+			t.Fatalf("total %d: %d samples exceed target %d (stride %d)", total, samples, identitySamples, stride)
+		}
+		if samples < identitySamples/2 {
+			t.Fatalf("total %d: only %d samples, want at least %d (stride %d)", total, samples, identitySamples/2, stride)
+		}
+	}
+}
+
+// TestEstimateIdentityAllocs guards the scratch pooling: steady-state
+// estimates must not reallocate the gram-count array (1 MiB at the DNA
+// q=8 universe), only the two per-call gramCodes closures.
+func TestEstimateIdentityAllocs(t *testing.T) {
+	a, b, err := seq.HomologousPair(20_000, seq.DNA, seq.MutationModel{
+		SubstitutionRate: 0.05, InsertionRate: 0.005, DeletionRate: 0.005,
+		MaxIndelRun: 4, IndelExtend: 0.5,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the pool so the measured runs reuse the scratch.
+	if _, ok := EstimateIdentity(a, b, 0); !ok {
+		t.Fatal("no estimate")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, ok := EstimateIdentity(a, b, 0); !ok {
+			t.Fatal("no estimate")
+		}
+	})
+	// The two emit closures may escape; the 256 Ki-entry counts array must
+	// not be among the per-run allocations.
+	if allocs > 4 {
+		t.Fatalf("EstimateIdentity allocates %.0f objects per run, want <= 4", allocs)
+	}
+}

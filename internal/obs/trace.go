@@ -53,6 +53,10 @@ const (
 	SpanBackendRoute = "backend.route"
 	// SpanWFAFill covers the per-score wavefront loop of a WFA run.
 	SpanWFAFill = "wfa-fill"
+	// SpanWFABi covers one bidirectional (meet-in-the-middle) WFA run:
+	// the windowed score pass, the recursive split passes and the path
+	// stitch together.
+	SpanWFABi = "wfa-biwfa"
 )
 
 // Span categories (the "cat" field of Chrome trace events).

@@ -29,6 +29,7 @@ package wfa
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"fastlsa/internal/align"
@@ -200,36 +201,85 @@ func Align(a, b *seq.Sequence, mat *scoring.Matrix, gap scoring.Gap, opt Options
 	}
 	if m == 0 || n == 0 {
 		// One (or both) sequences empty: the alignment is a single gap.
-		bld := align.NewBuilder(m + n)
-		for i := 0; i < n; i++ {
-			bld.Push(align.Left)
-		}
-		for i := 0; i < m; i++ {
-			bld.Push(align.Up)
-		}
-		return fm.Result{Score: int64(gap.Cost(m + n)), Path: bld.Path()}, nil
+		return fm.Result{Score: int64(gap.Cost(m + n)), Path: gapPath(m, n)}, nil
 	}
 
+	path, cost, err := alignFull(ra, rb, pen, opt)
+	if err != nil {
+		return fm.Result{}, err
+	}
+	score, err := pen.Score(m, n, int64(cost))
+	if err != nil {
+		return fm.Result{}, err
+	}
+	return fm.Result{Score: score, Path: path}, nil
+}
+
+// gapPath is the all-gap path of an alignment with one empty side: every
+// column of b, then every row of a.
+func gapPath(m, n int) align.Path {
+	moves := make([]align.Move, 0, m+n)
+	for i := 0; i < n; i++ {
+		moves = append(moves, align.Left)
+	}
+	for i := 0; i < m; i++ {
+		moves = append(moves, align.Up)
+	}
+	return align.NewPath(moves)
+}
+
+// Score recovers the similarity score of an alignment whose optimal penalty
+// is cost: S = (M·(m+n) − cost)/2. The parity always works out for paths of
+// the converted penalty model; an odd sum means the caller mixed models.
+func (p Penalties) Score(m, n int, cost int64) (int64, error) {
+	total := int64(p.Match)*int64(m+n) - cost
+	if total%2 != 0 {
+		return 0, fmt.Errorf("wfa: internal error: odd score sum %d", total)
+	}
+	return total / 2, nil
+}
+
+// penaltyBound is the terminating upper bound of a penalty search: mismatch
+// along the whole shorter sequence plus one gap for the length difference.
+// Computed in int64 so pathological penalty × length products near MaxLen
+// cannot wrap a 32-bit int; bounds past the platform int range are rejected
+// (such a search could never be iterated anyway).
+func penaltyBound(m, n int, pen Penalties) (int, error) {
+	diff := int64(m) - int64(n)
+	if diff < 0 {
+		diff = -diff
+	}
+	minLen := int64(m)
+	if int64(n) < minLen {
+		minLen = int64(n)
+	}
+	bound := int64(pen.Mismatch) * minLen
+	if diff > 0 {
+		bound += int64(pen.GapOpen) + int64(pen.GapExtend)*diff
+	}
+	if bound > int64(math.MaxInt)-1 {
+		return 0, fmt.Errorf("wfa: penalty bound %d overflows the platform int", bound)
+	}
+	return int(bound), nil
+}
+
+// alignFull runs the full-history unidirectional kernel over raw residue
+// slices (both non-empty), returning the backtraced path and the optimal
+// penalty. This is the memory-hungry engine — every per-penalty wavefront is
+// retained for backtrace — so BiAlign only invokes it on small subproblems.
+func alignFull(ra, rb []byte, pen Penalties, opt Options) (align.Path, int, error) {
+	m, n := len(ra), len(rb)
 	s := &solver{
 		a: ra, b: rb, m: m, n: n, pen: pen,
 		budget: opt.Budget, counters: opt.Counters, poll: opt.Counters.StartPoll(),
 	}
 	defer s.release()
 
-	// Penalty upper bound: mismatch along the whole shorter sequence plus
-	// one gap for the length difference. The loop must terminate below it;
-	// running past it means the recurrence is broken.
-	diff := m - n
-	if diff < 0 {
-		diff = -diff
-	}
-	minLen := m
-	if n < m {
-		minLen = n
-	}
-	bound := pen.Mismatch * minLen
-	if diff > 0 {
-		bound += pen.GapOpen + pen.GapExtend*diff
+	// The loop must terminate below the bound; running past it means the
+	// recurrence is broken.
+	bound, err := penaltyBound(m, n, pen)
+	if err != nil {
+		return align.Path{}, 0, err
 	}
 
 	fillStart := opt.Trace.Begin()
@@ -237,7 +287,7 @@ func Align(a, b *seq.Sequence, mat *scoring.Matrix, gap scoring.Gap, opt Options
 	cost := -1
 	for sc := 0; sc <= bound; sc++ {
 		if err := s.compute(sc); err != nil {
-			return fm.Result{}, err
+			return align.Path{}, 0, err
 		}
 		if off, _, ok := s.mw[sc].get(kFin); ok && off >= n {
 			cost = sc
@@ -246,21 +296,16 @@ func Align(a, b *seq.Sequence, mat *scoring.Matrix, gap scoring.Gap, opt Options
 	}
 	opt.Trace.End(obs.SpanWFAFill, obs.CatWFA, fillStart, obs.Tags{Rows: m, Cols: n})
 	if cost < 0 {
-		return fm.Result{}, fmt.Errorf("wfa: internal error: no alignment within penalty bound %d", bound)
+		return align.Path{}, 0, fmt.Errorf("wfa: internal error: no alignment within penalty bound %d", bound)
 	}
 
 	tbStart := opt.Trace.Begin()
 	path, err := s.backtrace(cost)
 	if err != nil {
-		return fm.Result{}, err
+		return align.Path{}, 0, err
 	}
 	opt.Trace.End(obs.SpanTraceback, obs.CatWFA, tbStart, obs.Tags{Rows: m, Cols: n})
-
-	total := int64(pen.Match)*int64(m+n) - int64(cost)
-	if total%2 != 0 {
-		return fm.Result{}, fmt.Errorf("wfa: internal error: odd score sum %d", total)
-	}
-	return fm.Result{Score: total / 2, Path: path}, nil
+	return path, cost, nil
 }
 
 // valid reports whether offset h on diagonal k is inside the DP matrix
@@ -450,6 +495,9 @@ var errBacktrace = errors.New("wfa: internal error: broken backtrace chain")
 
 // backtrace walks the stored ops backwards from the terminal M cell,
 // emitting moves into an align.Builder (which reverses once at the end).
+// Cancellation is polled on the stats.Poll cadence throughout the walk —
+// the walk is O(m+n+s) long, so a cancelled job must not stay live for all
+// of it the way it would if only the terminal branch checked.
 func (s *solver) backtrace(cost int) (align.Path, error) {
 	p := s.pen
 	bld := align.NewBuilder(s.m + s.n)
@@ -459,9 +507,12 @@ func (s *solver) backtrace(cost int) (align.Path, error) {
 	if !ok {
 		return align.Path{}, errBacktrace
 	}
-	for steps := 0; ; steps++ {
-		if steps > 2*(s.m+s.n)+cost {
+	for steps := int64(0); ; steps++ {
+		if steps > 2*(int64(s.m)+int64(s.n))+int64(cost) {
 			return align.Path{}, errBacktrace
+		}
+		if err := s.poll.Tick(1); err != nil {
+			return align.Path{}, err
 		}
 		switch comp {
 		case compM:
@@ -473,11 +524,11 @@ func (s *solver) backtrace(cost int) (align.Path, error) {
 				if sc != 0 || k != 0 {
 					return align.Path{}, errBacktrace
 				}
+				if err := s.poll.Tick(h); err != nil {
+					return align.Path{}, err
+				}
 				for ; h > 0; h-- {
 					bld.Push(align.Diag)
-				}
-				if err := s.counters.Cancelled(); err != nil {
-					return align.Path{}, err
 				}
 				s.counters.AddTraceback(int64(bld.Len()))
 				return bld.Path(), nil
@@ -506,6 +557,9 @@ func (s *solver) backtrace(cost int) (align.Path, error) {
 				base = off
 			default:
 				return align.Path{}, errBacktrace
+			}
+			if err := s.poll.Tick(h - base); err != nil {
+				return align.Path{}, err
 			}
 			for t := h - base; t > 0; t-- {
 				bld.Push(align.Diag)
