@@ -31,7 +31,7 @@
 //	-p P          worker count for efficiency/tilesweep
 //	-sizes a,b,c  size list for opcounts/speedup
 //	-workers a,b  worker list for speedup
-//	-json f.json  also write machine-readable results (schema fastlsa-bench/v1)
+//	-json f.json  also write machine-readable results (schema fastlsa-bench/v2)
 package main
 
 import (
@@ -62,7 +62,7 @@ func main() {
 		sizes    = flag.String("sizes", "", "comma-separated size list")
 		workers  = flag.String("workers", "", "comma-separated worker list")
 		ks       = flag.String("ks", "", "comma-separated k list")
-		jsonPath = flag.String("json", "", "also write machine-readable results to this file (schema fastlsa-bench/v1; see docs/OBSERVABILITY.md)")
+		jsonPath = flag.String("json", "", "also write machine-readable results to this file (schema fastlsa-bench/v2; see docs/OBSERVABILITY.md)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fastlsa-bench <experiment>[,<experiment>...] [flags]\nexperiments: example opcounts table3 seqtime ksweep memsweep speedup efficiency tilesweep search bounds variants wfa biwfa all\n\n")

@@ -73,6 +73,9 @@ type jobView struct {
 	Error    string `json:"error,omitempty"`
 	// Result carries the endpoint-shaped response once the job succeeded.
 	Result any `json:"result,omitempty"`
+	// Events is the job's flight-recorder timeline, included when the view
+	// was requested with ?events=1 (GET /v1/jobs/{id}).
+	Events *fastlsa.RecorderSnapshot `json:"events,omitempty"`
 }
 
 func viewOf(info fastlsa.JobInfo, result any) jobView {
@@ -105,6 +108,11 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
+	// Every async job gets a flight recorder: the engine logs the lifecycle
+	// (admission, attempt starts, retries, completion) and the task builders
+	// thread it into the run so routing and degradation decisions land on the
+	// same timeline. Snapshot it via GET /v1/jobs/{id}/events or ?events=1.
+	rec := fastlsa.NewRecorder(0)
 	var (
 		task func(ctx context.Context) (any, error)
 		kind string
@@ -124,7 +132,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("trace") == "1" {
 			a.Trace = true
 		}
-		task, err = s.alignTask(a)
+		task, err = s.alignTask(a, rec)
 	case "msa":
 		if req.MSA == nil {
 			writeErr(w, http.StatusBadRequest, `"msa" body required for type msa`)
@@ -138,7 +146,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		kind = "search"
-		task, err = s.searchTask(*req.Search)
+		task, err = s.searchTask(*req.Search, rec)
 	default:
 		writeErr(w, http.StatusBadRequest, "unknown job type %q (want align, msa or search)", req.Type)
 		return
@@ -152,15 +160,18 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		Timeout:   time.Duration(req.TimeoutSec * float64(time.Second)),
 		RequestID: obs.RequestID(r.Context()),
 		Retry:     req.Retry.policy(),
+		Recorder:  rec,
 	})
 	if err != nil {
 		s.writeTaskErr(w, err)
 		return
 	}
+	s.watchJob(j)
 	writeJSON(w, http.StatusAccepted, viewOf(j.Info(), nil))
 }
 
 // handleJobGet reports one job, including its result once succeeded.
+// ?events=1 opts the flight-recorder timeline into the view.
 func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	j, err := s.eng.Job(r.PathValue("id"))
 	if err != nil {
@@ -168,7 +179,12 @@ func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	result, _, _ := j.Result()
-	writeJSON(w, http.StatusOK, viewOf(j.Info(), result))
+	v := viewOf(j.Info(), result)
+	if r.URL.Query().Get("events") == "1" && j.HasRecorder() {
+		snap := j.Events()
+		v.Events = &snap
+	}
+	writeJSON(w, http.StatusOK, v)
 }
 
 // handleJobCancel cancels a job; polling its state shows the effect.
@@ -275,7 +291,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		unit.A, unit.B = p.A, p.B
 		unit.AID = orDefault(p.AID, fmt.Sprintf("a%d", i))
 		unit.BID = orDefault(p.BID, fmt.Sprintf("b%d", i))
-		task, err := s.alignTask(unit)
+		// Batch units share no recorder: a shared timeline would interleave
+		// the pairs' events beyond use.
+		task, err := s.alignTask(unit, nil)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "pair %d: %v", i, err)
 			return

@@ -17,6 +17,9 @@
 //	POST   /v1/batch       many pairwise alignments, admitted atomically
 //	GET    /v1/stats       engine counters (queue, workers, outcomes)
 //	GET    /metrics        Prometheus text-format metrics
+//	GET    /v1/slo               SLO burn-rate verdicts (5m/1h windows)
+//	GET    /v1/jobs/{id}/events  one job's flight-recorder timeline
+//	GET    /v1/debug/incidents   recent 5xx responses and failed jobs
 //
 // All alignment work — synchronous or async — runs through a bounded job
 // engine: a saturated queue rejects with 503 rather than queueing without
@@ -43,11 +46,20 @@
 // Observability: every request is logged as one structured (JSON) record
 // with an X-Request-ID that is honored when the client sent one, echoed in
 // the response, and attached to the engine job it spawns. /metrics exposes
-// per-route latency histograms, engine queue gauges and service-wide
-// alignment counters. POST /v1/align?trace=1 (or "trace": true in the body)
-// returns a Chrome trace_event JSON profile of the run. -debug-addr serves
-// net/http/pprof and expvar on a separate listener, so profiling stays off
-// the public port. See docs/OBSERVABILITY.md.
+// per-route latency histograms, engine queue gauges, service-wide alignment
+// counters, SLO burn-rate gauges, per-(backend, phase) CPU attribution and
+// process runtime gauges. POST /v1/align?trace=1 (or "trace": true in the
+// body) returns a Chrome trace_event JSON profile of the run. Every job
+// carries a bounded flight recorder (GET /v1/jobs/{id}/events); recent 5xx
+// responses and failed jobs land in the incident ring at
+// /v1/debug/incidents. -slo-align-p99 and -slo-error-rate declare the
+// objectives behind GET /v1/slo; -breaker-burn couples the overload breaker
+// to the error-rate fast burn. -prof-labels (on by default) attaches pprof
+// labels (job_id, backend, phase) to alignment work so CPU profiles
+// attribute samples per solver phase; -prof-interval starts a continuous
+// runtime-capture loop. -debug-addr serves net/http/pprof and expvar on a
+// separate listener, so profiling stays off the public port. See
+// docs/OBSERVABILITY.md.
 //
 // Example:
 //
@@ -97,6 +109,12 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "listen address for pprof and expvar (empty = disabled)")
 		quiet      = flag.Bool("quiet", false, "disable per-request access logs")
 
+		sloAlignP99  = flag.Duration("slo-align-p99", time.Second, "align-p99 SLO latency threshold (99% of POST /v1/align under this; 0 disables)")
+		sloErrRate   = flag.Float64("slo-error-rate", 0.001, "error-rate SLO: allowed fraction of 5xx responses (0 disables)")
+		brkBurn      = flag.Float64("breaker-burn", 0, "error-rate fast-burn rate that also sheds synchronous requests (0 disables)")
+		profLabels   = flag.Bool("prof-labels", true, "attach pprof labels (job_id, backend, phase) to alignment work")
+		profInterval = flag.Duration("prof-interval", 0, "continuous runtime-capture sampling interval (0 disables)")
+
 		corpusPath  = flag.String("corpus", "", "FASTA corpus to index at startup for GET /v1/search")
 		corpusAlpha = flag.String("corpus-alphabet", "dna", "corpus alphabet (dna or protein)")
 		corpusQ     = flag.Int("corpus-q", 0, "q-gram length of the corpus index (0 = per-alphabet default)")
@@ -135,6 +153,16 @@ func main() {
 			corpus.LoadDur.Round(time.Millisecond), corpus.BuildDur.Round(time.Millisecond))
 	}
 
+	// Flag value 0 means "disable the objective"; the config encodes that as
+	// a negative value so its zero value can keep selecting the default.
+	alignSLO, errSLO := *sloAlignP99, *sloErrRate
+	if alignSLO == 0 {
+		alignSLO = -1
+	}
+	if errSLO == 0 {
+		errSLO = -1
+	}
+
 	timeout := time.Duration(*timeoutSec) * time.Second
 	app := newServer(serverConfig{
 		MaxSequenceLen:     *maxLen,
@@ -152,6 +180,11 @@ func main() {
 		SearchRate:         *searchRate,
 		SearchBurst:        *searchBurst,
 		StreamTimeout:      timeout,
+		SLOAlignP99:        alignSLO,
+		SLOErrorRate:       errSLO,
+		BreakerBurn:        *brkBurn,
+		ProfLabels:         *profLabels,
+		ProfInterval:       *profInterval,
 	})
 	// The TimeoutHandler buffers whole responses (it never exposes
 	// http.Flusher), which would defeat per-hit flushing — streaming search

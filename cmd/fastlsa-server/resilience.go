@@ -88,8 +88,16 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // callers opted into queueing. The breaker stays open for a cooldown, then
 // closes and re-measures against a fresh window.
 type breaker struct {
-	threshold time.Duration // <= 0 disables the breaker
+	threshold time.Duration // <= 0 disables the queue-wait breaker
 	cooldown  time.Duration
+
+	// burn/burnLimit optionally couple the breaker to the SLO layer
+	// (-breaker-burn): while burn() — the error-rate objective's fast-window
+	// burn rate — is at or over burnLimit, synchronous requests are shed even
+	// though queue waits look healthy. An error storm consumes the error
+	// budget long before it backs up the queue.
+	burn      func() float64
+	burnLimit float64 // <= 0 disables the burn coupling
 
 	mu        sync.Mutex
 	window    []time.Duration // ring of recent queue waits
@@ -163,7 +171,14 @@ func (b *breaker) p95Locked() time.Duration {
 }
 
 // allow reports whether a synchronous request may proceed, counting sheds.
+// Shedding triggers on either signal: an open queue-wait breaker, or the
+// SLO fast-burn coupling reporting the error budget burning at or over
+// burnLimit.
 func (b *breaker) allow(now time.Time) bool {
+	if b.burnLimit > 0 && b.burn != nil && b.burn() >= b.burnLimit {
+		b.shed.Add(1)
+		return false
+	}
 	if b.threshold <= 0 {
 		return true
 	}

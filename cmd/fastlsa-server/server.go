@@ -7,7 +7,10 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -63,6 +66,24 @@ type serverConfig struct {
 	// bypass the buffering http.TimeoutHandler, so the deadline rides on
 	// the request context instead (0 = 5 minutes).
 	StreamTimeout time.Duration
+	// SLOAlignP99 is the latency threshold of the align-p99 objective: 99% of
+	// POST /v1/align requests must finish under it (0 selects 1s; negative
+	// disables the objective).
+	SLOAlignP99 time.Duration
+	// SLOErrorRate is the allowed fraction of 5xx responses under the
+	// error-rate objective (0 selects 0.001; negative disables it).
+	SLOErrorRate float64
+	// BreakerBurn, when > 0, also trips the overload breaker's shedding when
+	// the error-rate objective's fast (5m) burn rate reaches this value, so
+	// an error storm sheds synchronous load even while queue waits look fine.
+	BreakerBurn float64
+	// ProfLabels switches pprof label attribution (job_id/backend/phase) on
+	// for work run through this server (process-wide; see obs.SetProfLabels).
+	ProfLabels bool
+	// ProfInterval, when > 0, starts the continuous runtime-capture loop: one
+	// process snapshot (goroutines, heap, GC, CPU) per interval into a ring
+	// served by GET /v1/debug/incidents alongside the incidents.
+	ProfInterval time.Duration
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -83,6 +104,12 @@ func (c serverConfig) withDefaults() serverConfig {
 	}
 	if c.StreamTimeout == 0 {
 		c.StreamTimeout = 5 * time.Minute
+	}
+	if c.SLOAlignP99 == 0 {
+		c.SLOAlignP99 = time.Second
+	}
+	if c.SLOErrorRate == 0 {
+		c.SLOErrorRate = 0.001
 	}
 	return c
 }
@@ -121,20 +148,72 @@ type server struct {
 	// limiter rate-limits /v1/search per client (nil = unlimited).
 	corpus  *fastlsa.Corpus
 	limiter *rateLimiter
+	// slos tracks the declarative objectives' burn rates (nil when every
+	// objective is disabled — the nil *SLOSet is a no-op); sloBurn is their
+	// /metrics exposure, refreshed at scrape time.
+	slos    *obs.SLOSet
+	sloBurn *obs.GaugeVec
+	// profCPU exports the per-(backend, phase) CPU attribution accumulated by
+	// the pprof label brackets; profSeen holds the last drained totals so the
+	// counter only ever receives positive deltas. rtSnap is the runtime
+	// snapshot behind the fastlsa_go_* families, cached per scrape. All three
+	// are guarded by profMu.
+	profCPU  *obs.CounterVec
+	profMu   sync.Mutex
+	profSeen map[[2]string]time.Duration
+	rtSnap   obs.RuntimeSnapshot
+	// incidents is the server-wide ring of recent 5xx responses and failed
+	// jobs (GET /v1/debug/incidents); sampler is the continuous runtime
+	// capture loop (nil unless -prof-interval is set).
+	incidents *incidentRing
+	sampler   *obs.ProfSampler
 }
 
 // newServer builds the HTTP handler tree backed by a fresh job engine.
 func newServer(cfg serverConfig) *server {
 	cfg = cfg.withDefaults()
 	s := &server{
-		cfg:     cfg,
-		metrics: &fastlsa.Counters{},
-		breaker: newBreaker(cfg.BreakerWait, cfg.BreakerCooldown, cfg.BreakerWindow),
-		reg:     obs.NewRegistry(),
-		logger:  cfg.Logger,
-		start:   time.Now(),
-		corpus:  cfg.Corpus,
-		limiter: newRateLimiter(cfg.SearchRate, cfg.SearchBurst),
+		cfg:       cfg,
+		metrics:   &fastlsa.Counters{},
+		breaker:   newBreaker(cfg.BreakerWait, cfg.BreakerCooldown, cfg.BreakerWindow),
+		reg:       obs.NewRegistry(),
+		logger:    cfg.Logger,
+		start:     time.Now(),
+		corpus:    cfg.Corpus,
+		limiter:   newRateLimiter(cfg.SearchRate, cfg.SearchBurst),
+		profSeen:  make(map[[2]string]time.Duration),
+		incidents: newIncidentRing(defaultIncidents),
+	}
+	// Declarative objectives: align-p99 classifies POST /v1/align latency
+	// against cfg.SLOAlignP99, error-rate classifies every response's status.
+	// A rejected set (all objectives disabled) leaves s.slos nil, which the
+	// obs package treats as a no-op.
+	var objectives []obs.Objective
+	if cfg.SLOAlignP99 > 0 {
+		objectives = append(objectives, obs.Objective{
+			Name: sloAlign, Target: 0.99, Threshold: cfg.SLOAlignP99,
+		})
+	}
+	if cfg.SLOErrorRate > 0 && cfg.SLOErrorRate < 1 {
+		objectives = append(objectives, obs.Objective{
+			Name: sloErrors, Target: 1 - cfg.SLOErrorRate,
+		})
+	}
+	if len(objectives) > 0 {
+		s.slos, _ = obs.NewSLOSet(objectives...)
+	}
+	// Optional fast-burn coupling: the breaker also sheds while the
+	// error-rate objective burns its budget at >= cfg.BreakerBurn on the
+	// short window (docs/RESILIENCE.md).
+	if cfg.BreakerBurn > 0 && s.slos != nil {
+		s.breaker.burnLimit = cfg.BreakerBurn
+		s.breaker.burn = func() float64 { return s.slos.Burn(sloErrors, obs.SLOShortWindow) }
+	}
+	if cfg.ProfLabels {
+		obs.SetProfLabels(true)
+	}
+	if cfg.ProfInterval > 0 {
+		s.sampler = obs.StartProfSampler(cfg.ProfInterval, 0)
 	}
 	s.httpm = obs.NewHTTPMetrics(s.reg, "fastlsa")
 	s.batchSizes = s.reg.Histogram("fastlsa_batch_size",
@@ -165,7 +244,15 @@ func newServer(cfg serverConfig) *server {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}))
 	s.handle(mux, "GET /readyz", http.HandlerFunc(s.handleReadyz))
-	s.handle(mux, "GET /metrics", s.reg.Handler())
+	// The scrape-time families (SLO burn gauges, CPU-attribution counters,
+	// runtime snapshot) are recomputed just before each exposition.
+	metricsHandler := s.reg.Handler()
+	s.handle(mux, "GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.refreshScrapeMetrics()
+		metricsHandler.ServeHTTP(w, r)
+	}))
+	s.handle(mux, "GET /v1/slo", http.HandlerFunc(s.handleSLO))
+	s.handle(mux, "GET /v1/debug/incidents", http.HandlerFunc(s.handleIncidents))
 	s.handle(mux, "GET /v1/matrices", http.HandlerFunc(handleMatrices))
 	s.handle(mux, "POST /v1/align", withLimits(cfg, s.handleAlign))
 	s.handle(mux, "POST /v1/msa", withLimits(cfg, s.handleMSA))
@@ -174,6 +261,7 @@ func newServer(cfg serverConfig) *server {
 	s.handle(mux, "POST /v1/jobs", withLimits(cfg, s.handleJobSubmit))
 	s.handle(mux, "GET /v1/jobs", http.HandlerFunc(s.handleJobList))
 	s.handle(mux, "GET /v1/jobs/{id}", http.HandlerFunc(s.handleJobGet))
+	s.handle(mux, "GET /v1/jobs/{id}/events", http.HandlerFunc(s.handleJobEvents))
 	s.handle(mux, "DELETE /v1/jobs/{id}", http.HandlerFunc(s.handleJobCancel))
 	s.handle(mux, "POST /v1/batch", withLimits(cfg, s.handleBatch))
 	s.handle(mux, "GET /v1/stats", http.HandlerFunc(s.handleStats))
@@ -183,11 +271,12 @@ func newServer(cfg serverConfig) *server {
 
 // handle registers pattern on mux behind the observability middleware: every
 // request gets an X-Request-ID (honored when the client sent one), a route-
-// labelled latency/status observation, and a structured access-log record.
-// The mux pattern doubles as the route label so /metrics cardinality stays
-// bounded by the route table, never by request paths.
+// labelled latency/status observation, a structured access-log record, and a
+// completion-hook sample feeding the SLO burn accounting and the incident
+// ring. The mux pattern doubles as the route label so /metrics cardinality
+// stays bounded by the route table, never by request paths.
 func (s *server) handle(mux *http.ServeMux, pattern string, h http.Handler) {
-	mux.Handle(pattern, obs.Middleware(pattern, s.logger, s.httpm, h))
+	mux.Handle(pattern, obs.MiddlewareObserved(pattern, s.logger, s.httpm, s.observeRequest, h))
 }
 
 // registerMetrics exports the engine scheduler gauges and the service-wide
@@ -301,12 +390,53 @@ func (s *server) registerMetrics() {
 			}
 			return float64(s.metrics.Cells.Load()) / up
 		})
+
+	// SLO burn rates and CPU attribution: both refreshed by
+	// refreshScrapeMetrics just before each /metrics exposition.
+	s.sloBurn = s.reg.GaugeVec("fastlsa_slo_burn_rate",
+		"Error-budget burn rate per objective and window (1 = burning exactly at the objective's allowance).",
+		"slo", "window")
+	s.profCPU = s.reg.CounterVec("fastlsa_prof_cpu_seconds_total",
+		"Wall-clock seconds attributed to labelled solver phases, by backend and phase (requires pprof labels on).",
+		"backend", "phase")
+
+	// Process-level runtime families, read from the snapshot cached per
+	// scrape so one scrape costs one runtime read, not one per family.
+	s.reg.GaugeFunc("fastlsa_go_goroutines",
+		"Goroutines at the last scrape.",
+		s.runtimeStat(func(rt obs.RuntimeSnapshot) float64 { return float64(rt.Goroutines) }))
+	s.reg.GaugeFunc("fastlsa_go_heap_bytes",
+		"Live heap bytes at the last scrape.",
+		s.runtimeStat(func(rt obs.RuntimeSnapshot) float64 { return float64(rt.HeapBytes) }))
+	s.reg.CounterFunc("fastlsa_go_gc_cycles_total",
+		"Completed GC cycles.",
+		s.runtimeStat(func(rt obs.RuntimeSnapshot) float64 { return float64(rt.GCCycles) }))
+	s.reg.CounterFunc("fastlsa_go_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time.",
+		s.runtimeStat(func(rt obs.RuntimeSnapshot) float64 { return rt.GCPauseSeconds }))
+	s.reg.GaugeFunc("fastlsa_process_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	// Build identity, the standard always-1 info gauge.
+	revision := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" && kv.Value != "" {
+				revision = kv.Value
+			}
+		}
+	}
+	s.reg.GaugeVec("fastlsa_build_info",
+		"Build metadata; the value is always 1.",
+		"go_version", "revision").With(runtime.Version(), revision).Set(1)
 }
 
-// shutdown flips readiness and drains the engine (used by main on
-// SIGINT/SIGTERM).
+// shutdown flips readiness, stops the runtime sampler, and drains the engine
+// (used by main on SIGINT/SIGTERM).
 func (s *server) shutdown(ctx context.Context) error {
 	s.beginDrain()
+	s.sampler.Stop()
 	return s.eng.Shutdown(ctx)
 }
 
@@ -316,7 +446,7 @@ func (s *server) shutdown(ctx context.Context) error {
 // TimeoutHandler expiry abandons the computation. An open overload breaker
 // sheds the request up front with a queue-full 503 (Retry-After attached by
 // writeTaskErr) instead of parking it behind an unhealthy queue.
-func (s *server) runSync(r *http.Request, kind string, task func(ctx context.Context) (any, error)) (any, error) {
+func (s *server) runSync(r *http.Request, kind string, rec *fastlsa.Recorder, task func(ctx context.Context) (any, error)) (any, error) {
 	if !s.breaker.allow(time.Now()) {
 		return nil, fmt.Errorf("%w: overload breaker open (p95 queue wait over %s)",
 			fastlsa.ErrQueueFull, s.cfg.BreakerWait)
@@ -324,10 +454,12 @@ func (s *server) runSync(r *http.Request, kind string, task func(ctx context.Con
 	j, err := s.eng.SubmitFunc(kind, task, fastlsa.JobOptions{
 		Context:   r.Context(),
 		RequestID: obs.RequestID(r.Context()),
+		Recorder:  rec,
 	})
 	if err != nil {
 		return nil, err
 	}
+	s.watchJob(j)
 	return j.Wait(r.Context())
 }
 
@@ -450,7 +582,8 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("trace") == "1" {
 		req.Trace = true
 	}
-	task, err := s.alignTask(req)
+	rec := fastlsa.NewRecorder(0)
+	task, err := s.alignTask(req, rec)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -459,7 +592,7 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	if req.Local {
 		kind = "align-local"
 	}
-	resp, err := s.runSync(r, kind, task)
+	resp, err := s.runSync(r, kind, rec, task)
 	if err != nil {
 		s.writeTaskErr(w, err)
 		return
@@ -468,8 +601,12 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 }
 
 // alignTask validates req up front (so bad input is a 400, not a job
-// failure) and returns the engine task that computes the response.
-func (s *server) alignTask(req alignRequest) (func(ctx context.Context) (any, error), error) {
+// failure) and returns the engine task that computes the response. rec (when
+// non-nil) is the job's flight recorder, threaded into the run so routing and
+// degradation decisions land on the same timeline as the engine lifecycle;
+// the Trace, by contrast, is created inside the task, so a retried job's
+// trace covers the final attempt rather than accumulating all of them.
+func (s *server) alignTask(req alignRequest, rec *fastlsa.Recorder) (func(ctx context.Context) (any, error), error) {
 	opt, a, b, err := buildOptions(s.cfg, req)
 	if err != nil {
 		return nil, err
@@ -477,6 +614,7 @@ func (s *server) alignTask(req alignRequest) (func(ctx context.Context) (any, er
 	return func(ctx context.Context) (any, error) {
 		o := opt
 		o.Context = ctx
+		o.Recorder = rec
 		// Per-request child of the service-wide counters: the request reads
 		// its own work, /v1/stats accumulates everything.
 		counters := s.metrics.Derive(nil)
@@ -640,7 +778,7 @@ func (s *server) handleMSA(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp, err := s.runSync(r, "msa", task)
+	resp, err := s.runSync(r, "msa", fastlsa.NewRecorder(0), task)
 	if err != nil {
 		s.writeTaskErr(w, err)
 		return
@@ -815,12 +953,13 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.serveSearchStream(w, r, cq)
 		return
 	}
-	task, err := s.searchTask(req)
+	rec := fastlsa.NewRecorder(0)
+	task, err := s.searchTask(req, rec)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp, err := s.runSync(r, "search", task)
+	resp, err := s.runSync(r, "search", rec, task)
 	if err != nil {
 		s.writeTaskErr(w, err)
 		return
@@ -830,8 +969,10 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 // searchTask validates req and returns the engine task computing the
 // response. The statistics fit (when requested) runs inside the task so it
-// is cancellable along with the search itself.
-func (s *server) searchTask(req searchRequest) (func(ctx context.Context) (any, error), error) {
+// is cancellable along with the search itself. rec (when non-nil) is the
+// job's flight recorder, threaded into the search so its phase spans land on
+// the job timeline.
+func (s *server) searchTask(req searchRequest, rec *fastlsa.Recorder) (func(ctx context.Context) (any, error), error) {
 	cfg := s.cfg
 	if len(req.Database) == 0 {
 		// No inline database: search the loaded corpus through the
@@ -844,7 +985,7 @@ func (s *server) searchTask(req searchRequest) (func(ctx context.Context) (any, 
 		if err != nil {
 			return nil, err
 		}
-		return s.corpusSearchTask(cq, s.metrics.Derive(nil), nil), nil
+		return s.corpusSearchTask(cq, s.metrics.Derive(nil), rec, nil), nil
 	}
 	matrixName := req.Matrix
 	if matrixName == "" {
@@ -903,6 +1044,7 @@ func (s *server) searchTask(req searchRequest) (func(ctx context.Context) (any, 
 			Workers:   workers,
 			Context:   ctx,
 			Counters:  s.metrics, // Search derives a per-run child
+			Recorder:  rec,
 		}
 		var resp searchResponse
 		if req.FitStats || req.MaxEValue > 0 {

@@ -301,7 +301,8 @@ func (s *server) serveSearchStream(w http.ResponseWriter, r *http.Request, cq co
 
 	start := time.Now()
 	counters := s.metrics.Derive(nil)
-	task := s.corpusSearchTask(cq, counters, func(h fastlsa.SearchHit) {
+	rec := fastlsa.NewRecorder(0)
+	task := s.corpusSearchTask(cq, counters, rec, func(h fastlsa.SearchHit) {
 		sw.send(streamHitEvent{
 			Type: "hit", Index: h.Index, ID: h.ID, Score: h.Score,
 			EValue: h.EValue, BitScore: h.BitScore,
@@ -310,11 +311,13 @@ func (s *server) serveSearchStream(w http.ResponseWriter, r *http.Request, cq co
 	j, err := s.eng.SubmitFunc("search-stream", task, fastlsa.JobOptions{
 		Context:   ctx,
 		RequestID: obs.RequestID(r.Context()),
+		Recorder:  rec,
 	})
 	if err != nil {
 		sw.send(streamErrorEvent{Type: "error", Error: err.Error()})
 		return
 	}
+	s.watchJob(j)
 	res, err := j.Wait(ctx)
 	if err != nil {
 		sw.send(streamErrorEvent{Type: "error", Error: err.Error()})
@@ -332,8 +335,9 @@ func (s *server) serveSearchStream(w http.ResponseWriter, r *http.Request, cq co
 
 // corpusSearchTask is the engine task for a corpus search: seed filter +
 // early-abandon verify + reconstruction, reporting the funnel alongside the
-// ranked hits. onHit may be nil (buffered responses).
-func (s *server) corpusSearchTask(cq corpusQuery, counters *fastlsa.Counters, onHit func(fastlsa.SearchHit)) func(ctx context.Context) (any, error) {
+// ranked hits. rec (when non-nil) is the job's flight recorder; onHit may be
+// nil (buffered responses).
+func (s *server) corpusSearchTask(cq corpusQuery, counters *fastlsa.Counters, rec *fastlsa.Recorder, onHit func(fastlsa.SearchHit)) func(ctx context.Context) (any, error) {
 	return func(ctx context.Context) (any, error) {
 		opt := fastlsa.SearchOptions{
 			Matrix:    cq.matrix,
@@ -344,6 +348,7 @@ func (s *server) corpusSearchTask(cq corpusQuery, counters *fastlsa.Counters, on
 			Workers:   cq.workers,
 			Context:   ctx,
 			Counters:  counters,
+			Recorder:  rec,
 			Index:     s.corpus.Index,
 			Probe:     &fastlsa.SearchProbe{},
 			OnHit:     onHit,

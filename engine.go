@@ -88,6 +88,13 @@ type JobOptions struct {
 	// retryable failures with exponential backoff. Pair it with RetryTransient
 	// as the RetryOn classifier for alignment work.
 	Retry RetryPolicy
+	// Recorder, when non-nil, is the job's flight recorder: the engine logs
+	// lifecycle events (admission, attempt starts, retries, completion) into
+	// it, and the Submit* helpers thread it into the run's Options so routing
+	// decisions, degradation steps and phase completions land on the same
+	// timeline. Snapshot it with Job.Events. Batch submissions ignore it (a
+	// shared recorder would interleave the units' timelines).
+	Recorder *Recorder
 }
 
 func (jo JobOptions) submission(kind string, task engine.Task) engine.Submission {
@@ -98,6 +105,7 @@ func (jo JobOptions) submission(kind string, task engine.Task) engine.Submission
 		Parent:    jo.Context,
 		RequestID: jo.RequestID,
 		Retry:     jo.Retry,
+		Recorder:  jo.Recorder,
 		Task:      task,
 	}
 }
@@ -128,6 +136,9 @@ func (en *Engine) SubmitAlign(a, b *Sequence, opt Options, jo JobOptions) (*Job,
 	return en.e.Submit(jo.submission("align", func(ctx context.Context) (any, error) {
 		o := opt
 		o.Context = ctx
+		if o.Recorder == nil {
+			o.Recorder = jo.Recorder
+		}
 		return Align(a, b, o)
 	}))
 }
@@ -137,6 +148,9 @@ func (en *Engine) SubmitAlignLocal(a, b *Sequence, opt Options, jo JobOptions) (
 	return en.e.Submit(jo.submission("align-local", func(ctx context.Context) (any, error) {
 		o := opt
 		o.Context = ctx
+		if o.Recorder == nil {
+			o.Recorder = jo.Recorder
+		}
 		return AlignLocal(a, b, o)
 	}))
 }
@@ -155,6 +169,9 @@ func (en *Engine) SubmitSearch(query *Sequence, db []*Sequence, opt SearchOption
 	return en.e.Submit(jo.submission("search", func(ctx context.Context) (any, error) {
 		o := opt
 		o.Context = ctx
+		if o.Recorder == nil {
+			o.Recorder = jo.Recorder
+		}
 		return Search(query, db, o)
 	}))
 }

@@ -56,6 +56,14 @@ type (
 	TraceTags = obs.Tags
 	// TraceSpan is one recorded interval of a Trace.
 	TraceSpan = obs.Span
+	// Recorder is a bounded per-job flight recorder: the engine, router and
+	// solver kernels log admission, retries, routing decisions, degradation
+	// steps and phase completions into it (NewRecorder; nil-safe).
+	Recorder = obs.Recorder
+	// RecorderEvent is one flight-recorder entry.
+	RecorderEvent = obs.Event
+	// RecorderSnapshot is a point-in-time copy of a Recorder's timeline.
+	RecorderSnapshot = obs.RecorderSnapshot
 	// SpanTotal is one (name, phase) aggregate row of Trace.Totals.
 	SpanTotal = obs.SpanTotal
 	// FormatOptions controls Alignment pretty-printing.
@@ -149,6 +157,12 @@ var (
 // Trace.WriteChrome / Trace.ChromeTrace — the JSON loads in chrome://tracing
 // and https://ui.perfetto.dev.
 func NewTrace(capacity int) *Trace { return obs.NewTrace(capacity) }
+
+// NewRecorder returns a flight recorder for Options.Recorder /
+// JobOptions.Recorder with the given event capacity (<= 0 selects the
+// default of 256). The first events and the most recent ones are always
+// retained; overflow drops from the middle, counted in the snapshot.
+func NewRecorder(capacity int) *Recorder { return obs.NewRecorder(capacity) }
 
 // Linear returns the paper's linear gap model (each gapped position costs g).
 func Linear(g int) Gap { return scoring.Linear(g) }
@@ -393,6 +407,11 @@ type Options struct {
 	// backend. Like Trace it is per-run state: do not share one Route
 	// across concurrent runs.
 	Route *RouteInfo
+	// Recorder, when non-nil, is the run's flight recorder: the router logs
+	// its decision (and any budget fallback) into it, and the solver kernels
+	// append phase completions and degradation-ladder steps. Per-run state
+	// like Trace; nil-safe and allocation-free when absent.
+	Recorder *Recorder
 }
 
 // RouteInfo reports which backend served an Align call and why (see the
@@ -460,6 +479,8 @@ func (o Options) backendRequest(planned bool) backend.Request {
 		BaseCells:    o.BaseCells,
 		Counters:     o.Counters,
 		Trace:        o.Trace,
+		Recorder:     o.Recorder,
+		Prof:         o.Context,
 	}
 }
 
@@ -509,6 +530,7 @@ func routeAlign(a, b *Sequence, opt Options) (RouteInfo, error) {
 		route = RouteInfo{Backend: name, Reason: backend.ReasonExplicit}
 	}
 	opt.Trace.End(SpanNameBackendRoute, obs.CatBackend, start, obs.Tags{Backend: route.Backend, Reason: route.Reason})
+	opt.Recorder.Add(obs.Event{Kind: obs.EvRoute, Detail: route.Backend, Extra: route.Reason, Value: route.Identity})
 	return route, nil
 }
 
@@ -531,10 +553,12 @@ func dispatchAlign(a, b *Sequence, opt Options) (core.Result, RouteInfo, error) 
 	}
 	res, err := run(route)
 	if err != nil && opt.Algorithm == AlgoAuto && route.Backend == backend.NameWFA && errors.Is(err, ErrBudgetExceeded) {
+		opt.Recorder.Add(obs.Event{Kind: obs.EvBudgetFallback, Detail: err.Error()})
 		route = RouteInfo{Backend: backend.NameFastLSA, Reason: backend.ReasonBudgetFallback, Identity: route.Identity}
 		start := opt.Trace.Begin()
 		opt.Trace.End(SpanNameBackendRoute, obs.CatBackend, start, obs.Tags{Backend: route.Backend, Reason: route.Reason})
 		res, err = run(route)
+		opt.Recorder.Add(obs.Event{Kind: obs.EvRoute, Detail: route.Backend, Extra: route.Reason, Value: route.Identity})
 	}
 	return res, route, err
 }
@@ -719,6 +743,9 @@ type SearchOptions struct {
 	OnHit func(SearchHit)
 	// Trace, when non-nil, records filter/verify/reconstruct phase spans.
 	Trace *Trace
+	// Recorder, when non-nil, receives flight-recorder phase events for the
+	// filter/verify/reconstruct pipeline. Nil-safe like Trace.
+	Recorder *Recorder
 }
 
 // Search ranks database sequences by optimal local alignment score against
@@ -751,6 +778,8 @@ func Search(query *Sequence, db []*Sequence, opt SearchOptions) ([]SearchHit, er
 		Probe:      opt.Probe,
 		OnHit:      opt.OnHit,
 		Trace:      opt.Trace,
+		Recorder:   opt.Recorder,
+		Prof:       opt.Context,
 	})
 }
 

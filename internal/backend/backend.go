@@ -10,6 +10,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 
 	"fastlsa/internal/align"
@@ -76,6 +77,13 @@ type Request struct {
 	Counters *stats.Counters
 	// Trace records solver spans.
 	Trace *obs.Trace
+	// Recorder, when non-nil, is the job's flight recorder (phase events,
+	// degradation steps). Nil-safe.
+	Recorder *obs.Recorder
+	// Prof, when non-nil, is the pprof-labelled base context for CPU
+	// attribution (obs.ProfPhaseBegin); solver phases merge their
+	// {backend, phase} labels into it.
+	Prof context.Context
 }
 
 // Budget materialises the request's memory budget (nil = unlimited).
@@ -166,6 +174,8 @@ func CoreOptions(req Request, m, n int) (core.Options, error) {
 		}
 		copt.Counters = req.Counters
 		copt.Trace = req.Trace
+		copt.Recorder = req.Recorder
+		copt.Prof = req.Prof
 		return copt, nil
 	}
 	b, err := req.Budget()
@@ -179,5 +189,7 @@ func CoreOptions(req Request, m, n int) (core.Options, error) {
 		Workers:   req.Workers,
 		Counters:  req.Counters,
 		Trace:     req.Trace,
+		Recorder:  req.Recorder,
+		Prof:      req.Prof,
 	}, nil
 }

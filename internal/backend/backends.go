@@ -135,5 +135,7 @@ func (wfaBackend) Align(a, b *seq.Sequence, req Request) (fm.Result, error) {
 		Budget:   budget,
 		Counters: req.Counters,
 		Trace:    req.Trace,
+		Recorder: req.Recorder,
+		Prof:     req.Prof,
 	})
 }

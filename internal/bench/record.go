@@ -2,21 +2,72 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"runtime"
 )
 
 // ReportSchema identifies the machine-readable benchmark format; bump it
-// when the JSON shape below changes incompatibly.
-const ReportSchema = "fastlsa-bench/v1"
+// when the JSON shape below changes incompatibly. v2 added the Meta block
+// (run environment); v1 reports — which lack it — still load through
+// ReadReport.
+const ReportSchema = "fastlsa-bench/v2"
 
-// Report is the machine-readable shape of a benchmark run: one entry per
-// experiment, each carrying the tables the experiment rendered with title,
-// headers, rows and notes preserved. Rows are strings exactly as printed,
-// keyed positionally by Headers, so a consumer can rebuild any table (or
-// extract one column across runs) without reimplementing the formatting.
+// reportSchemaV1 is the previous schema tag, accepted on read: v2 only adds
+// the Meta block, so a v1 report is a valid v2 report with empty metadata.
+const reportSchemaV1 = "fastlsa-bench/v1"
+
+// RunMeta captures the environment of a benchmark run, so results compared
+// across machines or Go releases carry their own provenance.
+type RunMeta struct {
+	GoVersion  string `json:"goVersion"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numCpu"`
+}
+
+// CurrentRunMeta samples the running process's environment.
+func CurrentRunMeta() RunMeta {
+	return RunMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// Report is the machine-readable shape of a benchmark run: the environment
+// it ran in, plus one entry per experiment, each carrying the tables the
+// experiment rendered with title, headers, rows and notes preserved. Rows
+// are strings exactly as printed, keyed positionally by Headers, so a
+// consumer can rebuild any table (or extract one column across runs)
+// without reimplementing the formatting.
 type Report struct {
-	Schema      string             `json:"schema"`
+	Schema string `json:"schema"`
+	// Meta describes the run environment. Zero-valued when the report was
+	// read from a v1 file, which predates it.
+	Meta        RunMeta            `json:"meta"`
 	Experiments []ExperimentResult `json:"experiments"`
+}
+
+// ReadReport decodes a benchmark report, accepting the current schema and
+// the v1 predecessor (whose only difference is the missing Meta block). Any
+// other schema tag is an error — silently misreading a future v3 would be
+// worse than failing.
+func ReadReport(r io.Reader) (Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("bench: decode report: %w", err)
+	}
+	switch rep.Schema {
+	case ReportSchema, reportSchemaV1:
+		return rep, nil
+	default:
+		return Report{}, fmt.Errorf("bench: unsupported report schema %q (want %s or %s)",
+			rep.Schema, ReportSchema, reportSchemaV1)
+	}
 }
 
 // ExperimentResult is one experiment's captured output. ID is the paper's
@@ -64,9 +115,10 @@ type Recorder struct {
 	report Report
 }
 
-// NewRecorder wraps w (typically os.Stdout).
+// NewRecorder wraps w (typically os.Stdout). The report's Meta is stamped
+// from the current process.
 func NewRecorder(w io.Writer) *Recorder {
-	return &Recorder{w: w, report: Report{Schema: ReportSchema}}
+	return &Recorder{w: w, report: Report{Schema: ReportSchema, Meta: CurrentRunMeta()}}
 }
 
 // Write passes text output through to the wrapped writer.

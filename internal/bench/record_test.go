@@ -3,14 +3,15 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"runtime"
 	"strings"
 	"testing"
 )
 
 // TestRecorderCapturesTables runs a real (tiny) experiment through a
-// Recorder and validates the JSON export against the fastlsa-bench/v1
-// schema: schema tag present, every table carries headers, and every row
-// has exactly one cell per header.
+// Recorder and validates the JSON export against the fastlsa-bench/v2
+// schema: schema tag and run metadata present, every table carries headers,
+// and every row has exactly one cell per header.
 func TestRecorderCapturesTables(t *testing.T) {
 	var text bytes.Buffer
 	rec := NewRecorder(&text)
@@ -39,6 +40,10 @@ func TestRecorderCapturesTables(t *testing.T) {
 	if rep.Schema != ReportSchema {
 		t.Fatalf("schema = %q, want %q", rep.Schema, ReportSchema)
 	}
+	if rep.Meta.GoVersion != runtime.Version() || rep.Meta.GOMAXPROCS < 1 ||
+		rep.Meta.NumCPU < 1 || rep.Meta.GOOS == "" || rep.Meta.GOARCH == "" {
+		t.Fatalf("run metadata incomplete: %+v", rep.Meta)
+	}
 	if len(rep.Experiments) != 2 {
 		t.Fatalf("got %d experiments, want 2", len(rep.Experiments))
 	}
@@ -66,6 +71,43 @@ func TestRecorderCapturesTables(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestReadReportAcceptsV1 pins backwards compatibility: a v1 report (no
+// meta block) still loads, reporting zero-valued metadata; the current
+// schema round-trips; anything else is rejected.
+func TestReadReportAcceptsV1(t *testing.T) {
+	v1 := `{"schema": "fastlsa-bench/v1", "experiments": [{"name": "opcounts", "tables": []}]}`
+	rep, err := ReadReport(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 report rejected: %v", err)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].Name != "opcounts" {
+		t.Fatalf("v1 experiments lost: %+v", rep.Experiments)
+	}
+	if rep.Meta != (RunMeta{}) {
+		t.Fatalf("v1 report conjured metadata: %+v", rep.Meta)
+	}
+
+	rec := NewRecorder(&bytes.Buffer{})
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatalf("current schema rejected: %v", err)
+	}
+	if rep2.Meta.GoVersion != runtime.Version() {
+		t.Fatalf("metadata lost on round-trip: %+v", rep2.Meta)
+	}
+
+	if _, err := ReadReport(strings.NewReader(`{"schema": "fastlsa-bench/v9"}`)); err == nil {
+		t.Fatal("future schema silently accepted")
+	}
+	if _, err := ReadReport(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted as a report")
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"fastlsa/internal/align"
 	"fastlsa/internal/fm"
@@ -95,6 +96,36 @@ func newSolver(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, mod kerne
 		baseRect:   rt,
 		baseCharge: charge,
 	}, nil
+}
+
+// phaseSpan couples a pprof label bracket with a flight-recorder phase
+// event: beginPhase attaches {backend="fastlsa", phase} labels (when
+// attribution is on) and stamps a start for the recorder (when one is
+// attached); end restores the labels and logs the EvPhase event. A value
+// type, so the fully-disabled path allocates nothing.
+type phaseSpan struct {
+	s     *solver
+	name  string
+	prof  obs.ProfSpan
+	start time.Time
+}
+
+func (s *solver) beginPhase(name string) phaseSpan {
+	p := phaseSpan{s: s, name: name, prof: obs.ProfPhaseBegin(s.opt.prof, "fastlsa", name)}
+	if s.opt.rec != nil {
+		p.start = time.Now()
+	}
+	return p
+}
+
+func (p phaseSpan) end() {
+	p.prof.End()
+	if !p.start.IsZero() {
+		p.s.opt.rec.Add(obs.Event{
+			Kind: obs.EvPhase, Detail: p.name, Extra: obs.CatFastLSA,
+			Duration: time.Since(p.start),
+		})
+	}
 }
 
 func (s *solver) close() {
@@ -211,6 +242,8 @@ func (s *solver) solve(t rect, top, left kernel.Edge, state int) (exitR, exitC, 
 func (s *solver) fillGridCache(grid *gridCache) error {
 	t := grid.t
 	gt := s.tr.Begin()
+	ps := s.beginPhase(obs.SpanGridFill)
+	defer ps.end()
 	var err error
 	if s.opt.workers > 1 && t.rows()*t.cols() >= s.opt.parMinArea {
 		err = s.fillGridCacheParallel(grid)
@@ -305,15 +338,21 @@ func (s *solver) baseCase(t rect, top, left kernel.Edge, state int) (exitR, exit
 	}
 
 	ra, rb := s.a[t.r0:t.r1], s.b[t.c0:t.c1]
+	ps := s.beginPhase(obs.SpanBaseCase)
 	if s.opt.workers > 1 && rows*cols >= s.opt.parMinArea {
 		if err := s.fillRectParallel(ra, rb, top, left, rt); err != nil {
+			ps.end()
 			return 0, 0, 0, err
 		}
 	} else if err := s.k.FillRect(ra, rb, top, left, rt); err != nil {
+		ps.end()
 		return 0, 0, 0, err
 	}
+	ps.end()
 	tt := s.tr.Begin()
+	ts := s.beginPhase(obs.SpanTraceback)
 	lr, lc, st := s.k.Traceback(ra, rb, rt, s.bld, rows, cols, state)
+	ts.end()
 	s.tr.End(obs.SpanTraceback, obs.CatFastLSA, tt, obs.Tags{Rows: rows, Cols: cols})
 	return t.r0 + lr, t.c0 + lc, st, nil
 }

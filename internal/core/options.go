@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -86,6 +87,14 @@ type Options struct {
 	// grid fills, wavefront tiles (phase-tagged) and tracebacks. Like
 	// Counters it is nil-safe and costs nothing when absent.
 	Trace *obs.Trace
+	// Recorder, when non-nil, is the job's flight recorder: the solver logs
+	// phase completions and degradation-ladder steps (mesh shrinks, the
+	// sequential-fill fallback) into it. Nil-safe like Trace.
+	Recorder *obs.Recorder
+	// Prof, when non-nil, is the pprof-labelled base context threaded from
+	// the engine worker; solver phases layer {backend, phase} labels on top
+	// of it (see obs.ProfPhaseBegin). Ignored while obs.SetProfLabels is off.
+	Prof context.Context
 }
 
 // sharedPool is the process-wide default row pool used when Options.Pool is
@@ -104,6 +113,8 @@ type resolved struct {
 	pool       *memory.RowPool
 	c          *stats.Counters
 	trace      *obs.Trace
+	rec        *obs.Recorder
+	prof       context.Context
 }
 
 func (o Options) resolve() (resolved, error) {
@@ -118,6 +129,8 @@ func (o Options) resolve() (resolved, error) {
 		pool:       o.Pool,
 		c:          o.Counters,
 		trace:      o.Trace,
+		rec:        o.Recorder,
+		prof:       o.Prof,
 	}
 	if r.pool == nil {
 		r.pool = sharedPool

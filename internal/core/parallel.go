@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"fastlsa/internal/kernel"
 	"fastlsa/internal/obs"
 	"fastlsa/internal/wavefront"
@@ -67,11 +69,19 @@ func (s *solver) fillGridCacheParallel(grid *gridCache) error {
 			// Even the minimum mesh does not fit: degrade to the sequential
 			// fill, which needs no transient mesh at all.
 			s.c.AddSeqFillFallback()
+			if s.opt.rec != nil {
+				s.opt.rec.Add(obs.Event{Kind: obs.EvSeqFill,
+					Detail: fmt.Sprintf("%dx%d mesh over budget", k*uReq, k*vReq)})
+			}
 			return s.fillGridCacheSeq(grid)
 		}
 	}
 	if u != uReq || v != vReq {
 		s.c.AddMeshShrink()
+		if s.opt.rec != nil {
+			s.opt.rec.Add(obs.Event{Kind: obs.EvMeshShrink,
+				Detail: fmt.Sprintf("%dx%d->%dx%d", uReq, vReq, u, v)})
+		}
 	}
 	s.c.AddExecutedFillTiles(int64(k*u)*int64(k*v) - int64(u*v))
 	R, C := k*u, k*v

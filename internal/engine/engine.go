@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"fastlsa/internal/fault"
+	"fastlsa/internal/obs"
 )
 
 // Task is the unit of work a job runs: it must honour ctx — the engine
@@ -193,6 +195,12 @@ type Submission struct {
 	// Retry, when enabled (MaxAttempts > 1), re-queues the job after
 	// retryable failures instead of finishing it.
 	Retry RetryPolicy
+	// Recorder, when non-nil, is the job's flight recorder: the engine logs
+	// admission, attempt starts (with queue wait), retries (with the failure
+	// and backoff), and the terminal event into it, and layers below append
+	// their own events through the same recorder. Retained with the job until
+	// result eviction; exposed via Job.Events.
+	Recorder *obs.Recorder
 	// Task is the work to run (required).
 	Task Task
 }
@@ -230,6 +238,7 @@ type Job struct {
 	seq       uint64
 	task      Task
 	retry     RetryPolicy
+	recorder  *obs.Recorder
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -279,6 +288,23 @@ func (j *Job) Info() Info {
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Events snapshots the job's flight-recorder timeline. Empty when the
+// submission carried no recorder, or once the recorder has been evicted with
+// the result payload (Config.MaxRetainedResults).
+func (j *Job) Events() obs.RecorderSnapshot {
+	j.mu.Lock()
+	rec := j.recorder
+	j.mu.Unlock()
+	return rec.Snapshot()
+}
+
+// HasRecorder reports whether the job still holds a flight recorder.
+func (j *Job) HasRecorder() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recorder != nil
+}
 
 // Wait blocks until the job finishes or ctx is cancelled. It returns the
 // job's result and error; the error wraps context.Canceled when the job was
@@ -456,12 +482,14 @@ func (e *Engine) enqueueLocked(sub Submission, batch string, register bool) *Job
 		seq:       e.nextSeq,
 		task:      sub.Task,
 		retry:     sub.Retry,
+		recorder:  sub.Recorder,
 		state:     Queued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 		index:     -1,
 		queuedAt:  time.Now(),
 	}
+	j.recorder.Add(obs.Event{Kind: obs.EvAdmit, Detail: sub.Kind, Extra: j.id, Value: float64(sub.Priority)})
 	if sub.Timeout > 0 {
 		j.ctx, j.cancel = context.WithTimeout(parent, sub.Timeout)
 	} else {
@@ -526,10 +554,22 @@ func (e *Engine) worker() {
 		e.running++
 		e.mu.Unlock()
 
-		if obs := e.cfg.ObserveQueueWait; obs != nil {
-			obs(wait)
+		if observe := e.cfg.ObserveQueueWait; observe != nil {
+			observe(wait)
 		}
-		result, err := e.runTask(j)
+		j.recorder.Add(obs.Event{Kind: obs.EvStart, Attempt: attempt, Duration: wait})
+		var result any
+		var err error
+		if obs.ProfLabelsEnabled() {
+			// The closure and label set allocate, so this branch only exists
+			// when attribution is on; the labelled context is handed to the
+			// task, and solver phases layer their own labels on top of it.
+			pprof.Do(j.ctx, pprof.Labels("job_id", j.id, "job_kind", j.kind), func(lc context.Context) {
+				result, err = e.runTask(j, lc)
+			})
+		} else {
+			result, err = e.runTask(j, j.ctx)
+		}
 
 		e.mu.Lock()
 		e.running--
@@ -537,7 +577,7 @@ func (e *Engine) worker() {
 		// accepted work); the drain deadline's hard cancel ends them, since
 		// cancellation is never retried.
 		if j.retry.shouldRetry(attempt, err) && j.ctx.Err() == nil {
-			e.scheduleRetryLocked(j, attempt)
+			e.scheduleRetryLocked(j, attempt, err)
 			e.mu.Unlock()
 			continue
 		}
@@ -551,13 +591,18 @@ func (e *Engine) worker() {
 // holds no heap slot; cancellation during the backoff is handled by watch
 // (which finishes Queued jobs whose context died), and the timer then finds
 // the job terminal and only drops the backoff count.
-func (e *Engine) scheduleRetryLocked(j *Job, attempt int) {
+func (e *Engine) scheduleRetryLocked(j *Job, attempt int, cause error) {
 	e.retries++
 	e.retryBackoff++
 	j.mu.Lock()
 	j.state = Queued
 	j.mu.Unlock()
 	delay := j.retry.backoff(attempt)
+	detail := ""
+	if cause != nil {
+		detail = cause.Error()
+	}
+	j.recorder.Add(obs.Event{Kind: obs.EvRetry, Detail: detail, Attempt: attempt, Duration: delay})
 	time.AfterFunc(delay, func() {
 		e.mu.Lock()
 		e.retryBackoff--
@@ -580,8 +625,9 @@ func (e *Engine) scheduleRetryLocked(j *Job, attempt int) {
 
 // runTask executes the task, converting panics into errors (wrapping
 // ErrJobPanic) so one bad job cannot take down the pool. The engine.worker
-// fault-injection site strikes here, before the task runs.
-func (e *Engine) runTask(j *Job) (result any, err error) {
+// fault-injection site strikes here, before the task runs. ctx is the job's
+// context, possibly wrapped with pprof labels by the worker.
+func (e *Engine) runTask(j *Job, ctx context.Context) (result any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			result, err = nil, fmt.Errorf("%w: job %s: %v", ErrJobPanic, j.id, r)
@@ -590,7 +636,7 @@ func (e *Engine) runTask(j *Job) (result any, err error) {
 	if err := siteWorker.Hit(); err != nil {
 		return nil, err
 	}
-	return j.task(j.ctx)
+	return j.task(ctx)
 }
 
 // finishLocked moves a job to its terminal state. Callers hold e.mu; job
@@ -625,6 +671,12 @@ func (e *Engine) finishLocked(j *Job, result any, err error) {
 		e.failed++
 	}
 	j.mu.Unlock()
+	detail := j.state.String()
+	extra := ""
+	if err != nil {
+		extra = err.Error()
+	}
+	j.recorder.Add(obs.Event{Kind: obs.EvFinish, Detail: detail, Extra: extra, Attempt: j.attempts})
 	delete(e.live, j)
 	j.cancel() // release the context's timer/goroutine
 	close(j.done)
@@ -678,6 +730,7 @@ func (e *Engine) evictLocked() {
 		}
 		j.mu.Lock()
 		j.result = nil
+		j.recorder = nil // the flight recorder ages out with the payload
 		j.mu.Unlock()
 	}
 }

@@ -97,12 +97,28 @@ func NewHTTPMetrics(r *Registry, namespace string) *HTTPMetrics {
 	}
 }
 
+// RequestSample summarises one completed request for observer hooks: SLO
+// classification, incident capture, burn-rate accounting.
+type RequestSample struct {
+	Route, Method, RequestID string
+	Status                   int
+	Duration                 time.Duration
+}
+
 // Middleware wraps h with request-id propagation, structured access
 // logging, and per-route metrics. route is the registered pattern label
 // (passed explicitly — patterns are not recoverable from the request under
 // go1.22); logger may be nil to disable access logs; m may be nil to
 // disable metrics.
 func Middleware(route string, logger *slog.Logger, m *HTTPMetrics, h http.Handler) http.Handler {
+	return MiddlewareObserved(route, logger, m, nil, h)
+}
+
+// MiddlewareObserved is Middleware plus a completion hook: onDone (when
+// non-nil) receives one RequestSample after every request, after the status
+// and latency are final. The hook runs on the request goroutine — keep it
+// cheap.
+func MiddlewareObserved(route string, logger *slog.Logger, m *HTTPMetrics, onDone func(RequestSample), h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get(RequestIDHeader)
 		if id == "" {
@@ -125,6 +141,12 @@ func Middleware(route string, logger *slog.Logger, m *HTTPMetrics, h http.Handle
 			m.inflight.Add(-1)
 			m.requests.With(route, r.Method, statusText(sw.status)).Inc()
 			m.latency.With(route).Observe(elapsed.Seconds())
+		}
+		if onDone != nil {
+			onDone(RequestSample{
+				Route: route, Method: r.Method, RequestID: id,
+				Status: sw.status, Duration: elapsed,
+			})
 		}
 		if logger != nil {
 			logger.LogAttrs(r.Context(), slog.LevelInfo, "request",

@@ -128,6 +128,7 @@ type metric struct {
 type child struct {
 	labelValues []string
 	counter     *Counter
+	gauge       *Gauge
 	histogram   *Histogram
 }
 
@@ -139,6 +140,16 @@ type CounterVec struct{ m *metric }
 func (v *CounterVec) With(labelValues ...string) *Counter {
 	c := v.m.child(labelValues)
 	return c.counter
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ m *metric }
+
+// With returns the child gauge for the given label values, creating it on
+// first use.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	c := v.m.child(labelValues)
+	return c.gauge
 }
 
 // HistogramVec is a histogram family with labels.
@@ -165,6 +176,8 @@ func (m *metric) child(labelValues []string) *child {
 	switch m.kind {
 	case kindCounter:
 		c.counter = &Counter{}
+	case kindGauge:
+		c.gauge = &Gauge{}
 	case kindHistogram:
 		c.histogram = newHistogram(m.buckets)
 	}
@@ -233,6 +246,14 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // GaugeFunc registers a gauge whose value is read from fn at scrape time.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(&metric{name: name, help: help, kind: kindGauge, valueFunc: fn})
+}
+
+// GaugeVec registers a gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	m := &metric{name: name, help: help, kind: kindGauge,
+		labels: append([]string(nil), labels...), children: make(map[string]*child)}
+	r.register(m)
+	return &GaugeVec{m: m}
 }
 
 // Histogram registers and returns an unlabeled histogram with the given
@@ -343,6 +364,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				pairs := labelPairs(m.labels, c.labelValues)
 				if c.counter != nil {
 					fmt.Fprintf(&b, "%s%s %s\n", m.name, pairs, formatValue(c.counter.Value()))
+				} else if c.gauge != nil {
+					fmt.Fprintf(&b, "%s%s %s\n", m.name, pairs, formatValue(c.gauge.Value()))
 				} else if c.histogram != nil {
 					writeHistogram(&b, m.name, pairs, m.buckets, c.histogram)
 				}

@@ -250,3 +250,32 @@ func TestChildOrderingDeterministic(t *testing.T) {
 		t.Errorf("children not sorted:\n%s", strings.Join(got, "\n"))
 	}
 }
+
+func TestGaugeVecExposition(t *testing.T) {
+	reg := NewRegistry()
+	burn := reg.GaugeVec("slo_burn_rate", "Burn rate by objective and window.", "slo", "window")
+	burn.With("align-p99", "5m").Set(2.5)
+	burn.With("align-p99", "1h").Set(0.5)
+	burn.With("error-rate", "5m").Set(0)
+	// Re-setting an existing child must update in place, not duplicate.
+	burn.With("align-p99", "5m").Set(3.5)
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE slo_burn_rate gauge",
+		`slo_burn_rate{slo="align-p99",window="5m"} 3.5`,
+		`slo_burn_rate{slo="align-p99",window="1h"} 0.5`,
+		`slo_burn_rate{slo="error-rate",window="5m"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, `slo="align-p99",window="5m"`); n != 1 {
+		t.Errorf("duplicate series for re-set child: %d occurrences", n)
+	}
+}

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SLO windows: burn rates are computed over a short (fast-burn) and a long
+// (slow-burn) window, the standard multi-window alerting shape. Both are
+// served by one ring of sloBucket-sized buckets covering SLOLongWindow.
+const (
+	SLOShortWindow = 5 * time.Minute
+	SLOLongWindow  = time.Hour
+	sloBucket      = 15 * time.Second
+	sloBuckets     = int(SLOLongWindow / sloBucket)
+)
+
+// Objective is one declarative service-level objective: a name, the fraction
+// of events that must be good, and — for latency objectives — the threshold
+// that separates good from bad.
+type Objective struct {
+	// Name identifies the objective ("align-p99", "error-rate").
+	Name string
+	// Target is the required good fraction in (0, 1), e.g. 0.99.
+	Target float64
+	// Threshold is the latency bound of a latency objective (informational;
+	// the caller classifies events before calling Observe).
+	Threshold time.Duration
+}
+
+// SLOWindowReport is one objective's burn over one window.
+type SLOWindowReport struct {
+	// Window is the human label ("5m", "1h").
+	Window string `json:"window"`
+	// BurnRate is (bad/total)/(1-Target): 1.0 means the error budget is
+	// being consumed exactly as fast as the objective allows; above 1 the
+	// budget is burning down.
+	BurnRate float64 `json:"burnRate"`
+	// Good and Bad are the event counts inside the window.
+	Good uint64 `json:"good"`
+	Bad  uint64 `json:"bad"`
+}
+
+// SLOReport is one objective's verdict.
+type SLOReport struct {
+	Name        string            `json:"name"`
+	Target      float64           `json:"objective"`
+	ThresholdMs float64           `json:"thresholdMs,omitempty"`
+	Windows     []SLOWindowReport `json:"windows"`
+	// Breached reports burn >= 1 on both windows: the short window says the
+	// budget is burning now, the long window says it is not a blip.
+	Breached bool `json:"breached"`
+}
+
+// sloState is one objective's bucketed good/bad history.
+type sloState struct {
+	Objective
+	good, bad [sloBuckets]uint64
+}
+
+// SLOSet tracks a set of objectives in rotating 15-second buckets and
+// computes multi-window burn rates from them. Safe for concurrent use; a nil
+// *SLOSet is a no-op.
+type SLOSet struct {
+	mu       sync.Mutex
+	objs     []*sloState
+	cur      int       // current bucket index, shared by all objectives
+	curStart time.Time // start of the current bucket
+	now      func() time.Time
+}
+
+// NewSLOSet builds a tracker for the given objectives. Objectives with a
+// Target outside (0, 1) are rejected.
+func NewSLOSet(objs ...Objective) (*SLOSet, error) {
+	s := &SLOSet{now: time.Now}
+	for _, o := range objs {
+		if o.Target <= 0 || o.Target >= 1 {
+			return nil, fmt.Errorf("obs: objective %q target %v outside (0, 1)", o.Name, o.Target)
+		}
+		s.objs = append(s.objs, &sloState{Objective: o})
+	}
+	s.curStart = s.now()
+	return s, nil
+}
+
+// setClock injects a fake clock (tests only).
+func (s *SLOSet) setClock(now func() time.Time) {
+	s.mu.Lock()
+	s.now = now
+	s.curStart = now()
+	s.mu.Unlock()
+}
+
+// rotateLocked advances the current bucket to cover now, zeroing any buckets
+// skipped while no events arrived.
+func (s *SLOSet) rotateLocked() {
+	now := s.now()
+	steps := int(now.Sub(s.curStart) / sloBucket)
+	if steps <= 0 {
+		return
+	}
+	if steps > sloBuckets {
+		steps = sloBuckets
+	}
+	for i := 0; i < steps; i++ {
+		s.cur = (s.cur + 1) % sloBuckets
+		for _, o := range s.objs {
+			o.good[s.cur] = 0
+			o.bad[s.cur] = 0
+		}
+	}
+	s.curStart = s.curStart.Add(time.Duration(steps) * sloBucket)
+	// After a long idle gap the bucket start may still lag far behind; snap
+	// it to now so the next rotation is not a full sweep again.
+	if now.Sub(s.curStart) > SLOLongWindow {
+		s.curStart = now
+	}
+}
+
+// Observe records one event against the named objective. Unknown names are
+// ignored (the caller wires a fixed set at startup).
+func (s *SLOSet) Observe(name string, bad bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rotateLocked()
+	for _, o := range s.objs {
+		if o.Name != name {
+			continue
+		}
+		if bad {
+			o.bad[s.cur]++
+		} else {
+			o.good[s.cur]++
+		}
+		break
+	}
+	s.mu.Unlock()
+}
+
+// windowCountsLocked sums the newest n buckets of one objective.
+func (s *SLOSet) windowCountsLocked(o *sloState, n int) (good, bad uint64) {
+	idx := s.cur
+	for i := 0; i < n; i++ {
+		good += o.good[idx]
+		bad += o.bad[idx]
+		idx--
+		if idx < 0 {
+			idx = sloBuckets - 1
+		}
+	}
+	return good, bad
+}
+
+// burnRate is (bad/total)/(1-target); 0 when the window saw no events.
+func burnRate(good, bad uint64, target float64) float64 {
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - target)
+}
+
+// Burn returns the named objective's burn rate over the given window
+// (rounded up to whole buckets, capped at the long window).
+func (s *SLOSet) Burn(name string, window time.Duration) float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rotateLocked()
+	n := bucketsFor(window)
+	for _, o := range s.objs {
+		if o.Name == name {
+			good, bad := s.windowCountsLocked(o, n)
+			return burnRate(good, bad, o.Target)
+		}
+	}
+	return 0
+}
+
+func bucketsFor(window time.Duration) int {
+	n := int((window + sloBucket - 1) / sloBucket)
+	if n < 1 {
+		n = 1
+	}
+	if n > sloBuckets {
+		n = sloBuckets
+	}
+	return n
+}
+
+// Report snapshots every objective's verdict over the short and long
+// windows. Nil-safe: a nil set reports nothing.
+func (s *SLOSet) Report() []SLOReport {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rotateLocked()
+	out := make([]SLOReport, 0, len(s.objs))
+	for _, o := range s.objs {
+		rep := SLOReport{
+			Name:        o.Name,
+			Target:      o.Target,
+			ThresholdMs: float64(o.Threshold) / float64(time.Millisecond),
+		}
+		breached := true
+		for _, w := range []struct {
+			label string
+			d     time.Duration
+		}{{"5m", SLOShortWindow}, {"1h", SLOLongWindow}} {
+			good, bad := s.windowCountsLocked(o, bucketsFor(w.d))
+			burn := burnRate(good, bad, o.Target)
+			rep.Windows = append(rep.Windows, SLOWindowReport{
+				Window: w.label, BurnRate: burn, Good: good, Bad: bad,
+			})
+			if burn < 1 {
+				breached = false
+			}
+		}
+		rep.Breached = breached
+		out = append(out, rep)
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func newTestSLOSet(t *testing.T, objs ...Objective) (*SLOSet, *time.Time) {
+	t.Helper()
+	s, err := NewSLOSet(objs...)
+	if err != nil {
+		t.Fatalf("NewSLOSet: %v", err)
+	}
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	s.setClock(func() time.Time { return now })
+	return s, &now
+}
+
+func TestSLOSetRejectsBadTargets(t *testing.T) {
+	for _, target := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := NewSLOSet(Objective{Name: "x", Target: target}); err == nil {
+			t.Errorf("target %v accepted, want error", target)
+		}
+	}
+}
+
+func TestSLOBurnRateMath(t *testing.T) {
+	// Target 0.99 allows 1% bad. 10 bad out of 100 is a 10% bad fraction:
+	// burn = 0.10 / 0.01 = 10.
+	s, _ := newTestSLOSet(t, Objective{Name: "lat", Target: 0.99})
+	for i := 0; i < 90; i++ {
+		s.Observe("lat", false)
+	}
+	for i := 0; i < 10; i++ {
+		s.Observe("lat", true)
+	}
+	if burn := s.Burn("lat", SLOShortWindow); math.Abs(burn-10) > 1e-9 {
+		t.Errorf("burn = %v, want 10", burn)
+	}
+	// Exactly at the allowance: 1 bad in 100 -> burn 1.
+	s2, _ := newTestSLOSet(t, Objective{Name: "lat", Target: 0.99})
+	for i := 0; i < 99; i++ {
+		s2.Observe("lat", false)
+	}
+	s2.Observe("lat", true)
+	if burn := s2.Burn("lat", SLOShortWindow); math.Abs(burn-1) > 1e-9 {
+		t.Errorf("burn at allowance = %v, want 1", burn)
+	}
+	// An empty window burns nothing.
+	s3, _ := newTestSLOSet(t, Objective{Name: "lat", Target: 0.99})
+	if burn := s3.Burn("lat", SLOShortWindow); burn != 0 {
+		t.Errorf("empty-window burn = %v, want 0", burn)
+	}
+}
+
+// TestSLOWindowRotation checks that events age out of the short window but
+// stay inside the long one, and that a long idle gap clears everything.
+func TestSLOWindowRotation(t *testing.T) {
+	s, now := newTestSLOSet(t, Objective{Name: "err", Target: 0.9})
+	s.Observe("err", true) // 1 bad, burn = (1/1)/0.1 = 10 on both windows
+
+	if burn := s.Burn("err", SLOShortWindow); math.Abs(burn-10) > 1e-9 {
+		t.Fatalf("initial short burn = %v, want 10", burn)
+	}
+	// Advance past the short window: the bad event leaves the 5m window but
+	// stays inside the 1h one.
+	*now = now.Add(SLOShortWindow + sloBucket)
+	if burn := s.Burn("err", SLOShortWindow); burn != 0 {
+		t.Errorf("short burn after %v = %v, want 0", SLOShortWindow+sloBucket, burn)
+	}
+	if burn := s.Burn("err", SLOLongWindow); math.Abs(burn-10) > 1e-9 {
+		t.Errorf("long burn inside the hour = %v, want 10", burn)
+	}
+	// Advance past the long window: everything ages out.
+	*now = now.Add(SLOLongWindow + sloBucket)
+	if burn := s.Burn("err", SLOLongWindow); burn != 0 {
+		t.Errorf("long burn after expiry = %v, want 0", burn)
+	}
+}
+
+func TestSLOReportBreachNeedsBothWindows(t *testing.T) {
+	s, now := newTestSLOSet(t, Objective{Name: "err", Target: 0.9, Threshold: 250 * time.Millisecond})
+
+	// Sustained failure: every event bad -> burn 10 on both windows.
+	s.Observe("err", true)
+	rep := s.Report()
+	if len(rep) != 1 {
+		t.Fatalf("got %d reports, want 1", len(rep))
+	}
+	if !rep[0].Breached {
+		t.Errorf("sustained burn not reported as breached: %+v", rep[0])
+	}
+	if rep[0].ThresholdMs != 250 {
+		t.Errorf("ThresholdMs = %v, want 250", rep[0].ThresholdMs)
+	}
+	if len(rep[0].Windows) != 2 || rep[0].Windows[0].Window != "5m" || rep[0].Windows[1].Window != "1h" {
+		t.Fatalf("windows = %+v, want 5m then 1h", rep[0].Windows)
+	}
+
+	// A blip that has left the short window must not count as a breach even
+	// though the long window still burns.
+	*now = now.Add(SLOShortWindow + sloBucket)
+	s.Observe("err", false) // keep the short window non-empty and healthy
+	rep = s.Report()
+	if rep[0].Windows[0].BurnRate != 0 {
+		t.Errorf("short burn = %v, want 0", rep[0].Windows[0].BurnRate)
+	}
+	if rep[0].Windows[1].BurnRate == 0 {
+		t.Errorf("long burn = 0, want > 0 (the blip is still inside the hour)")
+	}
+	if rep[0].Breached {
+		t.Errorf("old blip reported as breached: %+v", rep[0])
+	}
+}
+
+func TestSLOUnknownNameIgnored(t *testing.T) {
+	s, _ := newTestSLOSet(t, Objective{Name: "err", Target: 0.9})
+	s.Observe("nonesuch", true)
+	if burn := s.Burn("nonesuch", SLOShortWindow); burn != 0 {
+		t.Errorf("unknown objective burn = %v, want 0", burn)
+	}
+	if burn := s.Burn("err", SLOShortWindow); burn != 0 {
+		t.Errorf("err burn = %v, want 0 (the observation targeted another name)", burn)
+	}
+}
+
+func TestSLONilSetIsNoOp(t *testing.T) {
+	var s *SLOSet
+	s.Observe("x", true) // must not panic
+	if burn := s.Burn("x", SLOShortWindow); burn != 0 {
+		t.Errorf("nil Burn = %v, want 0", burn)
+	}
+	if rep := s.Report(); rep != nil {
+		t.Errorf("nil Report = %+v, want nil", rep)
+	}
+}

@@ -234,6 +234,10 @@ func (t *Trace) Spans() []Span {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.spansLocked()
+}
+
+func (t *Trace) spansLocked() []Span {
 	out := make([]Span, 0, t.n)
 	start := t.head - t.n
 	if start < 0 {
@@ -305,8 +309,12 @@ func (t *Trace) ChromeTrace() ([]byte, error) {
 	if t == nil {
 		return json.Marshal(chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"})
 	}
-	spans := t.Spans()
+	// One locked snapshot: spans and the recorded/dropped counts must come
+	// from the same instant, or a concurrently recording run could export a
+	// trace whose metadata disagrees with its own event list (e.g. a
+	// dropped_spans count that excludes spans evicted between two reads).
 	t.mu.Lock()
+	spans := t.spansLocked()
 	label, dropped, total := t.label, t.dropped, t.total
 	t.mu.Unlock()
 	if label == "" {
@@ -367,7 +375,10 @@ func (t *Trace) ChromeTrace() ([]byte, error) {
 		Metadata: map[string]any{
 			"exporter":       "fastlsa/internal/obs",
 			"spans_recorded": total,
-			"spans_dropped":  dropped,
+			// dropped_spans is the documented key; spans_dropped is kept for
+			// consumers of the earlier export shape.
+			"dropped_spans": dropped,
+			"spans_dropped": dropped,
 		},
 	})
 }

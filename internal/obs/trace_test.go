@@ -249,3 +249,29 @@ func BenchmarkEnabledTrace(b *testing.B) {
 		tr.End(SpanFillTile, CatWavefront, s, Tags{Rows: 32, Cols: 32, Phase: 2})
 	}
 }
+
+// Regression: a ring-overflowed trace must report how many spans its export
+// is missing — a Perfetto view that silently hides dropped spans reads as a
+// complete timeline when it is not.
+func TestChromeTraceReportsDroppedSpans(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.End(SpanFillTile, CatWavefront, tr.Begin(), Tags{Rows: i})
+	}
+	b, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatalf("ChromeTrace: %v", err)
+	}
+	var f struct {
+		Metadata map[string]any `json:"metadata"`
+	}
+	if err := json.Unmarshal(b, &f); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v", err)
+	}
+	if f.Metadata["dropped_spans"] != float64(6) {
+		t.Errorf("metadata dropped_spans = %v, want 6", f.Metadata["dropped_spans"])
+	}
+	if f.Metadata["spans_recorded"] != float64(10) {
+		t.Errorf("metadata spans_recorded = %v, want 10", f.Metadata["spans_recorded"])
+	}
+}

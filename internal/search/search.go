@@ -22,11 +22,13 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fastlsa/internal/core"
 	"fastlsa/internal/fm"
@@ -97,6 +99,32 @@ type Options struct {
 	OnHit func(Hit)
 	// Trace, when non-nil, records filter/verify/reconstruct phase spans.
 	Trace *obs.Trace
+	// Recorder, when non-nil, receives flight-recorder phase events
+	// mirroring the trace spans. Nil-safe.
+	Recorder *obs.Recorder
+	// Prof, when non-nil, is the pprof-labelled base context the search's
+	// {backend="search", phase} CPU-attribution labels merge into.
+	Prof context.Context
+}
+
+// phaseStart stamps a flight-recorder phase start (zero when no recorder is
+// attached, so the disabled path never reads the clock).
+func (o Options) phaseStart() time.Time {
+	if o.Recorder == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// phaseEvent logs one completed phase span into the search's flight recorder.
+func (o Options) phaseEvent(name string, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	o.Recorder.Add(obs.Event{
+		Kind: obs.EvPhase, Detail: name, Extra: obs.CatSearch,
+		Duration: time.Since(start),
+	})
 }
 
 // topKFloor tracks the k-th best eligible score seen so far (a min-heap of
@@ -210,7 +238,11 @@ func Query(query *seq.Sequence, db []*seq.Sequence, opt Options) ([]Hit, error) 
 			return nil, fmt.Errorf("search: index covers %d entries, database has %d (build the index over the same database)", got, len(db))
 		}
 		start := opt.Trace.Begin()
+		fp := obs.ProfPhaseBegin(opt.Prof, "search", obs.SpanSearchFilter)
+		f0 := opt.phaseStart()
 		list, probe, err := opt.Index.Candidates(query, opt.Matrix, gap, opt.MinScore)
+		fp.End()
+		opt.phaseEvent(obs.SpanSearchFilter, f0)
 		opt.Trace.End(obs.SpanSearchFilter, obs.CatSearch, start, obs.Tags{Rows: probe.Scanned, Cols: probe.Candidates})
 		if err != nil {
 			return nil, err
@@ -265,6 +297,8 @@ func Query(query *seq.Sequence, db []*seq.Sequence, opt Options) ([]Hit, error) 
 		errMu.Unlock()
 	}
 	vStart := opt.Trace.Begin()
+	vp := obs.ProfPhaseBegin(opt.Prof, "search", obs.SpanSearchVerify)
+	v0 := opt.phaseStart()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -319,6 +353,8 @@ func Query(query *seq.Sequence, db []*seq.Sequence, opt Options) ([]Hit, error) 
 		}()
 	}
 	wg.Wait()
+	vp.End()
+	opt.phaseEvent(obs.SpanSearchVerify, v0)
 	opt.Trace.End(obs.SpanSearchVerify, obs.CatSearch, vStart, obs.Tags{Rows: len(cands), Cols: int(examined.Load())})
 	opt.Counters.AddSearchExamined(examined.Load())
 	if scanErr != nil {
@@ -371,6 +407,9 @@ func Query(query *seq.Sequence, db []*seq.Sequence, opt Options) ([]Hit, error) 
 		popt.Counters = opt.Counters
 	}
 	rStart := opt.Trace.Begin()
+	rp := obs.ProfPhaseBegin(opt.Prof, "search", obs.SpanSearchReconstruct)
+	defer rp.End()
+	r0 := opt.phaseStart()
 	for i := 0; i < nAlign; i++ {
 		if err := opt.Counters.Cancelled(); err != nil {
 			return nil, err
@@ -386,6 +425,7 @@ func Query(query *seq.Sequence, db []*seq.Sequence, opt Options) ([]Hit, error) 
 		locCopy := loc
 		hits[i].Alignment = &locCopy
 	}
+	opt.phaseEvent(obs.SpanSearchReconstruct, r0)
 	opt.Trace.End(obs.SpanSearchReconstruct, obs.CatSearch, rStart, obs.Tags{Rows: nAlign})
 	return hits, nil
 }

@@ -498,7 +498,11 @@ func (r *biRunner) solve(a, ar, b, br []byte, S int) error {
 		return nil
 	}
 	if S <= biCutoff(r.pen) {
-		path, cost, err := alignFull(a, b, r.pen, Options{Budget: r.opt.Budget, Counters: r.opt.Counters})
+		// Trace and Recorder are deliberately not threaded: the many base-case
+		// sub-alignments would swamp both; the whole BiAlign run is one span /
+		// phase event at the top. Prof is threaded so the sub-runs' labels nest
+		// under (and restore to) the wfa-biwfa labels.
+		path, cost, err := alignFull(a, b, r.pen, Options{Budget: r.opt.Budget, Counters: r.opt.Counters, Prof: r.opt.Prof})
 		if err != nil {
 			return err
 		}
@@ -572,19 +576,25 @@ func BiAlign(a, b *seq.Sequence, mat *scoring.Matrix, gap scoring.Gap, opt Optio
 	}
 
 	start := opt.Trace.Begin()
+	ps := obs.ProfPhaseBegin(opt.Prof, "wfa", obs.SpanWFABi)
+	defer ps.End()
+	t0 := phaseStart(opt)
 	S, err := biScore(ra, rb, pen, opt)
 	if err != nil {
 		return fm.Result{}, err
 	}
 	// The reversed copies are O(m+n) input scratch, uncharged like the
 	// linear-space kernels' row buffers; subproblems slice them.
+	inner := opt
+	inner.Prof = ps.Context(opt.Prof)
 	r := &biRunner{
-		pen: pen, mat: mat, gap: gap, alphabet: a.Alphabet, opt: opt,
+		pen: pen, mat: mat, gap: gap, alphabet: a.Alphabet, opt: inner,
 		moves: make([]align.Move, 0, m+n),
 	}
 	if err := r.solve(ra, reversed(ra), rb, reversed(rb), S); err != nil {
 		return fm.Result{}, err
 	}
+	phaseEvent(opt, obs.SpanWFABi, t0)
 	opt.Trace.End(obs.SpanWFABi, obs.CatWFA, start, obs.Tags{Rows: m, Cols: n})
 	score, err := pen.Score(m, n, int64(S))
 	if err != nil {

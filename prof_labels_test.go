@@ -1,0 +1,80 @@
+package fastlsa_test
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"runtime/pprof"
+	"testing"
+	"time"
+
+	"fastlsa"
+	"fastlsa/internal/obs"
+	"fastlsa/internal/seq"
+	"fastlsa/internal/testutil"
+)
+
+// TestCPUProfileCarriesBackendPhaseLabels is the CPU-attribution acceptance
+// test: a CPU profile captured during mixed FastLSA/WFA load must attribute
+// samples to both backends and their phases via pprof labels. The profile is
+// a gzipped protobuf; with no profile decoder available, the assertion scans
+// the decompressed string table — label keys and values are plain strings
+// there, so their presence proves labelled samples were taken.
+func TestCPUProfileCarriesBackendPhaseLabels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("burns ~1.5s of CPU to collect profile samples")
+	}
+	obs.SetProfLabels(true)
+	defer obs.SetProfLabels(false)
+
+	a, b := testutil.HomologousPair(2000, seq.DNA, 3)
+	sa, err := fastlsa.NewSequence("a", a.String(), fastlsa.DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := fastlsa.NewSequence("b", b.String(), fastlsa.DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Fatalf("StartCPUProfile: %v", err)
+	}
+	// ~700ms of wall time per backend: at the default 100 Hz sampling rate
+	// that is on the order of 70 samples each, far more than the one labelled
+	// sample per backend the assertion needs.
+	for _, algo := range []fastlsa.Algorithm{fastlsa.AlgoFastLSA, fastlsa.AlgoWFA} {
+		for start := time.Now(); time.Since(start) < 700*time.Millisecond; {
+			if _, err := fastlsa.Align(sa, sb, fastlsa.Options{
+				Matrix:    fastlsa.DNASimple,
+				Gap:       fastlsa.Linear(-4),
+				Algorithm: algo,
+			}); err != nil {
+				pprof.StopCPUProfile()
+				t.Fatalf("align (%v): %v", algo, err)
+			}
+		}
+	}
+	pprof.StopCPUProfile()
+
+	gz, err := gzip.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("profile is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatalf("decompress profile: %v", err)
+	}
+
+	for _, want := range []string{
+		"backend", "phase", // the label keys
+		"fastlsa", "wfa", // both backends' label values
+		obs.SpanGridFill, // a FastLSA phase
+		obs.SpanWFABi,    // a WFA phase (AlgoWFA's global mode runs BiWFA)
+	} {
+		if !bytes.Contains(raw, []byte(want)) {
+			t.Errorf("profile string table lacks %q: labelled samples missing", want)
+		}
+	}
+}
