@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fastlsa"
+	"fastlsa/internal/journal"
 	"fastlsa/internal/obs"
 )
 
@@ -71,6 +72,9 @@ type jobView struct {
 	// Attempts counts executions started so far (> 1 means the job retried).
 	Attempts int    `json:"attempts,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// Recovered marks a job re-enqueued from the durable journal after a
+	// restart (docs/DURABILITY.md).
+	Recovered bool `json:"recovered,omitempty"`
 	// Result carries the endpoint-shaped response once the job succeeded.
 	Result any `json:"result,omitempty"`
 	// Events is the job's flight-recorder timeline, included when the view
@@ -88,6 +92,7 @@ func viewOf(info fastlsa.JobInfo, result any) jobView {
 		Submitted: info.Submitted,
 		Attempts:  info.Attempts,
 		Error:     info.Err,
+		Recovered: info.Recovered,
 		Result:    result,
 	}
 	if !info.Started.IsZero() {
@@ -101,68 +106,84 @@ func viewOf(info fastlsa.JobInfo, result any) jobView {
 
 // handleJobSubmit accepts a job and replies 202 with its queued view. The
 // job's lifetime is not tied to this request: poll GET /v1/jobs/{id} for the
-// outcome, DELETE it to cancel.
+// outcome, DELETE it to cancel. With the durable journal enabled the job is
+// journalled before submission and an Idempotency-Key header makes retries
+// of the same submission land on the existing job (docs/DURABILITY.md).
 func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.recovering.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"error": "server is recovering journalled jobs", "phase": "recovering",
+		})
+		return
+	}
 	var req jobRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
+	}
+	idemKey := r.Header.Get("Idempotency-Key")
+	if idemKey != "" && s.journal == nil {
+		writeErr(w, http.StatusBadRequest,
+			"Idempotency-Key requires the durable journal (start the server with -data-dir)")
+		return
+	}
+	if idemKey != "" {
+		if id := s.idemLookup(idemKey); id != "" {
+			s.writeExistingJob(w, id)
+			return
+		}
 	}
 	// Every async job gets a flight recorder: the engine logs the lifecycle
 	// (admission, attempt starts, retries, completion) and the task builders
 	// thread it into the run so routing and degradation decisions land on the
 	// same timeline. Snapshot it via GET /v1/jobs/{id}/events or ?events=1.
 	rec := fastlsa.NewRecorder(0)
-	var (
-		task func(ctx context.Context) (any, error)
-		kind string
-		err  error
-	)
-	switch req.Type {
-	case "align":
-		if req.Align == nil {
-			writeErr(w, http.StatusBadRequest, `"align" body required for type align`)
-			return
-		}
-		kind = "align"
-		if req.Align.Local {
-			kind = "align-local"
-		}
-		a := *req.Align
-		if r.URL.Query().Get("trace") == "1" {
-			a.Trace = true
-		}
-		task, err = s.alignTask(a, rec)
-	case "msa":
-		if req.MSA == nil {
-			writeErr(w, http.StatusBadRequest, `"msa" body required for type msa`)
-			return
-		}
-		kind = "msa"
-		task, err = s.msaTask(*req.MSA)
-	case "search":
-		if req.Search == nil {
-			writeErr(w, http.StatusBadRequest, `"search" body required for type search`)
-			return
-		}
-		kind = "search"
-		task, err = s.searchTask(*req.Search, rec)
-	default:
-		writeErr(w, http.StatusBadRequest, "unknown job type %q (want align, msa or search)", req.Type)
-		return
+	if req.Align != nil && r.URL.Query().Get("trace") == "1" {
+		req.Align.Trace = true
 	}
+	task, kind, err := s.buildJobTask(req, rec)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	j, err := s.eng.SubmitFunc(kind, task, fastlsa.JobOptions{
+	jo := fastlsa.JobOptions{
 		Priority:  req.Priority,
 		Timeout:   time.Duration(req.TimeoutSec * float64(time.Second)),
 		RequestID: obs.RequestID(r.Context()),
 		Retry:     req.Retry.policy(),
 		Recorder:  rec,
-	})
+	}
+	if s.journal != nil {
+		// Durable path: mint the id, register it, and journal the accepted
+		// record BEFORE the engine can emit any event for the job — a crash
+		// after admission must find the accepted record (else the engine's
+		// started/terminal appends would be dropped as non-durable and the
+		// job would run twice).
+		id := s.newDurableID()
+		if idemKey != "" {
+			if winner, bound := s.idemBind(idemKey, id); !bound {
+				s.writeExistingJob(w, winner)
+				return
+			}
+		}
+		s.markDurable(id)
+		if err := s.journalAccepted(id, kind, idemKey, req); err != nil {
+			s.writeTaskErr(w, fmt.Errorf("journal: %w", err))
+			return
+		}
+		jo.ID = id
+	}
+	j, err := s.eng.SubmitFunc(kind, task, jo)
 	if err != nil {
+		if jo.ID != "" {
+			// Accepted record exists but the job never entered the queue:
+			// journal a terminal failure so the next boot cannot resurrect it.
+			_ = s.journal.Append(journal.Record{
+				Type: journal.TypeTerminal, JobID: jo.ID, At: time.Now(),
+				State: "failed", Error: err.Error(),
+			})
+		}
 		s.writeTaskErr(w, err)
 		return
 	}
@@ -170,11 +191,32 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, viewOf(j.Info(), nil))
 }
 
+// writeExistingJob serves an Idempotency-Key hit: the engine's live or
+// retained view when available, the journalled terminal view for jobs that
+// finished before a crash, 404 when the id has been evicted everywhere.
+func (s *server) writeExistingJob(w http.ResponseWriter, id string) {
+	if j, err := s.eng.Job(id); err == nil {
+		writeJSON(w, http.StatusAccepted, viewOf(j.Info(), nil))
+		return
+	}
+	if v, ok := s.journalledView(id); ok {
+		writeJSON(w, http.StatusAccepted, v)
+		return
+	}
+	writeErr(w, http.StatusNotFound, "idempotency key maps to unknown job %s", id)
+}
+
 // handleJobGet reports one job, including its result once succeeded.
-// ?events=1 opts the flight-recorder timeline into the view.
+// ?events=1 opts the flight-recorder timeline into the view. A job the
+// engine no longer knows (terminal before a crash, not resubmitted) is
+// served from the journal's aggregate.
 func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	j, err := s.eng.Job(r.PathValue("id"))
 	if err != nil {
+		if v, ok := s.journalledView(r.PathValue("id")); ok {
+			writeJSON(w, http.StatusOK, v)
+			return
+		}
 		writeErr(w, jobLookupStatus(err), "%v", err)
 		return
 	}

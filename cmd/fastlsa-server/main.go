@@ -32,6 +32,15 @@
 // drains in-flight jobs until the drain deadline, then cancels the remainder
 // and exits.
 //
+// Durability: -data-dir enables the durable job journal — every async job is
+// recorded in a CRC-framed append-only WAL (accepted with its full request,
+// then started/retried/terminal), FastLSA alignments persist grid-cache
+// checkpoints at block-row boundaries, and on restart non-terminal jobs are
+// re-enqueued (resuming from their checkpoints) while /readyz reports
+// {"phase":"recovering"}. An Idempotency-Key header on POST /v1/jobs makes
+// submission retries land on the existing job, across crashes included.
+// -journal-fsync picks the durability/latency trade. See docs/DURABILITY.md.
+//
 // Corpus search: -corpus loads a FASTA database at startup and builds a
 // q-gram seed-filter index over it once (see docs/SEARCH.md). GET /v1/search
 // (and POST bodies with no inline database) then search the corpus through
@@ -89,6 +98,7 @@ import (
 
 	"fastlsa"
 	"fastlsa/internal/fault"
+	"fastlsa/internal/journal"
 )
 
 func main() {
@@ -114,6 +124,9 @@ func main() {
 		brkBurn      = flag.Float64("breaker-burn", 0, "error-rate fast-burn rate that also sheds synchronous requests (0 disables)")
 		profLabels   = flag.Bool("prof-labels", true, "attach pprof labels (job_id, backend, phase) to alignment work")
 		profInterval = flag.Duration("prof-interval", 0, "continuous runtime-capture sampling interval (0 disables)")
+
+		dataDir      = flag.String("data-dir", "", "directory for the durable job journal; async jobs survive crashes and restarts (empty = in-memory only)")
+		journalFsync = flag.String("journal-fsync", "interval", "journal fsync policy: always, interval or never")
 
 		corpusPath  = flag.String("corpus", "", "FASTA corpus to index at startup for GET /v1/search")
 		corpusAlpha = flag.String("corpus-alphabet", "dna", "corpus alphabet (dna or protein)")
@@ -163,8 +176,12 @@ func main() {
 		errSLO = -1
 	}
 
+	if !journal.ValidFsync(*journalFsync) {
+		log.Fatalf("-journal-fsync: unknown policy %q (want always, interval or never)", *journalFsync)
+	}
+
 	timeout := time.Duration(*timeoutSec) * time.Second
-	app := newServer(serverConfig{
+	app, err := newServerDurable(serverConfig{
 		MaxSequenceLen:     *maxLen,
 		MaxBodyBytes:       *maxBody,
 		MaxMSASequences:    *maxFamily,
@@ -185,7 +202,12 @@ func main() {
 		BreakerBurn:        *brkBurn,
 		ProfLabels:         *profLabels,
 		ProfInterval:       *profInterval,
+		DataDir:            *dataDir,
+		JournalFsync:       *journalFsync,
 	})
+	if err != nil {
+		log.Fatalf("startup: %v", err)
+	}
 	// The TimeoutHandler buffers whole responses (it never exposes
 	// http.Flusher), which would defeat per-hit flushing — streaming search
 	// requests route around it and carry their deadline on the request

@@ -70,9 +70,17 @@ func (s *server) retryAfterHint() time.Duration {
 func (s *server) beginDrain() { s.draining.Store(true) }
 
 // handleReadyz is the readiness probe: 200 while the server accepts work,
-// 503 once draining. Liveness (/healthz) is deliberately separate — a
-// draining server is not ready, but it is alive.
+// 503 while startup journal replay is still re-enqueuing pre-crash jobs
+// ({"phase": "recovering"}), 503 once draining. Liveness (/healthz) is
+// deliberately separate — a recovering or draining server is not ready, but
+// it is alive.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.recovering.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "recovering", "phase": "recovering",
+		})
+		return
+	}
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"fastlsa"
+	"fastlsa/internal/journal"
 	"fastlsa/internal/obs"
 )
 
@@ -84,6 +85,18 @@ type serverConfig struct {
 	// process snapshot (goroutines, heap, GC, CPU) per interval into a ring
 	// served by GET /v1/debug/incidents alongside the incidents.
 	ProfInterval time.Duration
+	// DataDir, when non-empty, enables the durable job journal: async jobs
+	// (POST /v1/jobs) are recorded in an append-only WAL under this
+	// directory, grid-cache checkpoints are persisted alongside, and on
+	// restart non-terminal jobs are replayed and re-enqueued
+	// (docs/DURABILITY.md). Empty keeps the server fully in-memory.
+	DataDir string
+	// JournalFsync selects the journal's fsync policy: "always",
+	// "interval" (default) or "never".
+	JournalFsync string
+	// JournalSegmentBytes overrides the journal's segment rotation
+	// threshold (0 = 4 MiB; tests shrink it to exercise rotation).
+	JournalSegmentBytes int64
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -167,22 +180,72 @@ type server struct {
 	// capture loop (nil unless -prof-interval is set).
 	incidents *incidentRing
 	sampler   *obs.ProfSampler
+	// Durable-journal state (nil/zero without -data-dir; durability.go).
+	// journal is the append-only WAL; recovering gates /readyz and POST
+	// /v1/jobs while startup replay re-enqueues pre-crash jobs.
+	journal    *journal.Journal
+	recovering atomic.Bool
+	bootID     string
+	durableSeq atomic.Uint64
+	// durableIDs is the set of journal-backed job ids (the event hook's
+	// filter); journalDone holds terminal pre-crash jobs so Idempotency-Key
+	// retries find them instead of duplicating work. Both under durableMu.
+	durableMu   sync.Mutex
+	durableIDs  map[string]struct{}
+	journalDone map[string]*journal.JobRecord
+	// idemIndex maps Idempotency-Key headers to job ids (rebuilt from the
+	// journal on restart).
+	idemMu    sync.Mutex
+	idemIndex map[string]string
+	// recoveryTrace records the startup journal.replay span.
+	recoveryTrace *obs.Trace
 }
 
-// newServer builds the HTTP handler tree backed by a fresh job engine.
+// newServer builds the HTTP handler tree backed by a fresh job engine. With
+// cfg.DataDir set it also opens the durable journal, replays it, and
+// re-enqueues every pre-crash non-terminal job before returning (a call to
+// newServerDurable gets the journal-open error instead of a panic).
 func newServer(cfg serverConfig) *server {
+	s, err := newServerDurable(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func newServerDurable(cfg serverConfig) (*server, error) {
 	cfg = cfg.withDefaults()
 	s := &server{
-		cfg:       cfg,
-		metrics:   &fastlsa.Counters{},
-		breaker:   newBreaker(cfg.BreakerWait, cfg.BreakerCooldown, cfg.BreakerWindow),
-		reg:       obs.NewRegistry(),
-		logger:    cfg.Logger,
-		start:     time.Now(),
-		corpus:    cfg.Corpus,
-		limiter:   newRateLimiter(cfg.SearchRate, cfg.SearchBurst),
-		profSeen:  make(map[[2]string]time.Duration),
-		incidents: newIncidentRing(defaultIncidents),
+		cfg:         cfg,
+		metrics:     &fastlsa.Counters{},
+		breaker:     newBreaker(cfg.BreakerWait, cfg.BreakerCooldown, cfg.BreakerWindow),
+		reg:         obs.NewRegistry(),
+		logger:      cfg.Logger,
+		start:       time.Now(),
+		corpus:      cfg.Corpus,
+		limiter:     newRateLimiter(cfg.SearchRate, cfg.SearchBurst),
+		profSeen:    make(map[[2]string]time.Duration),
+		incidents:   newIncidentRing(defaultIncidents),
+		durableIDs:  make(map[string]struct{}),
+		journalDone: make(map[string]*journal.JobRecord),
+		idemIndex:   make(map[string]string),
+	}
+	// Open the journal before the engine exists: the replay summary drives
+	// recovery, and the engine's event hook must never observe a nil journal.
+	var replay *journal.ReplaySummary
+	if cfg.DataDir != "" {
+		j, sum, err := journal.Open(cfg.DataDir, journal.Options{
+			Fsync:        cfg.JournalFsync,
+			SegmentBytes: cfg.JournalSegmentBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("open journal: %w", err)
+		}
+		s.journal = j
+		replay = sum
+		s.bootID = fmt.Sprintf("%x", time.Now().UnixNano())
+		s.recoveryTrace = obs.NewTrace(0)
+		s.recovering.Store(true)
 	}
 	// Declarative objectives: align-p99 classifies POST /v1/align latency
 	// against cfg.SLOAlignP99, error-rate classifies every response's status.
@@ -227,7 +290,7 @@ func newServer(cfg serverConfig) *server {
 		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30})
 	// Every job pickup feeds both the latency histogram and the overload
 	// breaker, which sheds synchronous requests while the p95 is unhealthy.
-	s.eng = fastlsa.NewEngine(fastlsa.EngineConfig{
+	engCfg := fastlsa.EngineConfig{
 		Workers:            cfg.EngineWorkers,
 		QueueDepth:         cfg.QueueDepth,
 		MaxRetained:        cfg.MaxRetained,
@@ -236,7 +299,11 @@ func newServer(cfg serverConfig) *server {
 			s.queueWait.Observe(d.Seconds())
 			s.breaker.observe(d)
 		},
-	})
+	}
+	if s.journal != nil {
+		engCfg.OnJobEvent = s.onJobEvent
+	}
+	s.eng = fastlsa.NewEngine(engCfg)
 	s.registerMetrics()
 
 	mux := http.NewServeMux()
@@ -266,7 +333,15 @@ func newServer(cfg serverConfig) *server {
 	s.handle(mux, "POST /v1/batch", withLimits(cfg, s.handleBatch))
 	s.handle(mux, "GET /v1/stats", http.HandlerFunc(s.handleStats))
 	s.Handler = mux
-	return s
+	// Replay recovery runs synchronously: by the time the server is handed to
+	// a listener every pre-crash job is back in the queue and /readyz reports
+	// ready. The recovering flag still gates the handlers, so anything that
+	// observes the server mid-construction (or a test exercising the gate)
+	// sees the not-ready contract.
+	if s.journal != nil {
+		s.recoverJobs(replay)
+	}
+	return s, nil
 }
 
 // handle registers pattern on mux behind the observability middleware: every
@@ -331,6 +406,31 @@ func (s *server) registerMetrics() {
 	s.reg.CounterFunc("fastlsa_engine_batch_units_total",
 		"Jobs fanned out by batch submissions.",
 		engStat(func(st fastlsa.EngineStats) float64 { return float64(st.BatchUnits) }))
+	s.reg.CounterFunc("fastlsa_jobs_recovered_total",
+		"Jobs re-enqueued from the durable journal after a restart.",
+		engStat(func(st fastlsa.EngineStats) float64 { return float64(st.Recovered) }))
+	s.reg.CounterFunc("fastlsa_jobs_abandoned_total",
+		"Jobs cancelled by the shutdown drain deadline (left non-terminal in the journal for the next boot).",
+		engStat(func(st fastlsa.EngineStats) float64 { return float64(st.Abandoned) }))
+	s.reg.GaugeFunc("fastlsa_recovery_in_progress",
+		"1 while startup journal replay is re-enqueuing pre-crash jobs, 0 otherwise.",
+		func() float64 {
+			if s.recovering.Load() {
+				return 1
+			}
+			return 0
+		})
+	if s.journal != nil {
+		s.reg.CounterFunc("fastlsa_journal_appends_total",
+			"Records appended to the durable job journal.",
+			func() float64 { return float64(s.journal.Stats().Appends) })
+		s.reg.CounterFunc("fastlsa_journal_bytes_total",
+			"Bytes written to the durable job journal (framing included).",
+			func() float64 { return float64(s.journal.Stats().Bytes) })
+		s.reg.GaugeFunc("fastlsa_journal_segments",
+			"Live WAL segment files in the journal directory.",
+			func() float64 { return float64(s.journal.Stats().Segments) })
+	}
 
 	s.reg.CounterFunc("fastlsa_align_cells_total",
 		"DP matrix cells computed across all requests.",
@@ -353,6 +453,12 @@ func (s *server) registerMetrics() {
 	s.reg.CounterFunc("fastlsa_align_seq_fill_fallbacks_total",
 		"Parallel fills degraded to the sequential path by the memory budget.",
 		func() float64 { return float64(s.metrics.SeqFillFallbacks.Load()) })
+	s.reg.CounterFunc("fastlsa_align_checkpoint_saves_total",
+		"Grid-cache snapshots persisted through checkpoint sinks.",
+		func() float64 { return float64(s.metrics.CheckpointSaves.Load()) })
+	s.reg.CounterFunc("fastlsa_align_checkpoint_restores_total",
+		"Runs that resumed their grid cache from a persisted checkpoint.",
+		func() float64 { return float64(s.metrics.CheckpointRestores.Load()) })
 	s.reg.GaugeFunc("fastlsa_align_peak_grid_entries",
 		"Largest grid-cache row count observed by any single run.",
 		func() float64 { return float64(s.metrics.PeakGridEntries.Load()) })
@@ -433,11 +539,19 @@ func (s *server) registerMetrics() {
 }
 
 // shutdown flips readiness, stops the runtime sampler, and drains the engine
-// (used by main on SIGINT/SIGTERM).
+// (used by main on SIGINT/SIGTERM). The journal closes only after the engine
+// has shut down — Shutdown flushes the job-event dispatcher first, so every
+// terminal record reaches the WAL before the final sync.
 func (s *server) shutdown(ctx context.Context) error {
 	s.beginDrain()
 	s.sampler.Stop()
-	return s.eng.Shutdown(ctx)
+	err := s.eng.Shutdown(ctx)
+	if s.journal != nil {
+		if cerr := s.journal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // runSync executes task through the engine so the synchronous endpoints get
@@ -615,6 +729,11 @@ func (s *server) alignTask(req alignRequest, rec *fastlsa.Recorder) (func(ctx co
 		o := opt
 		o.Context = ctx
 		o.Recorder = rec
+		// Journal-backed jobs persist grid-cache checkpoints at block-row
+		// boundaries, so a crashed alignment resumes instead of restarting.
+		if sink := s.checkpointSink(ctx); sink != nil {
+			o.Checkpoint = sink
+		}
 		// Per-request child of the service-wide counters: the request reads
 		// its own work, /v1/stats accumulates everything.
 		counters := s.metrics.Derive(nil)

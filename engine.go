@@ -30,6 +30,17 @@ type (
 	// exponential backoff with jitter, and a retry-on classifier (see
 	// RetryTransient). Cancellation and deadline expiry never retry.
 	RetryPolicy = engine.RetryPolicy
+	// JobEvent is one job lifecycle notification delivered to
+	// EngineConfig.OnJobEvent (the durability hook; see docs/DURABILITY.md).
+	JobEvent = engine.JobEvent
+)
+
+// Job lifecycle event types (JobEvent.Type).
+const (
+	JobEventAccepted = engine.EventAccepted
+	JobEventStarted  = engine.EventStarted
+	JobEventRetried  = engine.EventRetried
+	JobEventFinished = engine.EventFinished
 )
 
 // Job lifecycle stages.
@@ -53,7 +64,15 @@ var (
 	// is isolated to the job (the pool survives) and RetryTransient classifies
 	// it as retryable.
 	ErrJobPanic = engine.ErrJobPanic
+	// ErrDuplicateJobID rejects a submission whose explicit JobOptions.ID is
+	// already registered.
+	ErrDuplicateJobID = engine.ErrDuplicateID
 )
+
+// JobIDFromContext returns the engine job id embedded in a task's context
+// ("" outside an engine task). Use it inside a submitted task to bind
+// per-job resources — e.g. a per-job Options.Checkpoint sink.
+func JobIDFromContext(ctx context.Context) string { return engine.JobIDFromContext(ctx) }
 
 // RetryTransient is the retry classifier for alignment jobs: it retries
 // panics (ErrJobPanic), injected faults, and transient resource pressure
@@ -73,6 +92,17 @@ func RetryTransient(err error) bool {
 
 // JobOptions tunes one submission to an Engine.
 type JobOptions struct {
+	// ID, when non-empty, submits the job under an explicit id instead of an
+	// engine-generated one (journal recovery resubmits jobs under their
+	// pre-crash ids); a collision fails with ErrDuplicateJobID.
+	ID string
+	// Recovered marks a job re-enqueued from a durable journal after a
+	// restart: echoed in JobInfo, counted in EngineStats.Recovered, and
+	// exempt from the queue-depth admission check.
+	Recovered bool
+	// PriorAttempts offsets JobInfo.Attempts by the attempts a journal had
+	// recorded before a crash (recovery only).
+	PriorAttempts int
 	// Priority orders the queue (higher first; FIFO among equals).
 	Priority int
 	// Timeout, when > 0, bounds the job's total lifetime (queue wait plus
@@ -99,14 +129,17 @@ type JobOptions struct {
 
 func (jo JobOptions) submission(kind string, task engine.Task) engine.Submission {
 	return engine.Submission{
-		Kind:      kind,
-		Priority:  jo.Priority,
-		Timeout:   jo.Timeout,
-		Parent:    jo.Context,
-		RequestID: jo.RequestID,
-		Retry:     jo.Retry,
-		Recorder:  jo.Recorder,
-		Task:      task,
+		Kind:          kind,
+		ID:            jo.ID,
+		Recovered:     jo.Recovered,
+		PriorAttempts: jo.PriorAttempts,
+		Priority:      jo.Priority,
+		Timeout:       jo.Timeout,
+		Parent:        jo.Context,
+		RequestID:     jo.RequestID,
+		Retry:         jo.Retry,
+		Recorder:      jo.Recorder,
+		Task:          task,
 	}
 }
 

@@ -89,6 +89,10 @@ type (
 	GumbelParams = significance.Params
 	// EditOp is one operation of an edit script (Alignment.EditScript).
 	EditOp = align.EditOp
+	// CheckpointSink persists grid-cache snapshots for one run and supplies
+	// the previous snapshot on resume (Options.Checkpoint; see
+	// docs/DURABILITY.md for the blob format and resume semantics).
+	CheckpointSink = core.CheckpointSink
 )
 
 // Span names recorded by a Trace, for filtering Trace.Spans / Trace.Totals.
@@ -412,6 +416,13 @@ type Options struct {
 	// append phase completions and degradation-ladder steps. Per-run state
 	// like Trace; nil-safe and allocation-free when absent.
 	Recorder *Recorder
+	// Checkpoint, when non-nil, persists grid-cache snapshots of the run's
+	// root fill at block-row boundaries and is consulted on start to resume a
+	// crashed run past its completed rows. FastLSA runs only (other backends
+	// ignore it); per-run state like Trace — the server binds one sink per
+	// job. A failed save or an unusable snapshot degrades to a cold run,
+	// never an error.
+	Checkpoint CheckpointSink
 }
 
 // RouteInfo reports which backend served an Align call and why (see the
@@ -480,6 +491,7 @@ func (o Options) backendRequest(planned bool) backend.Request {
 		Counters:     o.Counters,
 		Trace:        o.Trace,
 		Recorder:     o.Recorder,
+		Checkpoint:   o.Checkpoint,
 		Prof:         o.Context,
 	}
 }

@@ -80,6 +80,11 @@ type Request struct {
 	// Recorder, when non-nil, is the job's flight recorder (phase events,
 	// degradation steps). Nil-safe.
 	Recorder *obs.Recorder
+	// Checkpoint, when non-nil, is the run's grid-cache checkpoint sink
+	// (core.Options.Checkpoint): the FastLSA backend snapshots its root grid
+	// at block-row boundaries and resumes from the sink's blob after a crash.
+	// Backends without a grid cache ignore it.
+	Checkpoint core.CheckpointSink
 	// Prof, when non-nil, is the pprof-labelled base context for CPU
 	// attribution (obs.ProfPhaseBegin); solver phases merge their
 	// {backend, phase} labels into it.
@@ -176,6 +181,7 @@ func CoreOptions(req Request, m, n int) (core.Options, error) {
 		copt.Trace = req.Trace
 		copt.Recorder = req.Recorder
 		copt.Prof = req.Prof
+		copt.Checkpoint = req.Checkpoint
 		return copt, nil
 	}
 	b, err := req.Budget()
@@ -183,13 +189,14 @@ func CoreOptions(req Request, m, n int) (core.Options, error) {
 		return core.Options{}, err
 	}
 	return core.Options{
-		K:         req.K,
-		BaseCells: req.BaseCells,
-		Budget:    b,
-		Workers:   req.Workers,
-		Counters:  req.Counters,
-		Trace:     req.Trace,
-		Recorder:  req.Recorder,
-		Prof:      req.Prof,
+		K:          req.K,
+		BaseCells:  req.BaseCells,
+		Budget:     b,
+		Workers:    req.Workers,
+		Counters:   req.Counters,
+		Trace:      req.Trace,
+		Recorder:   req.Recorder,
+		Prof:       req.Prof,
+		Checkpoint: req.Checkpoint,
 	}, nil
 }

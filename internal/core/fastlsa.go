@@ -70,6 +70,11 @@ type solver struct {
 	// reserved"), drawn from the row pool and recycled on close.
 	baseRect   kernel.Rect
 	baseCharge int64
+
+	// ckptGrid is the root grid cache while Options.Checkpoint is active:
+	// the sequential fill saves a snapshot after each completed block-row of
+	// this grid and of no other (checkpoint.go).
+	ckptGrid *gridCache
 }
 
 func newSolver(a, b *seq.Sequence, m *scoring.Matrix, gap scoring.Gap, mod kernel.Model, opt resolved) (*solver, error) {
@@ -215,8 +220,19 @@ func (s *solver) solve(t rect, top, left kernel.Edge, state int) (exitR, exitC, 
 	defer grid.free()
 	s.c.ObserveGridEntries(s.opt.budget.Used())
 
-	if err := s.fillGridCache(grid); err != nil {
+	// Only the root grid checkpoints: seed it from the sink's snapshot (a
+	// cold run resumes at block-row 0) and register it so the fill saves
+	// progress at block-row boundaries.
+	start := 0
+	if s.opt.ckpt != nil && t.r0 == 0 && t.c0 == 0 && t.r1 == len(s.a) && t.c1 == len(s.b) {
+		s.ckptGrid = grid
+		start = s.restoreCheckpoint(grid)
+	}
+	if err := s.fillGridCache(grid, start); err != nil {
 		return 0, 0, 0, err
+	}
+	if grid == s.ckptGrid {
+		s.ckptGrid = nil // frees with this frame; recursion must not save into it
 	}
 
 	// Walk the path through the blocks, bottom-right to top-left. The first
@@ -238,29 +254,41 @@ func (s *solver) solve(t rect, top, left kernel.Edge, state int) (exitR, exitC, 
 // one, storing each block's output row and column segments into the grid
 // lines (Figure 3(c)->(d)). Sequential runs iterate blocks in row-major
 // order; parallel runs delegate to the wavefront fill of parallel.go when
-// the subproblem is large enough to pay for scheduling.
-func (s *solver) fillGridCache(grid *gridCache) error {
+// the subproblem is large enough to pay for scheduling. start is the first
+// block-row to compute (non-zero only for a checkpoint-resumed root fill):
+// a partial restore continues sequentially — the wavefront fill has no
+// notion of resuming mid-grid — and start == k means the restore was
+// complete, so the fill is a no-op.
+func (s *solver) fillGridCache(grid *gridCache, start int) error {
+	if start >= grid.k {
+		return nil // fully restored from a checkpoint
+	}
 	t := grid.t
 	gt := s.tr.Begin()
 	ps := s.beginPhase(obs.SpanGridFill)
 	defer ps.end()
 	var err error
-	if s.opt.workers > 1 && t.rows()*t.cols() >= s.opt.parMinArea {
+	if start == 0 && s.opt.workers > 1 && t.rows()*t.cols() >= s.opt.parMinArea {
 		err = s.fillGridCacheParallel(grid)
+		if err == nil && grid == s.ckptGrid {
+			s.saveCheckpoint(grid, grid.k)
+		}
 	} else {
-		err = s.fillGridCacheSeq(grid)
+		err = s.fillGridCacheSeq(grid, start)
 	}
 	s.tr.End(obs.SpanGridFill, obs.CatFastLSA, gt, obs.Tags{Rows: t.rows(), Cols: t.cols()})
 	return err
 }
 
-// fillGridCacheSeq is the sequential block loop of the Fill Cache. It needs
-// no memory beyond the grid lines themselves, which makes it the terminal
-// rung of the parallel fill's degradation ladder: fillGridCacheParallel
-// falls back here when the budget cannot hold even the minimum tile mesh.
-func (s *solver) fillGridCacheSeq(grid *gridCache) error {
+// fillGridCacheSeq is the sequential block loop of the Fill Cache, from
+// block-row start. It needs no memory beyond the grid lines themselves,
+// which makes it the terminal rung of the parallel fill's degradation
+// ladder: fillGridCacheParallel falls back here when the budget cannot hold
+// even the minimum tile mesh. When this grid is the checkpointed root, every
+// completed block-row is snapshotted into the sink.
+func (s *solver) fillGridCacheSeq(grid *gridCache, start int) error {
 	k := grid.k
-	for u := 0; u < k; u++ {
+	for u := start; u < k; u++ {
 		for v := 0; v < k; v++ {
 			if u == k-1 && v == k-1 {
 				continue // bottom-right block is solved recursively instead
@@ -268,6 +296,9 @@ func (s *solver) fillGridCacheSeq(grid *gridCache) error {
 			if err := s.fillBlock(grid, u, v); err != nil {
 				return err
 			}
+		}
+		if grid == s.ckptGrid {
+			s.saveCheckpoint(grid, u+1)
 		}
 	}
 	return nil

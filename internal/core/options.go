@@ -95,6 +95,11 @@ type Options struct {
 	// the engine worker; solver phases layer {backend, phase} labels on top
 	// of it (see obs.ProfPhaseBegin). Ignored while obs.SetProfLabels is off.
 	Prof context.Context
+	// Checkpoint, when non-nil, checkpoints the root grid cache through the
+	// sink at block-row boundaries and seeds it from the sink's snapshot on
+	// resume, so a recovered job skips already-filled strips (see
+	// checkpoint.go and docs/DURABILITY.md). Nil disables checkpointing.
+	Checkpoint CheckpointSink
 }
 
 // sharedPool is the process-wide default row pool used when Options.Pool is
@@ -115,6 +120,7 @@ type resolved struct {
 	trace      *obs.Trace
 	rec        *obs.Recorder
 	prof       context.Context
+	ckpt       CheckpointSink
 }
 
 func (o Options) resolve() (resolved, error) {
@@ -131,6 +137,7 @@ func (o Options) resolve() (resolved, error) {
 		trace:      o.Trace,
 		rec:        o.Recorder,
 		prof:       o.Prof,
+		ckpt:       o.Checkpoint,
 	}
 	if r.pool == nil {
 		r.pool = sharedPool

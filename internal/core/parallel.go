@@ -73,7 +73,7 @@ func (s *solver) fillGridCacheParallel(grid *gridCache) error {
 				s.opt.rec.Add(obs.Event{Kind: obs.EvSeqFill,
 					Detail: fmt.Sprintf("%dx%d mesh over budget", k*uReq, k*vReq)})
 			}
-			return s.fillGridCacheSeq(grid)
+			return s.fillGridCacheSeq(grid, 0)
 		}
 	}
 	if u != uReq || v != vReq {

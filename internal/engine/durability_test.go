@@ -1,0 +1,300 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// okTask succeeds immediately.
+func okTask(ctx context.Context) (any, error) { return "ok", nil }
+
+func TestExternalIDSubmit(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 8})
+	defer shutdownNow(t, e)
+
+	j, err := e.Submit(Submission{Kind: "align", ID: "job-restored-7", Task: okTask})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if j.ID() != "job-restored-7" {
+		t.Fatalf("id = %q, want job-restored-7", j.ID())
+	}
+	if _, err := e.Job("job-restored-7"); err != nil {
+		t.Fatalf("lookup by external id: %v", err)
+	}
+	if _, err := e.Submit(Submission{Kind: "align", ID: "job-restored-7", Task: okTask}); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate external id: err = %v, want ErrDuplicateID", err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+}
+
+// TestGeneratedIDSkipsRecoveredIDs: recovery resubmits jobs under their
+// pre-crash "job-N" names; fresh submissions must not collide with them.
+func TestGeneratedIDSkipsRecoveredIDs(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 8})
+	defer shutdownNow(t, e)
+
+	r, err := e.Submit(Submission{Kind: "align", ID: "job-1", Recovered: true, Task: okTask})
+	if err != nil {
+		t.Fatalf("recovered submit: %v", err)
+	}
+	fresh, err := e.Submit(Submission{Kind: "align", Task: okTask})
+	if err != nil {
+		t.Fatalf("fresh submit: %v", err)
+	}
+	if fresh.ID() == r.ID() {
+		t.Fatalf("generated id %q collides with recovered id", fresh.ID())
+	}
+	if fresh.ID() != "job-2" {
+		t.Fatalf("generated id = %q, want job-2", fresh.ID())
+	}
+}
+
+// TestRecoveredAdmissionExemption: recovered submissions bypass the
+// queue-depth check (a boot's recovery burst must not shed accepted work)
+// but still respect closure.
+func TestRecoveredAdmissionExemption(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	if _, err := e.Submit(Submission{Kind: "blocker", Task: blockerTask(started, release)}); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	<-started
+	// Fill the queue.
+	if _, err := e.Submit(Submission{Kind: "fill", Task: okTask}); err != nil {
+		t.Fatalf("fill: %v", err)
+	}
+	// A normal submission is shed...
+	if _, err := e.Submit(Submission{Kind: "shed", Task: okTask}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-depth submit: err = %v, want ErrQueueFull", err)
+	}
+	// ...but recovered ones are admitted past the depth.
+	var recovered []*Job
+	for i := 0; i < 5; i++ {
+		j, err := e.Submit(Submission{
+			Kind: "align", ID: fmt.Sprintf("job-r%d", i), Recovered: true, Task: okTask,
+		})
+		if err != nil {
+			t.Fatalf("recovered submit %d: %v", i, err)
+		}
+		recovered = append(recovered, j)
+	}
+	close(release)
+	for _, j := range recovered {
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Fatalf("recovered job %s: %v", j.ID(), err)
+		}
+		info := j.Info()
+		if !info.Recovered {
+			t.Fatalf("job %s not marked recovered", j.ID())
+		}
+	}
+	if got := e.Stats().Recovered; got != 5 {
+		t.Fatalf("Stats.Recovered = %d, want 5", got)
+	}
+	shutdownNow(t, e)
+	if _, err := e.Submit(Submission{Kind: "late", ID: "job-late", Recovered: true, Task: okTask}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recovered submit after shutdown: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestPriorAttemptsOffset: a recovered job's Info.Attempts includes the
+// attempts the journal recorded before the crash.
+func TestPriorAttemptsOffset(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 4})
+	defer shutdownNow(t, e)
+
+	j, err := e.Submit(Submission{Kind: "align", ID: "job-p", Recovered: true, PriorAttempts: 3, Task: okTask})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got := j.Info().Attempts; got != 4 {
+		t.Fatalf("Attempts = %d, want 4 (3 prior + 1 this boot)", got)
+	}
+}
+
+// TestJobEventOrder: OnJobEvent delivers accepted -> started -> finished in
+// commit order, and Shutdown flushes the queue before returning.
+func TestJobEventOrder(t *testing.T) {
+	var mu sync.Mutex
+	var events []JobEvent
+	e := New(Config{Workers: 1, QueueDepth: 8, OnJobEvent: func(ev JobEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}})
+
+	j, err := e.Submit(Submission{Kind: "align", Task: okTask})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	shutdownNow(t, e)
+
+	mu.Lock()
+	defer mu.Unlock()
+	var got []string
+	for _, ev := range events {
+		if ev.Job.ID == j.ID() {
+			got = append(got, ev.Type)
+		}
+	}
+	want := []string{EventAccepted, EventStarted, EventFinished}
+	if len(got) != len(want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("events = %v, want %v", got, want)
+		}
+	}
+	last := events[len(events)-1]
+	if last.Job.State != Succeeded {
+		t.Fatalf("finished event state = %v, want succeeded", last.Job.State)
+	}
+}
+
+// TestJobEventRetried: a retryable failure emits a retried event between
+// started events.
+func TestJobEventRetried(t *testing.T) {
+	var mu sync.Mutex
+	var types []string
+	e := New(Config{Workers: 1, QueueDepth: 8, OnJobEvent: func(ev JobEvent) {
+		mu.Lock()
+		types = append(types, ev.Type)
+		mu.Unlock()
+	}})
+
+	fails := 0
+	j, err := e.Submit(Submission{
+		Kind:  "flaky",
+		Retry: RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond},
+		Task: func(ctx context.Context) (any, error) {
+			if fails == 0 {
+				fails++
+				return nil, errors.New("transient")
+			}
+			return "ok", nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	shutdownNow(t, e)
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{EventAccepted, EventStarted, EventRetried, EventStarted, EventFinished}
+	if len(types) != len(want) {
+		t.Fatalf("events = %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("events = %v, want %v", types, want)
+		}
+	}
+}
+
+// TestAbandonedOnHardShutdown: jobs cancelled by Shutdown's drain deadline
+// are marked Abandoned (Info and Stats); jobs cancelled by callers are not.
+func TestAbandonedOnHardShutdown(t *testing.T) {
+	var mu sync.Mutex
+	finished := map[string]Info{}
+	e := New(Config{Workers: 1, QueueDepth: 8, OnJobEvent: func(ev JobEvent) {
+		if ev.Type == EventFinished {
+			mu.Lock()
+			finished[ev.Job.ID] = ev.Job
+			mu.Unlock()
+		}
+	}})
+
+	// A caller-cancelled job: not abandoned.
+	victim, err := e.Submit(Submission{Kind: "victim", Task: blockerTask(nil, nil)})
+	if err != nil {
+		t.Fatalf("victim: %v", err)
+	}
+	started := make(chan struct{}, 1)
+	runner, err := e.Submit(Submission{Kind: "runner", Task: blockerTask(started, nil)})
+	if err != nil {
+		t.Fatalf("runner: %v", err)
+	}
+	queued, err := e.Submit(Submission{Kind: "queued", Task: blockerTask(nil, nil)})
+	if err != nil {
+		t.Fatalf("queued: %v", err)
+	}
+
+	victim.Cancel()
+	if _, err := victim.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("victim err = %v, want canceled", err)
+	}
+	<-started
+
+	// Hard shutdown: the drain deadline is already expired.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.Shutdown(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Shutdown = %v, want canceled", err)
+	}
+
+	if info := victim.Info(); info.Abandoned {
+		t.Fatal("caller-cancelled job marked abandoned")
+	}
+	for _, j := range []*Job{runner, queued} {
+		info := j.Info()
+		if info.State != Cancelled || !info.Abandoned {
+			t.Fatalf("job %s: state=%v abandoned=%v, want cancelled+abandoned", j.ID(), info.State, info.Abandoned)
+		}
+	}
+	if got := e.Stats().Abandoned; got != 2 {
+		t.Fatalf("Stats.Abandoned = %d, want 2", got)
+	}
+	// The finished events — flushed before Shutdown returned — carry the flag.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(finished) != 3 {
+		t.Fatalf("finished events = %d, want 3", len(finished))
+	}
+	if finished[victim.ID()].Abandoned {
+		t.Fatal("victim's finished event marked abandoned")
+	}
+	if !finished[runner.ID()].Abandoned || !finished[queued.ID()].Abandoned {
+		t.Fatal("abandoned jobs' finished events lack the flag")
+	}
+}
+
+func TestJobIDFromContext(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 4})
+	defer shutdownNow(t, e)
+
+	j, err := e.Submit(Submission{Kind: "align", ID: "job-ctx", Task: func(ctx context.Context) (any, error) {
+		return JobIDFromContext(ctx), nil
+	}})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	got, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got != "job-ctx" {
+		t.Fatalf("JobIDFromContext = %v, want job-ctx", got)
+	}
+	if JobIDFromContext(context.Background()) != "" {
+		t.Fatal("JobIDFromContext outside a task should be empty")
+	}
+}

@@ -78,6 +78,10 @@ var (
 	// task panicked. Panics are isolated to the job (the pool survives) and
 	// classified as transient by the default retry policy.
 	ErrJobPanic = errors.New("engine: job panicked")
+	// ErrDuplicateID rejects a submission whose explicit Submission.ID is
+	// already registered (journal recovery resubmits jobs under their
+	// original ids; colliding with a live one is a caller bug).
+	ErrDuplicateID = errors.New("engine: job id already in use")
 )
 
 // siteWorker is the fault-injection point struck just before a worker runs a
@@ -172,12 +176,57 @@ type Config struct {
 	// latency histograms. Called outside the engine lock; must be fast and
 	// safe for concurrent use.
 	ObserveQueueWait func(time.Duration)
+	// OnJobEvent, when non-nil, receives every job lifecycle transition
+	// (accepted, started, retried, finished — batch units included) on a
+	// dedicated dispatcher goroutine, in the order the engine committed them.
+	// This is the durability hook: the server appends the events to its
+	// journal. The callback runs without engine locks but serially — a slow
+	// sink delays later notifications, never the scheduler itself. Shutdown
+	// flushes the queue before returning, so a finished job's event is always
+	// delivered before the engine reports drained.
+	OnJobEvent func(JobEvent)
+}
+
+// JobEvent lifecycle types delivered to Config.OnJobEvent.
+const (
+	// EventAccepted: the job entered the queue (Info.State == Queued).
+	EventAccepted = "accepted"
+	// EventStarted: a worker began an attempt (Info.Attempts is 1-based).
+	EventStarted = "started"
+	// EventRetried: an attempt failed retryably and the job re-queued.
+	EventRetried = "retried"
+	// EventFinished: the job reached a terminal state. Info.Abandoned marks
+	// jobs cancelled by Shutdown's drain deadline rather than by a caller —
+	// durability layers keep those non-terminal so the next boot retries them.
+	EventFinished = "finished"
+)
+
+// JobEvent is one lifecycle notification: the transition type plus the job's
+// Info snapshot taken at the moment the engine committed the transition.
+type JobEvent struct {
+	Type string
+	Job  Info
 }
 
 // Submission describes one job.
 type Submission struct {
 	// Kind is a caller-defined label ("align", "msa", ...), echoed in Info.
 	Kind string
+	// ID, when non-empty, is the job's id instead of an engine-generated one.
+	// Journal recovery uses this to resubmit jobs under their pre-crash ids;
+	// a collision with a registered job fails with ErrDuplicateID.
+	ID string
+	// Recovered marks a job re-enqueued from a durable journal after a
+	// restart: it is echoed in Info (and job views), counted in
+	// Stats.Recovered, and exempt from the queue-depth admission check —
+	// recovery must never lose accepted work to its own burst. (The server
+	// logs the matching EvRecover flight-recorder event, since only it knows
+	// whether a checkpoint existed.)
+	Recovered bool
+	// PriorAttempts is the attempt count the journal had recorded before the
+	// crash (recovery only); it offsets Info.Attempts so operators see the
+	// job's whole history, not just the current boot's.
+	PriorAttempts int
 	// Priority orders the queue: higher runs first; ties run in submission
 	// order.
 	Priority int
@@ -224,8 +273,16 @@ type Info struct {
 	// RequestID is the originating request's id ("" when none was supplied).
 	RequestID string
 	// Attempts counts executions started so far (0 while queued, 1 for a job
-	// that never retried, up to RetryPolicy.MaxAttempts).
+	// that never retried, up to RetryPolicy.MaxAttempts), including attempts
+	// recorded before a crash for recovered jobs (Submission.PriorAttempts).
 	Attempts int
+	// Recovered marks a job re-enqueued from the durable journal after a
+	// restart.
+	Recovered bool
+	// Abandoned marks a job cancelled by Shutdown's drain deadline: the
+	// process gave up on it rather than a caller cancelling it. Durability
+	// layers keep abandoned jobs non-terminal so the next boot retries them.
+	Abandoned bool
 }
 
 // Job is a handle on a submitted job.
@@ -243,12 +300,16 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	recovered bool
+	prior     int // attempts journalled before the crash (recovered jobs)
+
 	mu        sync.Mutex
 	state     State
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
 	attempts  int
+	abandoned bool
 	result    any
 	err       error
 	done      chan struct{}
@@ -278,7 +339,9 @@ func (j *Job) Info() Info {
 		Finished:  j.finished,
 		Batch:     j.batch,
 		RequestID: j.requestID,
-		Attempts:  j.attempts,
+		Attempts:  j.prior + j.attempts,
+		Recovered: j.recovered,
+		Abandoned: j.abandoned,
 	}
 	if j.err != nil {
 		info.Err = j.err.Error()
@@ -362,6 +425,12 @@ type Stats struct {
 	// Retries counts attempt re-queues performed by retry policies; a job
 	// that failed twice and then succeeded contributes 2.
 	Retries int64 `json:"retries"`
+	// Recovered counts jobs re-enqueued from the durable journal at boot.
+	Recovered int64 `json:"recovered"`
+	// Abandoned counts jobs Shutdown's drain deadline cancelled with work
+	// still pending — the reconciliation number operators check against the
+	// journal (those jobs stay non-terminal there and retry on next boot).
+	Abandoned int64 `json:"abandoned"`
 	// Batches counts admitted batch submissions; BatchUnits the jobs they
 	// fanned out into (each unit is also counted in Submitted).
 	Batches    int64 `json:"batches"`
@@ -395,8 +464,25 @@ type Engine struct {
 	// nor running). Workers must not exit while any remain, or a drain-style
 	// Shutdown would report completion with work still pending.
 	retryBackoff int
+	recovered    int64
+	abandoned    int64
+	// abandoning is set once Shutdown's drain deadline has passed: jobs that
+	// finish as cancelled from that point on were abandoned by the process,
+	// not cancelled by a caller, and are marked so in their Info.
+	abandoning bool
 
 	wg sync.WaitGroup
+
+	// Job-event dispatch (Config.OnJobEvent): transitions are appended to
+	// notifyq under notifyMu at the point the engine commits them (so the
+	// order matches the scheduler's), and a single dispatcher goroutine
+	// delivers them without holding any engine lock.
+	notifyMu   sync.Mutex
+	notifyq    []JobEvent
+	notifyKick chan struct{}
+	notifyStop chan struct{}
+	notifyOnce sync.Once
+	notifyWG   sync.WaitGroup
 }
 
 // New starts an engine with cfg's worker pool.
@@ -419,11 +505,68 @@ func New(cfg Config) *Engine {
 		live: make(map[*Job]struct{}),
 	}
 	e.cond = sync.NewCond(&e.mu)
+	if cfg.OnJobEvent != nil {
+		e.notifyKick = make(chan struct{}, 1)
+		e.notifyStop = make(chan struct{})
+		e.notifyWG.Add(1)
+		go e.notifier()
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
 	}
 	return e
+}
+
+// notify queues one lifecycle event for the dispatcher. Safe to call with
+// e.mu held (the dispatcher never takes engine locks); a no-op without an
+// OnJobEvent hook.
+func (e *Engine) notify(typ string, j *Job) {
+	if e.cfg.OnJobEvent == nil {
+		return
+	}
+	ev := JobEvent{Type: typ, Job: j.Info()}
+	e.notifyMu.Lock()
+	e.notifyq = append(e.notifyq, ev)
+	e.notifyMu.Unlock()
+	select {
+	case e.notifyKick <- struct{}{}:
+	default:
+	}
+}
+
+// notifier is the OnJobEvent dispatcher loop: drain, deliver, sleep. On stop
+// it performs one final drain, so Shutdown never returns with undelivered
+// events.
+func (e *Engine) notifier() {
+	defer e.notifyWG.Done()
+	deliver := func() {
+		e.notifyMu.Lock()
+		q := e.notifyq
+		e.notifyq = nil
+		e.notifyMu.Unlock()
+		for _, ev := range q {
+			e.cfg.OnJobEvent(ev)
+		}
+	}
+	for {
+		deliver()
+		select {
+		case <-e.notifyKick:
+		case <-e.notifyStop:
+			deliver()
+			return
+		}
+	}
+}
+
+// stopNotifier flushes and stops the dispatcher (idempotent).
+func (e *Engine) stopNotifier() {
+	if e.cfg.OnJobEvent == nil {
+		return
+	}
+	e.notifyOnce.Do(func() { close(e.notifyStop) })
+	e.notifyWG.Wait()
 }
 
 // Submit admits one job, returning its handle, or ErrQueueFull / ErrClosed.
@@ -437,7 +580,23 @@ func (e *Engine) submit(sub Submission, batch string, register bool) (*Job, erro
 	}
 
 	e.mu.Lock()
-	if err := e.admitLocked(1); err != nil {
+	if sub.ID != "" {
+		if _, ok := e.jobs[sub.ID]; ok {
+			e.rejects++
+			e.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s", ErrDuplicateID, sub.ID)
+		}
+	}
+	if sub.Recovered {
+		// Recovery resubmits every non-terminal journalled job in one burst;
+		// it is exempt from the queue-depth check (accepted work must never be
+		// lost to the recovery burst itself) but not from closure.
+		if e.closed {
+			e.rejects++
+			e.mu.Unlock()
+			return nil, ErrClosed
+		}
+	} else if err := e.admitLocked(1); err != nil {
 		e.mu.Unlock()
 		return nil, err
 	}
@@ -471,10 +630,21 @@ func (e *Engine) enqueueLocked(sub Submission, batch string, register bool) *Job
 	if parent == nil {
 		parent = context.Background()
 	}
-	e.nextID++
+	id := sub.ID
+	if id == "" {
+		// Skip generated ids already taken by recovered jobs resubmitted
+		// under their pre-crash names.
+		for {
+			e.nextID++
+			id = fmt.Sprintf("job-%d", e.nextID)
+			if _, ok := e.jobs[id]; !ok {
+				break
+			}
+		}
+	}
 	e.nextSeq++
 	j := &Job{
-		id:        fmt.Sprintf("job-%d", e.nextID),
+		id:        id,
 		kind:      sub.Kind,
 		priority:  sub.Priority,
 		batch:     batch,
@@ -483,6 +653,8 @@ func (e *Engine) enqueueLocked(sub Submission, batch string, register bool) *Job
 		task:      sub.Task,
 		retry:     sub.Retry,
 		recorder:  sub.Recorder,
+		recovered: sub.Recovered,
+		prior:     sub.PriorAttempts,
 		state:     Queued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
@@ -490,6 +662,9 @@ func (e *Engine) enqueueLocked(sub Submission, batch string, register bool) *Job
 		queuedAt:  time.Now(),
 	}
 	j.recorder.Add(obs.Event{Kind: obs.EvAdmit, Detail: sub.Kind, Extra: j.id, Value: float64(sub.Priority)})
+	// Tasks read their own job id back via JobIDFromContext — the server's
+	// per-job checkpoint sink is keyed on it.
+	parent = context.WithValue(parent, jobIDKey{}, j.id)
 	if sub.Timeout > 0 {
 		j.ctx, j.cancel = context.WithTimeout(parent, sub.Timeout)
 	} else {
@@ -498,11 +673,26 @@ func (e *Engine) enqueueLocked(sub Submission, batch string, register bool) *Job
 	heap.Push(&e.queue, j)
 	e.live[j] = struct{}{}
 	e.submits++
+	if sub.Recovered {
+		e.recovered++
+	}
 	if register {
 		e.jobs[j.id] = j
 		e.order = append(e.order, j.id)
 	}
+	e.notify(EventAccepted, j)
 	return j
+}
+
+// jobIDKey is the context key carrying a task's engine job id.
+type jobIDKey struct{}
+
+// JobIDFromContext returns the engine job id embedded in a task's context
+// ("" outside a task). Layers below the engine use it to bind per-job
+// resources — the server keys its grid-cache checkpoint sinks on it.
+func JobIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(jobIDKey{}).(string)
+	return id
 }
 
 // watch finishes a job as Cancelled if its context dies before a worker
@@ -552,6 +742,7 @@ func (e *Engine) worker() {
 		attempt := j.attempts
 		j.mu.Unlock()
 		e.running++
+		e.notify(EventStarted, j)
 		e.mu.Unlock()
 
 		if observe := e.cfg.ObserveQueueWait; observe != nil {
@@ -597,6 +788,7 @@ func (e *Engine) scheduleRetryLocked(j *Job, attempt int, cause error) {
 	j.mu.Lock()
 	j.state = Queued
 	j.mu.Unlock()
+	e.notify(EventRetried, j)
 	delay := j.retry.backoff(attempt)
 	detail := ""
 	if cause != nil {
@@ -665,6 +857,12 @@ func (e *Engine) finishLocked(j *Job, result any, err error) {
 		e.succ++
 	case isCancellation(err):
 		j.state = Cancelled
+		// A cancellation landing after Shutdown's drain deadline means the
+		// process abandoned the job, not that a caller cancelled it.
+		if e.abandoning {
+			j.abandoned = true
+			e.abandoned++
+		}
 		e.cancels++
 	default:
 		j.state = Failed
@@ -680,6 +878,7 @@ func (e *Engine) finishLocked(j *Job, result any, err error) {
 	delete(e.live, j)
 	j.cancel() // release the context's timer/goroutine
 	close(j.done)
+	e.notify(EventFinished, j)
 	if j.batch == "" {
 		e.evictLocked()
 	}
@@ -789,6 +988,8 @@ func (e *Engine) Stats() Stats {
 		Failed:      e.failed,
 		Cancelled:   e.cancels,
 		Retries:     e.retries,
+		Recovered:   e.recovered,
+		Abandoned:   e.abandoned,
 		Batches:     e.batches,
 		BatchUnits:  e.batchUnits,
 	}
@@ -803,6 +1004,7 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	if e.closed {
 		e.mu.Unlock()
 		e.wg.Wait()
+		e.stopNotifier()
 		return nil
 	}
 	e.closed = true
@@ -816,13 +1018,18 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		e.stopNotifier()
 		return nil
 	case <-ctx.Done():
 	}
 
 	// Drain deadline passed: cancel everything still live — queued or
 	// running, batch units included — and wait for the workers to notice.
+	// The abandoning flag makes finishLocked classify these cancellations
+	// as process abandonment (Info.Abandoned, Stats.Abandoned) so the
+	// journal keeps them non-terminal for the next boot.
 	e.mu.Lock()
+	e.abandoning = true
 	pending := make([]*Job, 0, len(e.live))
 	for j := range e.live {
 		pending = append(pending, j)
@@ -832,6 +1039,7 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 		j.cancel()
 	}
 	<-done
+	e.stopNotifier()
 	return ctx.Err()
 }
 

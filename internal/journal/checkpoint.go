@@ -1,0 +1,62 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// checkpointDir is the subdirectory of a journal holding grid-cache
+// checkpoint blobs, one file per job. The blobs are opaque here — encoding
+// and validation live in internal/core (see core.Checkpoint) — the store
+// only guarantees atomic whole-file replacement via write-to-temp + rename,
+// so a crash mid-save leaves the previous checkpoint intact rather than a
+// torn one.
+const checkpointDir = "checkpoints"
+
+// checkpointPath maps a job ID to its blob file. Job IDs are engine-generated
+// ("job-N"), but sanitize anyway: a path separator in an ID must not escape
+// the store.
+func (j *Journal) checkpointPath(jobID string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, jobID)
+	return filepath.Join(j.dir, checkpointDir, safe+".ckpt")
+}
+
+// SaveCheckpoint atomically replaces the job's checkpoint blob and journals
+// a checkpointed record so replay knows to look for it.
+func (j *Journal) SaveCheckpoint(jobID string, blob []byte) error {
+	path := j.checkpointPath(jobID)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return fmt.Errorf("journal: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: checkpoint: %w", err)
+	}
+	return j.Append(Record{Type: TypeCheckpointed, JobID: jobID})
+}
+
+// LoadCheckpoint returns the job's checkpoint blob, or nil when none exists.
+// A missing checkpoint is not an error: resume falls back to a cold run.
+func (j *Journal) LoadCheckpoint(jobID string) []byte {
+	blob, err := os.ReadFile(j.checkpointPath(jobID))
+	if err != nil {
+		return nil
+	}
+	return blob
+}
+
+// RemoveCheckpoint deletes the job's checkpoint blob (terminal jobs don't
+// need one). Missing files are fine.
+func (j *Journal) RemoveCheckpoint(jobID string) {
+	os.Remove(j.checkpointPath(jobID))
+}

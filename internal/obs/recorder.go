@@ -41,6 +41,11 @@ const (
 	// EvBudgetFallback marks a WFA run exceeding its memory budget and being
 	// transparently re-run on planned FastLSA. Detail is the WFA error.
 	EvBudgetFallback = "route.budget-fallback"
+	// EvRecover marks a job re-enqueued from the durable journal after a
+	// restart (docs/DURABILITY.md). Detail is the job kind, Extra "resumed"
+	// when a grid-cache checkpoint existed for it, Attempt the attempts the
+	// journal had recorded before the crash.
+	EvRecover = "job.recover"
 )
 
 // Event is one flight-recorder entry. Offset is the monotonic time since the

@@ -57,6 +57,10 @@ const (
 	// the windowed score pass, the recursive split passes and the path
 	// stitch together.
 	SpanWFABi = "wfa-biwfa"
+	// SpanJournalReplay covers the startup replay of the durable job
+	// journal: segment scan, per-job aggregation and re-enqueue. Its tags
+	// carry the record count (Rows) and recovered-job count (Cols).
+	SpanJournalReplay = "journal.replay"
 )
 
 // Span categories (the "cat" field of Chrome trace events).
@@ -73,6 +77,8 @@ const (
 	CatBackend = "backend"
 	// CatWFA tags wavefront-kernel spans.
 	CatWFA = "wfa"
+	// CatJournal tags durability-layer spans (journal replay).
+	CatJournal = "journal"
 )
 
 // DefaultTraceSpans is the default ring-buffer capacity of a Trace. At ~80

@@ -54,6 +54,13 @@ type Counters struct {
 	// SearchExamined counts entries actually scored by the exact kernel at
 	// the verify stage (candidates minus early-abandoned ones).
 	SearchExamined atomic.Int64
+	// CheckpointSaves counts grid-cache snapshots persisted through an
+	// Options.Checkpoint sink (one per completed block-row of the root fill).
+	CheckpointSaves atomic.Int64
+	// CheckpointRestores counts runs that seeded their root grid cache from
+	// a checkpoint: a restored run recomputes strictly fewer cells than a
+	// cold one, which is the durability layer's whole point.
+	CheckpointRestores atomic.Int64
 
 	// cancelDone and cancelCtx carry the run's cancellation signal
 	// (AttachContext). The kernels poll Cancelled between row sweeps; a nil
@@ -247,6 +254,20 @@ func (c *Counters) AddSearchExamined(n int64) {
 	}
 }
 
+// AddCheckpointSave records one grid-cache snapshot persisted.
+func (c *Counters) AddCheckpointSave() {
+	for ; c != nil; c = c.parent {
+		c.CheckpointSaves.Add(1)
+	}
+}
+
+// AddCheckpointRestore records one run resumed from a checkpoint.
+func (c *Counters) AddCheckpointRestore() {
+	for ; c != nil; c = c.parent {
+		c.CheckpointRestores.Add(1)
+	}
+}
+
 // ObserveGridEntries raises the peak grid-entry watermark to n if larger.
 func (c *Counters) ObserveGridEntries(n int64) {
 	for ; c != nil; c = c.parent {
@@ -271,22 +292,24 @@ func (c *Counters) RecomputationFactor(m, n int) float64 {
 // Snapshot is a plain-value copy of the counters. The JSON tags make it
 // directly servable (the alignment section of the server's /v1/stats reply).
 type Snapshot struct {
-	Cells             int64 `json:"cells"`
-	TracebackSteps    int64 `json:"traceback_steps"`
-	BaseCases         int64 `json:"base_cases"`
-	GeneralCases      int64 `json:"general_cases"`
-	FillTiles         int64 `json:"fill_tiles"`
-	PeakGridEntries   int64 `json:"peak_grid_entries"`
-	Phase1Tiles       int64 `json:"phase1_tiles"`
-	Phase2Tiles       int64 `json:"phase2_tiles"`
-	Phase3Tiles       int64 `json:"phase3_tiles"`
-	MeshShrinks       int64 `json:"mesh_shrinks"`
-	SeqFillFallbacks  int64 `json:"seq_fill_fallbacks"`
-	PlannedFillTiles  int64 `json:"planned_fill_tiles"`
-	ExecutedFillTiles int64 `json:"executed_fill_tiles"`
-	SearchScanned     int64 `json:"search_scanned"`
-	SearchCandidates  int64 `json:"search_candidates"`
-	SearchExamined    int64 `json:"search_examined"`
+	Cells              int64 `json:"cells"`
+	TracebackSteps     int64 `json:"traceback_steps"`
+	BaseCases          int64 `json:"base_cases"`
+	GeneralCases       int64 `json:"general_cases"`
+	FillTiles          int64 `json:"fill_tiles"`
+	PeakGridEntries    int64 `json:"peak_grid_entries"`
+	Phase1Tiles        int64 `json:"phase1_tiles"`
+	Phase2Tiles        int64 `json:"phase2_tiles"`
+	Phase3Tiles        int64 `json:"phase3_tiles"`
+	MeshShrinks        int64 `json:"mesh_shrinks"`
+	SeqFillFallbacks   int64 `json:"seq_fill_fallbacks"`
+	PlannedFillTiles   int64 `json:"planned_fill_tiles"`
+	ExecutedFillTiles  int64 `json:"executed_fill_tiles"`
+	SearchScanned      int64 `json:"search_scanned"`
+	SearchCandidates   int64 `json:"search_candidates"`
+	SearchExamined     int64 `json:"search_examined"`
+	CheckpointSaves    int64 `json:"checkpoint_saves"`
+	CheckpointRestores int64 `json:"checkpoint_restores"`
 }
 
 // Snapshot copies the current counter values.
@@ -295,22 +318,24 @@ func (c *Counters) Snapshot() Snapshot {
 		return Snapshot{}
 	}
 	return Snapshot{
-		Cells:             c.Cells.Load(),
-		TracebackSteps:    c.TracebackSteps.Load(),
-		BaseCases:         c.BaseCases.Load(),
-		GeneralCases:      c.GeneralCases.Load(),
-		FillTiles:         c.FillTiles.Load(),
-		PeakGridEntries:   c.PeakGridEntries.Load(),
-		Phase1Tiles:       c.Phase1Tiles.Load(),
-		Phase2Tiles:       c.Phase2Tiles.Load(),
-		Phase3Tiles:       c.Phase3Tiles.Load(),
-		MeshShrinks:       c.MeshShrinks.Load(),
-		SeqFillFallbacks:  c.SeqFillFallbacks.Load(),
-		PlannedFillTiles:  c.PlannedFillTiles.Load(),
-		ExecutedFillTiles: c.ExecutedFillTiles.Load(),
-		SearchScanned:     c.SearchScanned.Load(),
-		SearchCandidates:  c.SearchCandidates.Load(),
-		SearchExamined:    c.SearchExamined.Load(),
+		Cells:              c.Cells.Load(),
+		TracebackSteps:     c.TracebackSteps.Load(),
+		BaseCases:          c.BaseCases.Load(),
+		GeneralCases:       c.GeneralCases.Load(),
+		FillTiles:          c.FillTiles.Load(),
+		PeakGridEntries:    c.PeakGridEntries.Load(),
+		Phase1Tiles:        c.Phase1Tiles.Load(),
+		Phase2Tiles:        c.Phase2Tiles.Load(),
+		Phase3Tiles:        c.Phase3Tiles.Load(),
+		MeshShrinks:        c.MeshShrinks.Load(),
+		SeqFillFallbacks:   c.SeqFillFallbacks.Load(),
+		PlannedFillTiles:   c.PlannedFillTiles.Load(),
+		ExecutedFillTiles:  c.ExecutedFillTiles.Load(),
+		SearchScanned:      c.SearchScanned.Load(),
+		SearchCandidates:   c.SearchCandidates.Load(),
+		SearchExamined:     c.SearchExamined.Load(),
+		CheckpointSaves:    c.CheckpointSaves.Load(),
+		CheckpointRestores: c.CheckpointRestores.Load(),
 	}
 }
 
